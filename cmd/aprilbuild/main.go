@@ -1,0 +1,128 @@
+// Command aprilbuild is the preprocessing step of the pipeline: it reads
+// polygons from a WKT file (one POLYGON per line), computes their APRIL
+// approximations over a global grid, and writes the library's binary
+// dataset format ready for joining with topojoin.
+//
+//	aprilbuild -in lakes.wkt -out lakes.stj -order 16
+//
+// The grid's data space defaults to the MBR of the input, expanded by
+// -space if several datasets must share one grid (they must, to be
+// joinable): pass "minX,minY,maxX,maxY".
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/april"
+	"repro/internal/dataset"
+	"repro/internal/geom"
+	"repro/internal/wkt"
+)
+
+func main() {
+	var (
+		in    = flag.String("in", "", "input WKT file (one POLYGON per line)")
+		out   = flag.String("out", "", "output dataset file")
+		name  = flag.String("name", "", "dataset name (default: input basename)")
+		order = flag.Uint("order", 16, "global grid order")
+		space = flag.String("space", "", "data space minX,minY,maxX,maxY (default: input MBR)")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		fmt.Fprintln(os.Stderr, "aprilbuild: -in and -out are required")
+		os.Exit(2)
+	}
+	if err := run(*in, *out, *name, *order, *space); err != nil {
+		fmt.Fprintln(os.Stderr, "aprilbuild:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, out, name string, order uint, spaceSpec string) error {
+	polys, err := readWKT(in)
+	if err != nil {
+		return err
+	}
+	if len(polys) == 0 {
+		return fmt.Errorf("no polygons in %s", in)
+	}
+	space := geom.EmptyMBR()
+	if spaceSpec != "" {
+		if space, err = parseSpace(spaceSpec); err != nil {
+			return err
+		}
+	} else {
+		for _, p := range polys {
+			space = space.Expand(p.Bounds())
+		}
+	}
+	if name == "" {
+		name = strings.TrimSuffix(in, ".wkt")
+	}
+	builder := april.NewBuilder(space, order)
+	ds, err := dataset.Precompute(name, name, polys, builder)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := ds.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	s := ds.Sizes()
+	fmt.Printf("%s: %d polygons, approximations %.1f KB (polygons %.1f KB) -> %s\n",
+		name, ds.Len(), float64(s.Approx)/1024, float64(s.Polygons)/1024, out)
+	return nil
+}
+
+func readWKT(path string) ([]*geom.Polygon, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var polys []*geom.Polygon
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<24)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		p, err := wkt.ParsePolygon(text)
+		if err != nil {
+			return nil, fmt.Errorf("%s:%d: %w", path, line, err)
+		}
+		polys = append(polys, p)
+	}
+	return polys, sc.Err()
+}
+
+func parseSpace(s string) (geom.MBR, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geom.MBR{}, fmt.Errorf("space must be minX,minY,maxX,maxY")
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geom.MBR{}, fmt.Errorf("space component %d: %w", i, err)
+		}
+		v[i] = f
+	}
+	return geom.MBR{MinX: v[0], MinY: v[1], MaxX: v[2], MaxY: v[3]}, nil
+}

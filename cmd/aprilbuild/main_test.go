@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dataset"
+)
+
+func TestRunEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "shapes.wkt")
+	content := `# two shapes
+POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))
+
+POLYGON ((20 20, 30 20, 25 28, 20 20))
+`
+	if err := os.WriteFile(in, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "shapes.stj")
+	if err := run(in, out, "shapes", 10, ""); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.Open(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	ds, err := dataset.Read(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Len() != 2 || ds.Name != "shapes" {
+		t.Fatalf("dataset: %q with %d objects", ds.Name, ds.Len())
+	}
+	if len(ds.Objects[0].Approx.C) == 0 {
+		t.Error("approximation missing")
+	}
+}
+
+func TestRunWithExplicitSpace(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "a.wkt")
+	if err := os.WriteFile(in, []byte("POLYGON ((1 1, 3 1, 3 3, 1 3, 1 1))\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "a.stj")
+	if err := run(in, out, "", 8, "0,0,100,100"); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(in, out, "", 8, "0,0,100"); err == nil {
+		t.Error("malformed space should fail")
+	}
+	if err := run(in, out, "", 8, "0,0,x,100"); err == nil {
+		t.Error("non-numeric space should fail")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(filepath.Join(dir, "missing.wkt"), filepath.Join(dir, "o.stj"), "", 10, ""); err == nil {
+		t.Error("missing input should fail")
+	}
+	empty := filepath.Join(dir, "empty.wkt")
+	if err := os.WriteFile(empty, []byte("# nothing\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(empty, filepath.Join(dir, "o.stj"), "", 10, ""); err == nil {
+		t.Error("empty input should fail")
+	}
+	bad := filepath.Join(dir, "bad.wkt")
+	if err := os.WriteFile(bad, []byte("POLYGON ((0 0, 1 1))\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(bad, filepath.Join(dir, "o.stj"), "", 10, ""); err == nil {
+		t.Error("malformed WKT should fail")
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+)
+
+func TestRunBinary(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 1, 0.02, datagen.DefaultOrder, false, "OLE,OPE"); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"OLE", "OPE"} {
+		f, err := os.Open(filepath.Join(dir, name+".stj"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ds, err := dataset.Read(f)
+		f.Close()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if ds.Name != name || ds.Len() == 0 {
+			t.Fatalf("%s: bad dataset %q with %d objects", name, ds.Name, ds.Len())
+		}
+	}
+	// Unselected datasets are not written.
+	if _, err := os.Stat(filepath.Join(dir, "TL.stj")); !os.IsNotExist(err) {
+		t.Error("unselected dataset written")
+	}
+}
+
+func TestRunWKT(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir, 1, 0.02, datagen.DefaultOrder, true, "TL"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "TL.wkt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 || !strings.HasPrefix(lines[0], "POLYGON") {
+		t.Fatalf("unexpected WKT output: %q", lines[0])
+	}
+}
+
+func TestRunBadDir(t *testing.T) {
+	if err := run(string([]byte{0}), 1, 0.01, 10, false, ""); err == nil {
+		t.Error("invalid directory should fail")
+	}
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+// TestRunExperiments smoke-tests every experiment at a tiny scale; the
+// shape assertions live in internal/harness, this guards the wiring.
+func TestRunExperiments(t *testing.T) {
+	for _, exp := range []string{
+		"table2", "table3", "fig7a", "fig7b", "table4",
+		"fig9", "table5", "access", "progressive",
+	} {
+		if err := run(exp, 3, 0.05, 11); err != nil {
+			t.Fatalf("experiment %s: %v", exp, err)
+		}
+	}
+}
+
+func TestRunFig8(t *testing.T) {
+	if err := run("fig8", 3, 0.05, 11); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAblation(t *testing.T) {
+	if err := run("ablation", 3, 0.05, 11); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunUnknown(t *testing.T) {
+	if err := run("nonsense", 3, 0.05, 11); err == nil {
+		t.Error("unknown experiment should fail")
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/april"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+)
+
+func writeDatasets(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	suite := datagen.NewSuite(5, 0.03)
+	b := april.NewBuilder(suite.Space, datagen.DefaultOrder)
+	var paths []string
+	for _, name := range []string{"OLE", "OPE"} {
+		ds, err := dataset.Precompute(name, datagen.EntityTypes[name], suite.Sets[name], b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name+".stj")
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.Write(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		paths = append(paths, p)
+	}
+	return paths[0], paths[1]
+}
+
+func TestRunWritesTriples(t *testing.T) {
+	left, right := writeDatasets(t)
+	out := filepath.Join(t.TempDir(), "links.nt")
+	if err := run(left, right, out, "P+C", "http://l/", "http://r/", false); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) == 0 {
+		t.Fatal("no triples written")
+	}
+	for _, l := range lines {
+		if !strings.HasPrefix(l, "<http://l/") || !strings.HasSuffix(l, " .") {
+			t.Fatalf("malformed triple %q", l)
+		}
+	}
+	// Expanded output is a superset.
+	out2 := filepath.Join(t.TempDir(), "links2.nt")
+	if err := run(left, right, out2, "P+C", "http://l/", "http://r/", true); err != nil {
+		t.Fatal(err)
+	}
+	data2, err := os.ReadFile(out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data2) <= len(data) {
+		t.Error("expanded output should be larger")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	left, right := writeDatasets(t)
+	if err := run(left, right, "", "NOPE", "a", "b", false); err == nil {
+		t.Error("unknown method should fail")
+	}
+	if err := run("missing", right, "", "P+C", "a", "b", false); err == nil {
+		t.Error("missing dataset should fail")
+	}
+}

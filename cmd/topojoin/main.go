@@ -1,0 +1,150 @@
+// Command topojoin runs a spatial topology join between two preprocessed
+// datasets (built with datagen or aprilbuild): it produces the pairs of
+// objects whose MBRs intersect and evaluates either the find-relation
+// problem (the most specific relation of each pair) or a relate_p
+// predicate on each pair.
+//
+//	topojoin -left data/OLE.stj -right data/OPE.stj               # find relation
+//	topojoin -left data/OLE.stj -right data/OPE.stj -pred inside  # relate_p
+//	topojoin ... -method ST2 -v                                    # print pairs
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/de9im"
+	"repro/internal/join"
+)
+
+func main() {
+	var (
+		left   = flag.String("left", "", "left dataset file")
+		right  = flag.String("right", "", "right dataset file")
+		pred   = flag.String("pred", "", "relate predicate (equals|meets|inside|covered_by|contains|covers|intersects|disjoint); empty = find relation")
+		method = flag.String("method", "P+C", "pipeline: ST2|OP2|APRIL|P+C")
+		verb   = flag.Bool("v", false, "print every result pair")
+	)
+	flag.Parse()
+	if *left == "" || *right == "" {
+		fmt.Fprintln(os.Stderr, "topojoin: -left and -right are required")
+		os.Exit(2)
+	}
+	if err := run(*left, *right, *pred, *method, *verb); err != nil {
+		fmt.Fprintln(os.Stderr, "topojoin:", err)
+		os.Exit(1)
+	}
+}
+
+func parseMethod(s string) (core.Method, error) {
+	for _, m := range core.Methods {
+		if m.String() == s {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown method %q", s)
+}
+
+func parseRelation(s string) (de9im.Relation, error) {
+	for r := de9im.Relation(0); int(r) < de9im.NumRelations; r++ {
+		if r.String() == s {
+			return r, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown relation %q", s)
+}
+
+func loadDataset(path string) (*dataset.Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.Read(f)
+}
+
+func run(leftPath, rightPath, predName, methodName string, verbose bool) error {
+	m, err := parseMethod(methodName)
+	if err != nil {
+		return err
+	}
+	ld, err := loadDataset(leftPath)
+	if err != nil {
+		return err
+	}
+	rd, err := loadDataset(rightPath)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s: %d objects, %s: %d objects\n", ld.Name, ld.Len(), rd.Name, rd.Len())
+
+	idPairs := join.Pairs(ld.MBRs(), rd.MBRs())
+	fmt.Printf("MBR join: %d candidate pairs\n", len(idPairs))
+
+	out := bufio.NewWriter(os.Stdout)
+	defer out.Flush()
+
+	if predName == "" {
+		var hist [de9im.NumRelations]int
+		refined := 0
+		start := time.Now()
+		for _, pr := range idPairs {
+			r, s := ld.Objects[pr[0]], rd.Objects[pr[1]]
+			res := core.FindRelation(m, r, s)
+			hist[res.Relation]++
+			if res.Refined {
+				refined++
+			}
+			if verbose {
+				fmt.Fprintf(out, "%d\t%d\t%v\n", r.ID, s.ID, res.Relation)
+			}
+		}
+		elapsed := time.Since(start)
+		fmt.Printf("method %v: %v (%.0f pairs/s), %d refined (%.1f%%)\n",
+			m, elapsed, float64(len(idPairs))/elapsed.Seconds(),
+			refined, 100*float64(refined)/float64(max(1, len(idPairs))))
+		for r := de9im.Relation(0); int(r) < de9im.NumRelations; r++ {
+			if hist[r] > 0 {
+				fmt.Printf("  %-11v %d\n", r, hist[r])
+			}
+		}
+		return nil
+	}
+
+	pred, err := parseRelation(predName)
+	if err != nil {
+		return err
+	}
+	holds, refined := 0, 0
+	start := time.Now()
+	for _, pr := range idPairs {
+		r, s := ld.Objects[pr[0]], rd.Objects[pr[1]]
+		res := core.RelatePred(m, r, s, pred)
+		if res.Holds {
+			holds++
+			if verbose {
+				fmt.Fprintf(out, "%d\t%d\n", r.ID, s.ID)
+			}
+		}
+		if res.Refined {
+			refined++
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("relate_%v with %v: %d of %d pairs hold, %d refined, %v (%.0f pairs/s)\n",
+		pred, m, holds, len(idPairs), refined, elapsed,
+		float64(len(idPairs))/elapsed.Seconds())
+	return nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/april"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+)
+
+func writeDatasets(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	suite := datagen.NewSuite(5, 0.03)
+	b := april.NewBuilder(suite.Space, datagen.DefaultOrder)
+	paths := map[string]string{}
+	for _, name := range []string{"OLE", "OPE"} {
+		ds, err := dataset.Precompute(name, datagen.EntityTypes[name], suite.Sets[name], b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(dir, name+".stj")
+		f, err := os.Create(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ds.Write(f); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		paths[name] = p
+	}
+	return paths["OLE"], paths["OPE"]
+}
+
+func TestRunFindRelation(t *testing.T) {
+	left, right := writeDatasets(t)
+	for _, method := range []string{"ST2", "P+C"} {
+		if err := run(left, right, "", method, false); err != nil {
+			t.Fatalf("method %s: %v", method, err)
+		}
+	}
+}
+
+func TestRunPredicate(t *testing.T) {
+	left, right := writeDatasets(t)
+	for _, pred := range []string{"inside", "meets", "disjoint"} {
+		if err := run(left, right, pred, "P+C", false); err != nil {
+			t.Fatalf("pred %s: %v", pred, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	left, right := writeDatasets(t)
+	if err := run(left, right, "", "NOPE", false); err == nil {
+		t.Error("unknown method should fail")
+	}
+	if err := run(left, right, "sideways", "P+C", false); err == nil {
+		t.Error("unknown predicate should fail")
+	}
+	if err := run("missing.stj", right, "", "P+C", false); err == nil {
+		t.Error("missing left dataset should fail")
+	}
+	if err := run(left, "missing.stj", "", "P+C", false); err == nil {
+		t.Error("missing right dataset should fail")
+	}
+}
+
+func TestParsers(t *testing.T) {
+	if _, err := parseMethod("APRIL"); err != nil {
+		t.Error(err)
+	}
+	if _, err := parseMethod("april"); err == nil {
+		t.Error("method names are case-sensitive")
+	}
+	if r, err := parseRelation("covered_by"); err != nil || r.String() != "covered_by" {
+		t.Errorf("parseRelation: %v %v", r, err)
+	}
+	if _, err := parseRelation("nope"); err == nil {
+		t.Error("unknown relation should fail")
+	}
+}

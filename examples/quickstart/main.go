@@ -1,0 +1,51 @@
+// Quickstart: determine the topological relation of two polygons given as
+// WKT, using the P+C pipeline — MBR filter, interval-list intermediate
+// filter, DE-9IM refinement only if needed.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	spatialtopo "repro"
+)
+
+func main() {
+	// A park with a pond-shaped hole, and a lake inside the park.
+	park, err := spatialtopo.ParsePolygon(
+		"POLYGON ((0 0, 100 0, 100 80, 0 80, 0 0), (70 50, 90 50, 90 70, 70 70, 70 50))")
+	if err != nil {
+		log.Fatal(err)
+	}
+	lake, err := spatialtopo.ParsePolygon(
+		"POLYGON ((20 20, 50 20, 50 45, 20 45, 20 20))")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// One global grid covers the data space; approximations are built once
+	// per object (the preprocessing step).
+	space := spatialtopo.MBR{MinX: -10, MinY: -10, MaxX: 110, MaxY: 90}
+	builder := spatialtopo.NewBuilder(space, 10)
+
+	lakeObj, err := spatialtopo.NewObject(0, lake, builder)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parkObj, err := spatialtopo.NewObject(1, park, builder)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Find the most specific relation.
+	res := spatialtopo.FindRelation(spatialtopo.PC, lakeObj, parkObj)
+	fmt.Printf("lake vs park: %v (refinement needed: %v)\n", res.Relation, res.Refined)
+
+	// Ask a direct predicate question.
+	ans := spatialtopo.RelatePred(spatialtopo.PC, lakeObj, parkObj, spatialtopo.CoveredBy)
+	fmt.Printf("lake covered by park? %v\n", ans.Holds)
+
+	// The full DE-9IM matrix is available when the exact entries matter.
+	fmt.Printf("DE-9IM(lake, park) = %s\n", spatialtopo.DE9IM(lake, park))
+	fmt.Printf("DE-9IM(park, lake) = %s\n", spatialtopo.DE9IM(park, lake))
+}

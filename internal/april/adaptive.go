@@ -1,0 +1,63 @@
+package april
+
+import (
+	"repro/internal/geom"
+	"repro/internal/hilbert"
+	"repro/internal/interval"
+	"repro/internal/raster"
+)
+
+// BuildAdaptive computes an APRIL approximation like Build, but objects
+// whose raster window would exceed the per-object limit are rasterized at
+// a coarser grid order and their intervals lifted into the base id space.
+//
+// Hilbert curves nest hierarchically: the order-k cell containing a point
+// covers exactly the ids [d<<2(o-k), (d+1)<<2(o-k)) of the order-o curve
+// (property-tested in internal/hilbert). A coarse conservative cell is
+// still conservative after lifting, and a coarse full cell is a region
+// fully inside the object, so both list semantics — and therefore every
+// filter verdict — remain sound; the approximation is merely coarser for
+// the affected object.
+func (b *Builder) BuildAdaptive(p *geom.Polygon) (Approx, error) {
+	ap, err := b.Build(p)
+	if err == nil {
+		return ap, nil
+	}
+	if _, ok := err.(raster.ErrWindowTooLarge); !ok {
+		return Approx{}, err
+	}
+	// Pick the finest coarser order whose window fits the fallback
+	// budget analytically — failed rasterization attempts are wasted
+	// work, and a tighter budget than the hard window limit keeps the
+	// build time of pathological objects bounded.
+	const fallbackBudget = 4 << 20
+	baseOrder := b.grid.Order()
+	for order := baseOrder - 1; order >= 1; order-- {
+		coarse := raster.NewGrid(b.grid.Space(), order)
+		if coarse.WindowCells(p.Bounds()) > fallbackBudget {
+			continue
+		}
+		ras, rerr := raster.Rasterize(p, coarse)
+		if rerr != nil {
+			return Approx{}, rerr
+		}
+		curve := hilbert.New(order)
+		shift := 2 * (baseOrder - order)
+		full, partial := ras.Counts()
+		fullIvs := make([]interval.Interval, 0, full)
+		allIvs := make([]interval.Interval, 0, full+partial)
+		ras.Each(func(col, row int, s raster.CellState) {
+			d := curve.D(uint32(col), uint32(row))
+			iv := interval.Interval{Start: d << shift, End: (d + 1) << shift}
+			allIvs = append(allIvs, iv)
+			if s == raster.Full {
+				fullIvs = append(fullIvs, iv)
+			}
+		})
+		return Approx{
+			P: interval.Normalize(fullIvs),
+			C: interval.Normalize(allIvs),
+		}, nil
+	}
+	return Approx{}, err
+}

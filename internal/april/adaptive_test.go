@@ -1,0 +1,109 @@
+package april
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/interval"
+)
+
+func TestBuildAdaptiveSmallObjectUnchanged(t *testing.T) {
+	b := NewBuilder(space(), 8)
+	p := rect(10, 10, 30, 25)
+	exact, err := b.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptive, err := b.BuildAdaptive(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interval.Match(exact.P, adaptive.P) || !interval.Match(exact.C, adaptive.C) {
+		t.Error("adaptive build must equal exact build when the window fits")
+	}
+}
+
+func TestBuildAdaptiveHugeObject(t *testing.T) {
+	// At order 16 over a unit space, a space-filling polygon exceeds the
+	// raster window; the adaptive builder must still produce sound lists.
+	unit := geom.MBR{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	b := NewBuilder(unit, 16)
+	huge := geom.NewPolygon(geom.Ring{
+		{X: 0.01, Y: 0.01}, {X: 0.99, Y: 0.01}, {X: 0.99, Y: 0.99}, {X: 0.01, Y: 0.99},
+	})
+	if _, err := b.Build(huge); err == nil {
+		t.Fatal("expected the exact build to overflow the window")
+	}
+	ap, err := b.BuildAdaptive(huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ap.C) == 0 || len(ap.P) == 0 {
+		t.Fatal("adaptive approximation empty")
+	}
+	if !ap.P.IsValid() || !ap.C.IsValid() {
+		t.Fatal("lists not normalized")
+	}
+	if !interval.Inside(ap.P, ap.C) {
+		t.Fatal("P must stay inside C")
+	}
+	// The lifted ids live in the base order-16 id space.
+	base := uint64(1) << 32 // 4^16 cells
+	last := ap.C[len(ap.C)-1]
+	if last.End > base {
+		t.Fatalf("lifted interval %v exceeds the base id space", last)
+	}
+	// Conservative lists of the huge object and of a small object built at
+	// the exact order must overlap where the objects overlap.
+	small, err := b.Build(geom.NewPolygon(geom.Ring{
+		{X: 0.4, Y: 0.4}, {X: 0.41, Y: 0.4}, {X: 0.41, Y: 0.41}, {X: 0.4, Y: 0.41},
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !interval.Overlap(ap.C, small.C) {
+		t.Error("cross-order conservative lists must overlap for overlapping objects")
+	}
+	// The small object is deep inside the huge one: its conservative
+	// cells must land in the huge object's (coarse) progressive cells.
+	if !interval.Inside(small.C, ap.P) {
+		t.Error("nested object's C must sit inside the huge object's lifted P")
+	}
+}
+
+// TestBuildAdaptiveFilterSoundness: mixed-order approximations must keep
+// the intersection filter sound against exact geometry.
+func TestBuildAdaptiveFilterSoundness(t *testing.T) {
+	unit := geom.MBR{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	b := NewBuilder(unit, 12)
+	rng := rand.New(rand.NewSource(5))
+	// One huge object (coarse order) against many small exact ones.
+	huge := geom.NewPolygon(geom.Ring{
+		{X: 0.05, Y: 0.05}, {X: 0.95, Y: 0.05}, {X: 0.95, Y: 0.6}, {X: 0.05, Y: 0.6},
+	})
+	hugeAp, err := b.BuildAdaptive(huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 60; trial++ {
+		x := rng.Float64() * 0.9
+		y := rng.Float64() * 0.9
+		small := rect(x, y, x+0.03, y+0.03)
+		smallAp, err := b.BuildAdaptive(small)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := polygonsIntersect(huge, small)
+		switch IntersectionFilter(hugeAp, smallAp) {
+		case DefiniteDisjoint:
+			if truth {
+				t.Fatalf("trial %d: disjoint verdict on intersecting pair", trial)
+			}
+		case DefiniteIntersect:
+			if !truth {
+				t.Fatalf("trial %d: intersect verdict on disjoint pair", trial)
+			}
+		}
+	}
+}

@@ -1,0 +1,231 @@
+package april
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+	"repro/internal/interval"
+)
+
+func space() geom.MBR { return geom.MBR{MinX: 0, MinY: 0, MaxX: 64, MaxY: 64} }
+
+func rect(x0, y0, x1, y1 float64) *geom.Polygon {
+	return geom.NewPolygon(geom.Ring{{X: x0, Y: y0}, {X: x1, Y: y0}, {X: x1, Y: y1}, {X: x0, Y: y1}})
+}
+
+func randBlob(rng *rand.Rand, cx, cy, radius float64, n int) geom.Ring {
+	angles := make([]float64, n)
+	step := 2 * math.Pi / float64(n)
+	for i := range angles {
+		angles[i] = float64(i)*step + rng.Float64()*step*0.8
+	}
+	ring := make(geom.Ring, n)
+	for i, a := range angles {
+		r := radius * (0.4 + 0.6*rng.Float64())
+		ring[i] = geom.Point{X: cx + r*math.Cos(a), Y: cy + r*math.Sin(a)}
+	}
+	return ring
+}
+
+func TestBuildPSubsetOfC(t *testing.T) {
+	b := NewBuilder(space(), 8)
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		p := geom.NewPolygon(randBlob(rng, 32, 32, 20, 6+rng.Intn(50)))
+		a, err := b.Build(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !a.P.IsValid() || !a.C.IsValid() {
+			t.Fatal("lists must be normalized")
+		}
+		if !interval.Inside(a.P, a.C) {
+			t.Fatalf("trial %d: P not inside C", trial)
+		}
+		if a.C.NumCells() == 0 {
+			t.Fatalf("trial %d: C empty for a real polygon", trial)
+		}
+		np, nc := a.NumIntervals()
+		if np != len(a.P) || nc != len(a.C) {
+			t.Error("NumIntervals mismatch")
+		}
+	}
+}
+
+// TestIntervalCountScaling sanity-checks the paper's claim that the number
+// of intervals is in the order of the square root of the number of covered
+// cells (Hilbert locality keeps runs long).
+func TestIntervalCountScaling(t *testing.T) {
+	b := NewBuilder(space(), 10)
+	p := rect(4, 4, 60, 60)
+	a, err := b.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cells := float64(a.C.NumCells())
+	ivs := float64(len(a.C))
+	if ivs > 8*math.Sqrt(cells) {
+		t.Errorf("C has %v intervals for %v cells; expected O(sqrt)", ivs, cells)
+	}
+}
+
+func TestBuildWindowTooLarge(t *testing.T) {
+	b := NewBuilder(space(), 16)
+	// The full space at order 16 exceeds the raster window limit.
+	if _, err := b.Build(rect(1, 1, 63, 63)); err == nil {
+		t.Fatal("expected window-too-large error")
+	}
+}
+
+func TestApproxCodec(t *testing.T) {
+	b := NewBuilder(space(), 8)
+	a, err := b.Build(rect(10, 10, 30, 25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := a.AppendEncode(nil)
+	if len(buf) != a.Bytes() {
+		t.Errorf("Bytes() = %d, encoded %d", a.Bytes(), len(buf))
+	}
+	got, n, err := DecodeApprox(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(buf) {
+		t.Errorf("consumed %d of %d", n, len(buf))
+	}
+	if !interval.Match(got.P, a.P) || !interval.Match(got.C, a.C) {
+		t.Error("round trip mismatch")
+	}
+	if _, _, err := DecodeApprox(buf[:1]); err == nil {
+		t.Error("truncated decode should fail")
+	}
+	if _, _, err := DecodeApprox(nil); err == nil {
+		t.Error("empty decode should fail")
+	}
+}
+
+func TestIntersectionFilterDisjoint(t *testing.T) {
+	b := NewBuilder(space(), 8)
+	a1, err := b.Build(rect(2, 2, 10, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := b.Build(rect(40, 40, 60, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := IntersectionFilter(a1, a2); v != DefiniteDisjoint {
+		t.Errorf("far apart: %v", v)
+	}
+}
+
+func TestIntersectionFilterDefinite(t *testing.T) {
+	b := NewBuilder(space(), 8)
+	big, err := b.Build(rect(10, 10, 50, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := b.Build(rect(20, 20, 40, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := IntersectionFilter(big, inner); v != DefiniteIntersect {
+		t.Errorf("containment: %v", v)
+	}
+	if v := IntersectionFilter(inner, big); v != DefiniteIntersect {
+		t.Errorf("containment swapped: %v", v)
+	}
+	overlap, err := b.Build(rect(45, 45, 60, 60))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := IntersectionFilter(big, overlap); v != DefiniteIntersect {
+		t.Errorf("overlap: %v", v)
+	}
+}
+
+func TestIntersectionFilterTouching(t *testing.T) {
+	b := NewBuilder(space(), 8)
+	left, err := b.Build(rect(10, 10, 30, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	right, err := b.Build(rect(30, 10, 50, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Touching objects share boundary cells: C lists overlap, so they can
+	// never be reported disjoint; the verdict must be intersect (their
+	// shared edge is a real intersection) or inconclusive.
+	if v := IntersectionFilter(left, right); v == DefiniteDisjoint {
+		t.Errorf("touching pair reported disjoint")
+	}
+}
+
+// TestIntersectionFilterSoundness: on random pairs the filter must never
+// contradict the exact geometry.
+func TestIntersectionFilterSoundness(t *testing.T) {
+	b := NewBuilder(space(), 8)
+	rng := rand.New(rand.NewSource(33))
+	var definite, total int
+	for trial := 0; trial < 150; trial++ {
+		p1 := geom.NewPolygon(randBlob(rng, 16+rng.Float64()*32, 16+rng.Float64()*32, 4+rng.Float64()*12, 8+rng.Intn(30)))
+		p2 := geom.NewPolygon(randBlob(rng, 16+rng.Float64()*32, 16+rng.Float64()*32, 4+rng.Float64()*12, 8+rng.Intn(30)))
+		a1, err := b.Build(p1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a2, err := b.Build(p2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := polygonsIntersect(p1, p2)
+		total++
+		switch IntersectionFilter(a1, a2) {
+		case DefiniteDisjoint:
+			definite++
+			if truth {
+				t.Fatalf("trial %d: filter says disjoint but objects intersect", trial)
+			}
+		case DefiniteIntersect:
+			definite++
+			if !truth {
+				t.Fatalf("trial %d: filter says intersect but objects are disjoint", trial)
+			}
+		}
+	}
+	if definite == 0 {
+		t.Error("filter never reached a definite verdict on 150 random pairs")
+	}
+}
+
+// polygonsIntersect is a brute-force ground truth: boundaries cross, or one
+// contains a point of the other.
+func polygonsIntersect(p1, p2 *geom.Polygon) bool {
+	cross := false
+	p1.Edges(func(a, b geom.Point) {
+		p2.Edges(func(c, d geom.Point) {
+			if geom.SegIntersect(a, b, c, d).Kind != geom.SegNone {
+				cross = true
+			}
+		})
+	})
+	if cross {
+		return true
+	}
+	if geom.LocateInPolygon(p1.Shell[0], p2) != geom.Outside {
+		return true
+	}
+	return geom.LocateInPolygon(p2.Shell[0], p1) != geom.Outside
+}
+
+func TestVerdictString(t *testing.T) {
+	if DefiniteDisjoint.String() != "disjoint" ||
+		DefiniteIntersect.String() != "intersect" ||
+		Inconclusive.String() != "inconclusive" {
+		t.Error("verdict names wrong")
+	}
+}

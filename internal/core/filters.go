@@ -1,0 +1,128 @@
+package core
+
+import (
+	"repro/internal/de9im"
+	"repro/internal/interval"
+)
+
+// Outcome is the result of an intermediate filter: either the definite
+// most specific relation, or the set of candidate relations the
+// refinement step must distinguish.
+type Outcome struct {
+	Definite   bool
+	Relation   de9im.Relation    // valid when Definite
+	Candidates de9im.RelationSet // valid when !Definite
+}
+
+func definite(rel de9im.Relation) Outcome {
+	return Outcome{Definite: true, Relation: rel}
+}
+
+func refine(rels ...de9im.Relation) Outcome {
+	return Outcome{Candidates: de9im.NewRelationSet(rels...)}
+}
+
+// IFEquals is the intermediate filter for pairs with equal MBRs (Fig. 5).
+// Identical conservative lists leave {equals, covered by, covers,
+// intersects} for refinement; one-sided containment of the conservative
+// lists narrows to the corresponding cover relation, verified exactly when
+// the contained conservative list fits in the other's progressive list.
+func IFEquals(r, s *Object) Outcome {
+	ra, sa := &r.Approx, &s.Approx
+	switch {
+	case interval.Match(ra.C, sa.C):
+		return refine(de9im.Equals, de9im.CoveredBy, de9im.Covers, de9im.Intersects)
+	case interval.Inside(ra.C, sa.C):
+		if interval.Inside(ra.C, sa.P) {
+			return definite(de9im.CoveredBy)
+		}
+		return refine(de9im.CoveredBy, de9im.Intersects)
+	case interval.Contains(ra.C, sa.C):
+		if interval.Contains(ra.P, sa.C) {
+			return definite(de9im.Covers)
+		}
+		return refine(de9im.Covers, de9im.Intersects)
+	case !interval.Overlap(ra.C, sa.C):
+		return definite(de9im.Disjoint)
+	case interval.Overlap(ra.C, sa.P) || interval.Overlap(ra.P, sa.C):
+		// A cell fully inside one object touched by the other: the
+		// interiors certainly intersect, and the conservative lists ruled
+		// out every containment, so intersects is the most specific.
+		return definite(de9im.Intersects)
+	default:
+		return refine(de9im.Disjoint, de9im.Meets, de9im.Intersects)
+	}
+}
+
+// IFInside is the intermediate filter for MBR(r) inside MBR(s) (Fig. 5).
+// The candidate relations are disjoint, inside, covered by, meets and
+// intersects.
+func IFInside(r, s *Object) Outcome {
+	ra, sa := &r.Approx, &s.Approx
+	if !interval.Overlap(ra.C, sa.C) {
+		return definite(de9im.Disjoint)
+	}
+	if interval.Inside(ra.C, sa.C) {
+		if len(sa.P) > 0 {
+			if interval.Inside(ra.C, sa.P) {
+				// Every cell r touches lies strictly inside s: definite
+				// (strict) inside, no boundary contact possible.
+				return definite(de9im.Inside)
+			}
+			if interval.Overlap(ra.C, sa.P) {
+				// r reaches s's interior: refine among the containments.
+				return refine(de9im.Inside, de9im.CoveredBy, de9im.Intersects)
+			}
+		}
+		if interval.Overlap(ra.P, sa.C) {
+			return refine(de9im.Inside, de9im.CoveredBy, de9im.Intersects)
+		}
+		return refine(de9im.Disjoint, de9im.Inside, de9im.CoveredBy, de9im.Meets, de9im.Intersects)
+	}
+	// r touches cells outside s's conservative cells: r ⊄ s, so no
+	// containment relation can hold.
+	if interval.Overlap(ra.C, sa.P) || interval.Overlap(ra.P, sa.C) {
+		return definite(de9im.Intersects)
+	}
+	return refine(de9im.Disjoint, de9im.Meets, de9im.Intersects)
+}
+
+// IFContains is the intermediate filter for MBR(r) containing MBR(s)
+// (Fig. 5); it mirrors IFInside with the operand roles swapped.
+func IFContains(r, s *Object) Outcome {
+	ra, sa := &r.Approx, &s.Approx
+	if !interval.Overlap(ra.C, sa.C) {
+		return definite(de9im.Disjoint)
+	}
+	if interval.Contains(ra.C, sa.C) {
+		if len(ra.P) > 0 {
+			if interval.Contains(ra.P, sa.C) {
+				return definite(de9im.Contains)
+			}
+			if interval.Overlap(ra.P, sa.C) {
+				return refine(de9im.Contains, de9im.Covers, de9im.Intersects)
+			}
+		}
+		if interval.Overlap(ra.C, sa.P) {
+			return refine(de9im.Contains, de9im.Covers, de9im.Intersects)
+		}
+		return refine(de9im.Disjoint, de9im.Contains, de9im.Covers, de9im.Meets, de9im.Intersects)
+	}
+	if interval.Overlap(ra.C, sa.P) || interval.Overlap(ra.P, sa.C) {
+		return definite(de9im.Intersects)
+	}
+	return refine(de9im.Disjoint, de9im.Meets, de9im.Intersects)
+}
+
+// IFIntersects is the intermediate filter for partially overlapping MBRs
+// (Fig. 5): only disjoint, meets and intersects are possible.
+func IFIntersects(r, s *Object) Outcome {
+	ra, sa := &r.Approx, &s.Approx
+	if !interval.Overlap(ra.C, sa.C) {
+		return definite(de9im.Disjoint)
+	}
+	if interval.Overlap(ra.C, sa.P) || interval.Overlap(ra.P, sa.C) {
+		return definite(de9im.Intersects)
+	}
+	return refine(de9im.Disjoint, de9im.Meets, de9im.Intersects)
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/april"
+	"repro/internal/de9im"
+	"repro/internal/interval"
+)
+
+// synth builds an object with handcrafted interval lists, bypassing
+// rasterization so each filter branch can be pinned exactly.
+func synth(p, c interval.List) *Object {
+	return &Object{Approx: april.Approx{P: p, C: c}}
+}
+
+func ivs(pairs ...uint64) interval.List {
+	l := make(interval.List, 0, len(pairs)/2)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		l = append(l, interval.Interval{Start: pairs[i], End: pairs[i+1]})
+	}
+	return l
+}
+
+func wantDefinite(t *testing.T, out Outcome, rel de9im.Relation) {
+	t.Helper()
+	if !out.Definite || out.Relation != rel {
+		t.Fatalf("got %+v, want definite %v", out, rel)
+	}
+}
+
+func wantRefine(t *testing.T, out Outcome, rels ...de9im.Relation) {
+	t.Helper()
+	if out.Definite {
+		t.Fatalf("got definite %v, want refinement", out.Relation)
+	}
+	want := de9im.NewRelationSet(rels...)
+	if out.Candidates != want {
+		t.Fatalf("candidates %v, want %v", out.Candidates.Relations(), want.Relations())
+	}
+}
+
+func TestIFEqualsBranches(t *testing.T) {
+	// Branch 1: C lists match.
+	r := synth(ivs(12, 14), ivs(10, 20))
+	s := synth(ivs(13, 15), ivs(10, 20))
+	wantRefine(t, IFEquals(r, s), de9im.Equals, de9im.CoveredBy, de9im.Covers, de9im.Intersects)
+
+	// Branch 2a: rC inside sC and inside sP -> definite covered by.
+	r = synth(nil, ivs(12, 14))
+	s = synth(ivs(10, 20), ivs(8, 22))
+	wantDefinite(t, IFEquals(r, s), de9im.CoveredBy)
+
+	// Branch 2b: rC inside sC but not inside sP.
+	s = synth(ivs(13, 14), ivs(8, 22))
+	wantRefine(t, IFEquals(r, s), de9im.CoveredBy, de9im.Intersects)
+
+	// Branch 3a: rC contains sC and rP contains sC -> definite covers.
+	r = synth(ivs(8, 22), ivs(6, 24))
+	s = synth(nil, ivs(10, 12))
+	wantDefinite(t, IFEquals(r, s), de9im.Covers)
+
+	// Branch 3b: rC contains sC but rP does not.
+	r = synth(ivs(11, 12), ivs(6, 24))
+	wantRefine(t, IFEquals(r, s), de9im.Covers, de9im.Intersects)
+
+	// Branch 4: C lists disjoint -> definite disjoint.
+	r = synth(nil, ivs(0, 5))
+	s = synth(nil, ivs(10, 15))
+	wantDefinite(t, IFEquals(r, s), de9im.Disjoint)
+
+	// Branch 5: C overlap with P evidence -> definite intersects.
+	r = synth(ivs(3, 6), ivs(0, 8))
+	s = synth(nil, ivs(5, 15))
+	wantDefinite(t, IFEquals(r, s), de9im.Intersects)
+
+	// Branch 6: C overlap, no P evidence.
+	r = synth(nil, ivs(0, 8))
+	s = synth(nil, ivs(5, 15))
+	wantRefine(t, IFEquals(r, s), de9im.Disjoint, de9im.Meets, de9im.Intersects)
+}
+
+func TestIFInsideBranches(t *testing.T) {
+	// Disjoint C lists.
+	r := synth(nil, ivs(0, 4))
+	s := synth(nil, ivs(10, 20))
+	wantDefinite(t, IFInside(r, s), de9im.Disjoint)
+
+	// rC inside sP -> definite (strict) inside.
+	r = synth(nil, ivs(12, 14))
+	s = synth(ivs(10, 20), ivs(8, 22))
+	wantDefinite(t, IFInside(r, s), de9im.Inside)
+
+	// rC inside sC, overlaps sP but not inside it -> containment refine.
+	r = synth(nil, ivs(9, 14))
+	s = synth(ivs(10, 20), ivs(8, 22))
+	wantRefine(t, IFInside(r, s), de9im.Inside, de9im.CoveredBy, de9im.Intersects)
+
+	// rC inside sC, no sP contact, but rP touches sC -> containment refine.
+	r = synth(ivs(9, 10), ivs(8, 14))
+	s = synth(ivs(30, 31), ivs(5, 22))
+	wantRefine(t, IFInside(r, s), de9im.Inside, de9im.CoveredBy, de9im.Intersects)
+
+	// rC inside sC with no P evidence at all -> full candidate set.
+	r = synth(nil, ivs(8, 14))
+	s = synth(nil, ivs(5, 22))
+	wantRefine(t, IFInside(r, s),
+		de9im.Disjoint, de9im.Inside, de9im.CoveredBy, de9im.Meets, de9im.Intersects)
+
+	// rC escapes sC with P evidence -> definite intersects.
+	r = synth(nil, ivs(4, 14))
+	s = synth(ivs(6, 8), ivs(5, 22))
+	wantDefinite(t, IFInside(r, s), de9im.Intersects)
+
+	// rC escapes sC, no P evidence -> surface-contact refine.
+	r = synth(nil, ivs(4, 14))
+	s = synth(nil, ivs(5, 22))
+	wantRefine(t, IFInside(r, s), de9im.Disjoint, de9im.Meets, de9im.Intersects)
+}
+
+func TestIFContainsBranches(t *testing.T) {
+	// Mirror of IFInside: definite contains.
+	r := synth(ivs(10, 20), ivs(8, 22))
+	s := synth(nil, ivs(12, 14))
+	wantDefinite(t, IFContains(r, s), de9im.Contains)
+
+	// rP overlaps sC without containing it.
+	r = synth(ivs(10, 13), ivs(8, 22))
+	s = synth(nil, ivs(12, 16))
+	wantRefine(t, IFContains(r, s), de9im.Contains, de9im.Covers, de9im.Intersects)
+
+	// sP inside rC evidence without rP.
+	r = synth(nil, ivs(8, 22))
+	s = synth(ivs(12, 13), ivs(11, 16))
+	wantRefine(t, IFContains(r, s), de9im.Contains, de9im.Covers, de9im.Intersects)
+
+	// No P evidence.
+	r = synth(nil, ivs(8, 22))
+	s = synth(nil, ivs(12, 16))
+	wantRefine(t, IFContains(r, s),
+		de9im.Disjoint, de9im.Contains, de9im.Covers, de9im.Meets, de9im.Intersects)
+
+	// sC escapes rC with interior evidence.
+	r = synth(ivs(9, 11), ivs(8, 22))
+	s = synth(nil, ivs(10, 30))
+	wantDefinite(t, IFContains(r, s), de9im.Intersects)
+
+	// Disjoint.
+	r = synth(nil, ivs(0, 2))
+	s = synth(nil, ivs(5, 6))
+	wantDefinite(t, IFContains(r, s), de9im.Disjoint)
+}
+
+func TestIFIntersectsBranches(t *testing.T) {
+	r := synth(nil, ivs(0, 4))
+	s := synth(nil, ivs(10, 12))
+	wantDefinite(t, IFIntersects(r, s), de9im.Disjoint)
+
+	r = synth(ivs(1, 3), ivs(0, 6))
+	s = synth(nil, ivs(2, 10))
+	wantDefinite(t, IFIntersects(r, s), de9im.Intersects)
+
+	r = synth(nil, ivs(0, 6))
+	s = synth(ivs(3, 4), ivs(2, 10))
+	wantDefinite(t, IFIntersects(r, s), de9im.Intersects)
+
+	r = synth(nil, ivs(0, 6))
+	s = synth(nil, ivs(2, 10))
+	wantRefine(t, IFIntersects(r, s), de9im.Disjoint, de9im.Meets, de9im.Intersects)
+}

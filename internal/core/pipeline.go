@@ -1,0 +1,145 @@
+package core
+
+import (
+	"repro/internal/april"
+	"repro/internal/de9im"
+	"repro/internal/mbrrel"
+)
+
+// Method selects one of the four evaluated find-relation pipelines
+// (Sec. 4 of the paper).
+type Method uint8
+
+// The evaluated methods.
+const (
+	// ST2 is the standard two-phase pipeline: MBR filter, then DE-9IM
+	// refinement against all masks.
+	ST2 Method = iota
+	// OP2 is the optimized two-phase pipeline: the enhanced MBR filter of
+	// Sec. 3.1 restricts the candidate relations before refinement.
+	OP2
+	// APRIL adds the intersection-only APRIL intermediate filter: pairs
+	// whose conservative lists are disjoint skip refinement; everything
+	// else is refined.
+	APRIL
+	// PC is the paper's P+C pipeline (Sec. 3): the enhanced MBR filter
+	// routes each pair to a specialized intermediate filter that can
+	// settle the most specific relation from the interval lists alone.
+	PC
+	numMethods
+)
+
+// NumMethods is the number of pipelines.
+const NumMethods = int(numMethods)
+
+// Methods lists all pipelines in the paper's presentation order.
+var Methods = [...]Method{ST2, OP2, APRIL, PC}
+
+func (m Method) String() string {
+	switch m {
+	case ST2:
+		return "ST2"
+	case OP2:
+		return "OP2"
+	case APRIL:
+		return "APRIL"
+	case PC:
+		return "P+C"
+	default:
+		return "unknown"
+	}
+}
+
+// Result is the outcome of one find-relation evaluation.
+type Result struct {
+	Relation de9im.Relation
+	// Refined reports whether the DE-9IM matrix had to be computed: the
+	// pair was undetermined after the filter stages (Fig. 7b counts these).
+	Refined bool
+	// Case is the MBR intersection case the pair fell into.
+	Case mbrrel.Case
+}
+
+// Refiner computes the DE-9IM matrix of a pair's exact geometries; the
+// default is Refine. Custom refiners let callers control where geometry
+// comes from (e.g. a disk store with I/O accounting) without touching
+// the pipeline logic.
+type Refiner func(r, s *Object) de9im.Matrix
+
+// FindRelation determines the most specific topological relation of the
+// pair (r, s) using pipeline m. Pairs with disjoint MBRs are answered
+// directly; every pipeline assumes candidate pairs come from an MBR
+// intersection join.
+func FindRelation(m Method, r, s *Object) Result {
+	return FindRelationWith(m, r, s, Refine)
+}
+
+// FindRelationWith is FindRelation with a custom refinement step. The
+// filter stages only ever touch MBRs and approximations; exact geometry
+// is accessed exclusively through the refiner.
+func FindRelationWith(m Method, r, s *Object, refine Refiner) Result {
+	c := mbrrel.Classify(r.MBR, s.MBR)
+	if c == mbrrel.DisjointMBRs {
+		return Result{Relation: de9im.Disjoint, Case: c}
+	}
+	switch m {
+	case ST2:
+		return Result{
+			Relation: de9im.MostSpecific(refine(r, s), de9im.AllRelations),
+			Refined:  true,
+			Case:     c,
+		}
+	case OP2:
+		if rel, ok := mbrrel.Definite(c); ok {
+			return Result{Relation: rel, Case: c}
+		}
+		return Result{
+			Relation: de9im.MostSpecific(refine(r, s), mbrrel.Candidates(c)),
+			Refined:  true,
+			Case:     c,
+		}
+	case APRIL:
+		if rel, ok := mbrrel.Definite(c); ok {
+			return Result{Relation: rel, Case: c}
+		}
+		cands := mbrrel.Candidates(c)
+		switch april.IntersectionFilter(r.Approx, s.Approx) {
+		case april.DefiniteDisjoint:
+			return Result{Relation: de9im.Disjoint, Case: c}
+		case april.DefiniteIntersect:
+			// The pair certainly intersects with overlapping interiors,
+			// but a more specific relation may hold: refinement is still
+			// needed (Sec. 4, APRIL baseline), only with disjoint and
+			// meets pruned from the masks.
+			cands = cands.Without(de9im.Disjoint).Without(de9im.Meets)
+		}
+		return Result{
+			Relation: de9im.MostSpecific(refine(r, s), cands),
+			Refined:  true,
+			Case:     c,
+		}
+	default: // PC: Algorithm 1
+		if rel, ok := mbrrel.Definite(c); ok {
+			return Result{Relation: rel, Case: c}
+		}
+		var out Outcome
+		switch c {
+		case mbrrel.EqualMBRs:
+			out = IFEquals(r, s)
+		case mbrrel.RInsideS:
+			out = IFInside(r, s)
+		case mbrrel.RContainsS:
+			out = IFContains(r, s)
+		default:
+			out = IFIntersects(r, s)
+		}
+		if out.Definite {
+			return Result{Relation: out.Relation, Case: c}
+		}
+		return Result{
+			Relation: de9im.MostSpecific(refine(r, s), out.Candidates),
+			Refined:  true,
+			Case:     c,
+		}
+	}
+}

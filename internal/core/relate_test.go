@@ -1,0 +1,150 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/de9im"
+)
+
+func TestImplies(t *testing.T) {
+	cases := []struct {
+		rel, pred de9im.Relation
+		want      bool
+	}{
+		{de9im.Equals, de9im.Equals, true},
+		{de9im.Equals, de9im.CoveredBy, true},
+		{de9im.Equals, de9im.Covers, true},
+		{de9im.Equals, de9im.Intersects, true},
+		{de9im.Equals, de9im.Inside, false},
+		{de9im.Inside, de9im.CoveredBy, true},
+		{de9im.Inside, de9im.Intersects, true},
+		{de9im.Inside, de9im.Covers, false},
+		{de9im.Contains, de9im.Covers, true},
+		{de9im.Contains, de9im.CoveredBy, false},
+		{de9im.Meets, de9im.Intersects, true},
+		{de9im.Meets, de9im.Meets, true},
+		{de9im.Disjoint, de9im.Intersects, false},
+		{de9im.Disjoint, de9im.Disjoint, true},
+		{de9im.Intersects, de9im.Meets, false},
+	}
+	for _, c := range cases {
+		if got := Implies(c.rel, c.pred); got != c.want {
+			t.Errorf("Implies(%v, %v) = %v, want %v", c.rel, c.pred, got, c.want)
+		}
+	}
+}
+
+// TestRelatePredAgreesWithFindRelation: for every pair and every
+// predicate, the specialized P+C relate_p answer must match the ground
+// truth derived from the ST2 most specific relation.
+func TestRelatePredAgreesWithFindRelation(t *testing.T) {
+	b := testBuilder(t)
+	rng := rand.New(rand.NewSource(404))
+	pairs := testPairs(t, b, rng)
+	preds := []de9im.Relation{
+		de9im.Equals, de9im.Meets, de9im.Inside, de9im.CoveredBy,
+		de9im.Contains, de9im.Covers, de9im.Intersects, de9im.Disjoint,
+	}
+	for i, pr := range pairs {
+		truth := FindRelation(ST2, pr[0], pr[1]).Relation
+		for _, p := range preds {
+			want := Implies(truth, p)
+			for _, m := range Methods {
+				got := RelatePred(m, pr[0], pr[1], p)
+				if got.Holds != want {
+					t.Fatalf("pair %d pred %v method %v: got %v, want %v (truth %v)",
+						i, p, m, got.Holds, want, truth)
+				}
+			}
+		}
+	}
+}
+
+// TestRelatePredMeetsCheap: the meets filter must answer definitively
+// (without refinement) for pairs whose interiors clearly overlap or whose
+// approximations are far apart — the mechanism behind Table 5's huge
+// relate_meets throughput.
+func TestRelatePredMeetsCheap(t *testing.T) {
+	b := testBuilder(t)
+	inner := obj(t, b, 0, rect(30, 30, 60, 60))
+	outer := obj(t, b, 1, rect(10, 10, 100, 100))
+	res := RelatePred(PC, inner, outer, de9im.Meets)
+	if res.Holds || res.Refined {
+		t.Errorf("nested pair: meets = %+v, want definite false", res)
+	}
+	far := obj(t, b, 2, rect(90, 90, 120, 120))
+	small := obj(t, b, 3, rect(89, 89, 91, 91)) // MBRs intersect, objects overlap
+	res = RelatePred(PC, far, small, de9im.Meets)
+	if res.Holds {
+		t.Errorf("overlapping corner: meets should not hold: %+v", res)
+	}
+}
+
+func TestRelatePredImpossibleByMBR(t *testing.T) {
+	b := testBuilder(t)
+	small := obj(t, b, 0, rect(20, 20, 30, 30))
+	big := obj(t, b, 1, rect(10, 10, 50, 50))
+	// MBR(small) inside MBR(big): contains/covers/equals impossible for
+	// the ordered pair (small, big); the P+C filter must answer without
+	// refinement.
+	for _, p := range []de9im.Relation{de9im.Contains, de9im.Covers, de9im.Equals} {
+		res := RelatePred(PC, small, big, p)
+		if res.Holds || res.Refined {
+			t.Errorf("pred %v: %+v, want definite false", p, res)
+		}
+	}
+}
+
+func TestRelatePredDisjointMBRs(t *testing.T) {
+	b := testBuilder(t)
+	r := obj(t, b, 0, rect(0, 0, 1, 1))
+	s := obj(t, b, 1, rect(10, 10, 11, 11))
+	if res := RelatePred(PC, r, s, de9im.Disjoint); !res.Holds || res.Refined {
+		t.Errorf("disjoint MBRs: %+v", res)
+	}
+	if res := RelatePred(PC, r, s, de9im.Intersects); res.Holds {
+		t.Errorf("disjoint MBRs intersects: %+v", res)
+	}
+}
+
+// TestRelateFilterDirect exercises the Fig. 6 filter verdicts on
+// constructed approximations.
+func TestRelateFilterDirect(t *testing.T) {
+	b := testBuilder(t)
+	inner := obj(t, b, 0, rect(40, 40, 60, 60))
+	outer := obj(t, b, 1, rect(20, 20, 100, 100))
+	twin := obj(t, b, 2, rect(40, 40, 60, 60))
+	apart := obj(t, b, 3, rect(90, 20, 110, 40))
+
+	if got := relateFilter(de9im.Inside, inner, outer); got != Yes {
+		t.Errorf("inside filter = %v, want yes", got)
+	}
+	if got := relateFilter(de9im.Inside, outer, inner); got != No {
+		t.Errorf("inverse inside filter = %v, want no", got)
+	}
+	if got := relateFilter(de9im.Contains, outer, inner); got != Yes {
+		t.Errorf("contains filter = %v, want yes", got)
+	}
+	if got := relateFilter(de9im.Equals, inner, twin); got != Unknown {
+		t.Errorf("equals filter on identical rasters = %v, want unknown", got)
+	}
+	if got := relateFilter(de9im.Equals, inner, outer); got != No {
+		t.Errorf("equals filter on different rasters = %v, want no", got)
+	}
+	if got := relateFilter(de9im.Meets, inner, outer); got != No {
+		t.Errorf("meets filter on nested = %v, want no", got)
+	}
+	if got := relateFilter(de9im.Intersects, inner, outer); got != Yes {
+		t.Errorf("intersects filter = %v, want yes", got)
+	}
+	if got := relateFilter(de9im.Intersects, inner, apart); got != No {
+		t.Errorf("intersects filter far = %v, want no", got)
+	}
+	if got := relateFilter(de9im.Disjoint, inner, apart); got != Yes {
+		t.Errorf("disjoint filter = %v, want yes", got)
+	}
+	if got := relateFilter(de9im.Disjoint, inner, outer); got != No {
+		t.Errorf("disjoint filter nested = %v, want no", got)
+	}
+}

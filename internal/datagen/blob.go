@@ -1,0 +1,270 @@
+// Package datagen generates deterministic synthetic polygon datasets that
+// stand in for the paper's TIGER 2015 and OSM collections (see DESIGN.md
+// §3 for the substitution argument). Shapes are smooth star-shaped
+// "blobs" with tunable vertex counts, rectangular tilings with exactly
+// shared edges (for meets/covered-by structure), nested placements (for
+// inside/contains), and exact duplicates (for equals).
+package datagen
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Blob generates a smooth star-shaped polygon around center c with
+// maximum radius r and n vertices. The radius function is a low-order
+// harmonic perturbation of a circle, anisotropically stretched and
+// rotated so that shapes do not fill their MBRs tightly (real lakes and
+// parks are elongated, which is what makes MBR-overlapping-but-disjoint
+// candidate pairs common). The ring is simple by construction and the
+// shape is guaranteed to fit in the disk of radius r around c.
+func Blob(rng *rand.Rand, c geom.Point, r float64, n int) *geom.Polygon {
+	return geom.NewPolygon(blobRing(rng, c, r, n))
+}
+
+func blobRing(rng *rand.Rand, c geom.Point, r float64, n int) geom.Ring {
+	if n < 3 {
+		n = 3
+	}
+	const harmonics = 5
+	amp := make([]float64, harmonics)
+	phase := make([]float64, harmonics)
+	total := 0.0
+	for k := range amp {
+		amp[k] = rng.Float64() * 0.5 / float64(k+2)
+		phase[k] = rng.Float64() * 2 * math.Pi
+		total += amp[k]
+	}
+	// Keep the radius strictly positive.
+	if total > 0.85 {
+		f := 0.85 / total
+		for k := range amp {
+			amp[k] *= f
+		}
+	}
+	// Anisotropy (area-preserving axis stretch) and rotation.
+	f := 0.7 + rng.Float64()*0.7
+	rot := rng.Float64() * 2 * math.Pi
+	cosR, sinR := math.Cos(rot), math.Sin(rot)
+
+	step := 2 * math.Pi / float64(n)
+	ring := make(geom.Ring, n)
+	maxDist := 0.0
+	for i := 0; i < n; i++ {
+		theta := float64(i)*step + rng.Float64()*step*0.7
+		rad := 1.0
+		for k := range amp {
+			rad += amp[k] * math.Sin(float64(k+2)*theta+phase[k])
+		}
+		dx := rad * math.Cos(theta) * f
+		dy := rad * math.Sin(theta) / f
+		x := dx*cosR - dy*sinR
+		y := dx*sinR + dy*cosR
+		ring[i] = geom.Point{X: x, Y: y}
+		if d := math.Hypot(x, y); d > maxDist {
+			maxDist = d
+		}
+	}
+	// Normalize so the maximum extent is exactly r, then translate.
+	scale := r / maxDist
+	for i := range ring {
+		ring[i].X = c.X + ring[i].X*scale
+		ring[i].Y = c.Y + ring[i].Y*scale
+	}
+	return ring
+}
+
+// BlobWithHole generates a blob with one smaller blob-shaped hole near its
+// center.
+func BlobWithHole(rng *rand.Rand, c geom.Point, r float64, n int) *geom.Polygon {
+	shell := blobRing(rng, c, r, n)
+	hn := n / 3
+	if hn < 6 {
+		hn = 6
+	}
+	hole := blobRing(rng, c, r*0.25, hn)
+	return geom.NewPolygon(shell, hole)
+}
+
+// InsideBlob generates a blob guaranteed to lie strictly inside host: it
+// is centered on an interior point of the host and scaled down until
+// containment holds. A positive clearance keeps the blob that far from
+// the host boundary (in world units), which makes the containment
+// provable from raster approximations when the clearance spans a few
+// grid cells.
+func InsideBlob(rng *rand.Rand, host *geom.Polygon, relSize float64, n int, clearance float64) *geom.Polygon {
+	c := geom.PointOnSurface(host)
+	hb := host.Bounds()
+	r := relSize * math.Min(hb.Width(), hb.Height()) / 2
+	for attempt := 0; attempt < 24; attempt++ {
+		cand := Blob(rng, c, r, n)
+		grown := cand
+		// Demanded clearance never exceeds the object's own size: small
+		// objects get small margins (and stay raster-unprovable, like
+		// small real-world objects), large objects get the full margin.
+		if clear := math.Min(clearance, r); clear > 0 {
+			grown = cand.ScaleAbout(c, (r+clear)/r)
+		}
+		if polygonWithin(grown, host) {
+			return cand
+		}
+		r *= 0.6
+	}
+	// Final fallback: a tiny blob around the interior point always fits.
+	return Blob(rng, c, 1e-3*math.Min(hb.Width(), hb.Height()), n)
+}
+
+// NearMissBlob generates a blob inside host's MBR but disjoint from host:
+// the near-miss pairs that pass the MBR filter yet are separable by the
+// conservative raster lists (the case APRIL's intersection filter wins).
+// Falls back to a plain blob at the host MBR's densest empty corner when
+// rejection sampling fails.
+// clearance is the minimum separation kept between the blob and the host
+// so that their conservative raster cells do not overlap (a few grid
+// cells); with zero clearance the pair may still be raster-inseparable.
+func NearMissBlob(rng *rand.Rand, host *geom.Polygon, r float64, n int, clearance float64) *geom.Polygon {
+	hb := host.Bounds()
+	loc := geom.NewPolygonLocator(host)
+	margin := math.Min(hb.Width(), hb.Height()) * 0.05
+	for attempt := 0; attempt < 30; attempt++ {
+		c := geom.Point{
+			X: hb.MinX + margin + rng.Float64()*(hb.Width()-2*margin),
+			Y: hb.MinY + margin + rng.Float64()*(hb.Height()-2*margin),
+		}
+		if loc.Locate(c) != geom.Outside {
+			continue
+		}
+		cand := Blob(rng, c, r, n)
+		// Testing an inflated copy enforces the full clearance: unlike
+		// InsideBlob there is always room outside the host, and pairs
+		// closer than the grid cell size would be raster-inseparable.
+		grown := cand
+		if clearance > 0 {
+			grown = cand.ScaleAbout(c, (r+clearance)/r)
+		}
+		if polygonsDisjoint(grown, host, loc) {
+			return cand
+		}
+		r *= 0.6
+	}
+	return Blob(rng, geom.Point{X: hb.MinX + margin, Y: hb.MinY + margin}, margin/2, n)
+}
+
+// polygonsDisjoint reports whether p and host share no point, given a
+// locator for host; p's vertices must all be outside and no edges cross.
+func polygonsDisjoint(p, host *geom.Polygon, loc *geom.Locator) bool {
+	for _, v := range p.Shell {
+		if loc.Locate(v) != geom.Outside {
+			return false
+		}
+	}
+	crossed := false
+	p.Edges(func(a, b geom.Point) {
+		if crossed {
+			return
+		}
+		host.Edges(func(c, d geom.Point) {
+			if crossed {
+				return
+			}
+			if geom.SegIntersect(a, b, c, d).Kind != geom.SegNone {
+				crossed = true
+			}
+		})
+	})
+	// A host vertex inside p would mean p surrounds part of host.
+	return !crossed && geom.LocateInPolygon(host.Shell[0], p) == geom.Outside
+}
+
+// polygonWithin reports whether every vertex of p lies inside host and no
+// edges cross — sufficient for the star-shaped candidates used here.
+func polygonWithin(p, host *geom.Polygon) bool {
+	loc := geom.NewPolygonLocator(host)
+	for _, v := range p.Shell {
+		if loc.Locate(v) != geom.Inside {
+			return false
+		}
+	}
+	// Vertices inside and host boundary not crossing any edge implies
+	// containment for simple polygons.
+	crossed := false
+	p.Edges(func(a, b geom.Point) {
+		if crossed {
+			return
+		}
+		host.Edges(func(c, d geom.Point) {
+			if crossed {
+				return
+			}
+			if geom.SegIntersect(a, b, c, d).Kind != geom.SegNone {
+				crossed = true
+			}
+		})
+	})
+	return !crossed
+}
+
+// Rect builds an axis-aligned rectangle polygon.
+func Rect(b geom.MBR) *geom.Polygon {
+	return geom.NewPolygon(geom.Ring{
+		{X: b.MinX, Y: b.MinY}, {X: b.MaxX, Y: b.MinY},
+		{X: b.MaxX, Y: b.MaxY}, {X: b.MinX, Y: b.MaxY},
+	})
+}
+
+// DensifiedRect builds a rectangle polygon with extra collinear vertices
+// inserted along its edges until it has roughly n vertices; tiling
+// datasets use this to reach realistic vertex counts while keeping shared
+// borders exactly collinear.
+func DensifiedRect(rng *rand.Rand, b geom.MBR, n int) *geom.Polygon {
+	if n < 4 {
+		n = 4
+	}
+	perSide := n / 4
+	ring := make(geom.Ring, 0, n)
+	side := func(a, c geom.Point) {
+		ring = append(ring, a)
+		for i := 1; i < perSide; i++ {
+			t := float64(i) / float64(perSide)
+			ring = append(ring, geom.Lerp(a, c, t))
+		}
+	}
+	side(geom.Point{X: b.MinX, Y: b.MinY}, geom.Point{X: b.MaxX, Y: b.MinY})
+	side(geom.Point{X: b.MaxX, Y: b.MinY}, geom.Point{X: b.MaxX, Y: b.MaxY})
+	side(geom.Point{X: b.MaxX, Y: b.MaxY}, geom.Point{X: b.MinX, Y: b.MaxY})
+	side(geom.Point{X: b.MinX, Y: b.MaxY}, geom.Point{X: b.MinX, Y: b.MinY})
+	return geom.NewPolygon(ring)
+}
+
+// SplitRects recursively subdivides space into count rectangles with
+// jittered split positions; neighbouring rectangles share exact borders,
+// producing meets relations.
+func SplitRects(rng *rand.Rand, space geom.MBR, count int) []geom.MBR {
+	rects := []geom.MBR{space}
+	for len(rects) < count {
+		// Split the largest rectangle.
+		best, bestArea := 0, -1.0
+		for i, r := range rects {
+			if a := r.Area(); a > bestArea {
+				best, bestArea = i, a
+			}
+		}
+		r := rects[best]
+		f := 0.35 + rng.Float64()*0.3
+		var a, b geom.MBR
+		if r.Width() >= r.Height() {
+			x := r.MinX + f*r.Width()
+			a = geom.MBR{MinX: r.MinX, MinY: r.MinY, MaxX: x, MaxY: r.MaxY}
+			b = geom.MBR{MinX: x, MinY: r.MinY, MaxX: r.MaxX, MaxY: r.MaxY}
+		} else {
+			y := r.MinY + f*r.Height()
+			a = geom.MBR{MinX: r.MinX, MinY: r.MinY, MaxX: r.MaxX, MaxY: y}
+			b = geom.MBR{MinX: r.MinX, MinY: y, MaxX: r.MaxX, MaxY: r.MaxY}
+		}
+		rects[best] = a
+		rects = append(rects, b)
+	}
+	return rects
+}

@@ -1,0 +1,288 @@
+package datagen
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// DefaultOrder is the grid order used for the synthetic suite. The paper
+// uses a 2^16 grid for datasets of 10^5–10^8 objects; the suite scales
+// object counts down by roughly three orders of magnitude, so a 2^11 grid
+// keeps the cells-per-object ratio — and hence the interval-list lengths
+// that drive filter effectiveness — in the paper's regime.
+const DefaultOrder = 11
+
+// cellClearance is the separation kept by near-miss placements: ~3 cells
+// of the default grid, so near-miss pairs are separable by their
+// conservative lists.
+const cellClearance = 3 * SpaceSide / (1 << DefaultOrder)
+
+// SpaceSide is the side length of the square synthetic data space.
+const SpaceSide = 1024.0
+
+// Space returns the data space of the synthetic suite.
+func Space() geom.MBR {
+	return geom.MBR{MinX: 0, MinY: 0, MaxX: SpaceSide, MaxY: SpaceSide}
+}
+
+// DatasetNames lists the ten datasets of Table 2 in presentation order.
+var DatasetNames = []string{"TL", "TW", "TC", "TZ", "OBE", "OLE", "OPE", "OBN", "OLN", "OPN"}
+
+// EntityTypes describes each dataset, mirroring Table 2.
+var EntityTypes = map[string]string{
+	"TL": "US Landmarks", "TW": "US Water areas", "TC": "US Counties",
+	"TZ": "US Zip Codes", "OBE": "EU Buildings", "OLE": "EU Lakes",
+	"OPE": "EU Parks", "OBN": "NA Buildings", "OLN": "NA Lakes", "OPN": "NA Parks",
+}
+
+// Suite is one generated instance of all ten datasets over a shared space.
+type Suite struct {
+	Space geom.MBR
+	Sets  map[string][]*geom.Polygon
+}
+
+// baseCounts are the dataset cardinalities at Scale = 1; their relative
+// order follows Table 2 (buildings ≫ water/lakes ≫ landmarks ≫ zips ≫
+// counties) scaled to laptop size.
+var baseCounts = map[string]int{
+	"TL": 700, "TW": 2200, "TC": 40, "TZ": 320,
+	"OBE": 8000, "OLE": 2000, "OPE": 1100,
+	"OBN": 3200, "OLN": 1700, "OPN": 650,
+}
+
+// NewSuite generates the full ten-dataset suite deterministically from a
+// seed. Scale multiplies every dataset's cardinality (1.0 reproduces the
+// default laptop-scale workload; tests use smaller values).
+func NewSuite(seed int64, scale float64) *Suite {
+	s := &Suite{Space: Space(), Sets: make(map[string][]*geom.Polygon, 10)}
+	n := func(name string) int {
+		c := int(math.Round(float64(baseCounts[name]) * scale))
+		if c < 4 {
+			c = 4
+		}
+		return c
+	}
+
+	// Each dataset gets its own deterministic stream so that datasets are
+	// independent of generation order.
+	sub := func(k int64) *rand.Rand { return rand.New(rand.NewSource(seed*1000 + k)) }
+
+	// --- TIGER-like layer (continental US ~ the whole space) ---
+	s.Sets["TL"] = s.landmarks(sub(1), n("TL"))
+	s.Sets["TW"] = s.water(sub(2), n("TW"), s.Sets["TL"])
+	counties := SplitRects(sub(3), s.Space, n("TC"))
+	s.Sets["TC"] = densifyAll(sub(4), counties, 60, 220)
+	s.Sets["TZ"] = s.zipCodes(sub(5), counties, n("TZ"))
+
+	// --- OSM-like layers: Europe (left half) and North America (right
+	// half), mirroring the paper's per-continent splits. ---
+	eu := geom.MBR{MinX: 0, MinY: 0, MaxX: SpaceSide / 2, MaxY: SpaceSide}
+	na := geom.MBR{MinX: SpaceSide / 2, MinY: 0, MaxX: SpaceSide, MaxY: SpaceSide}
+	s.Sets["OPE"] = s.parks(sub(6), eu, n("OPE"))
+	s.Sets["OLE"] = s.lakes(sub(7), eu, n("OLE"), s.Sets["OPE"])
+	s.Sets["OBE"] = s.buildings(sub(8), eu, n("OBE"), s.Sets["OPE"])
+	s.Sets["OPN"] = s.parks(sub(9), na, n("OPN"))
+	s.Sets["OLN"] = s.lakes(sub(10), na, n("OLN"), s.Sets["OPN"])
+	s.Sets["OBN"] = s.buildings(sub(11), na, n("OBN"), s.Sets["OPN"])
+	return s
+}
+
+// randIn picks a uniform point inside b with the given margin.
+func randIn(rng *rand.Rand, b geom.MBR, margin float64) geom.Point {
+	return geom.Point{
+		X: b.MinX + margin + rng.Float64()*(b.Width()-2*margin),
+		Y: b.MinY + margin + rng.Float64()*(b.Height()-2*margin),
+	}
+}
+
+// vertexCount draws a heavy-tailed vertex count in [lo, hi]: most objects
+// are simple, a few are very detailed — the distribution behind the
+// paper's complexity-level experiment.
+func vertexCount(rng *rand.Rand, lo, hi int) int {
+	// Log-uniform: pair complexities spread evenly across the
+	// near-geometric level ranges of Table 4.
+	u := rng.Float64()
+	v := float64(lo) * math.Pow(float64(hi)/float64(lo), u)
+	return int(v)
+}
+
+// sizeFor couples an object's mean radius to its vertex count, as in real
+// data where detailed boundaries belong to large objects. This coupling
+// is what gives the paper's Fig. 8(a) trend: low-complexity objects span
+// few grid cells and rarely have full cells, so their pairs must be
+// refined, while complex objects are settled by the interval filters.
+func sizeFor(rng *rand.Rand, v int, scale float64) float64 {
+	return scale * (0.75 + 0.5*rng.Float64()) * math.Pow(float64(v), 0.72)
+}
+
+func (s *Suite) landmarks(rng *rand.Rand, n int) []*geom.Polygon {
+	out := make([]*geom.Polygon, 0, n)
+	for i := 0; i < n; i++ {
+		v := vertexCount(rng, 8, 96)
+		r := sizeFor(rng, v, 0.1)
+		c := randIn(rng, s.Space, r*1.6)
+		out = append(out, Blob(rng, c, r, v))
+	}
+	return out
+}
+
+// water generates water areas; a fraction duplicates landmarks exactly
+// (equals pairs) and a fraction nests inside landmarks (inside pairs).
+func (s *Suite) water(rng *rand.Rand, n int, landmarks []*geom.Polygon) []*geom.Polygon {
+	out := make([]*geom.Polygon, 0, n)
+	for i := 0; i < n; i++ {
+		switch {
+		case i%40 == 0 && len(landmarks) > 0:
+			out = append(out, landmarks[rng.Intn(len(landmarks))].Clone())
+		case i%11 == 0 && len(landmarks) > 0:
+			host := landmarks[rng.Intn(len(landmarks))]
+			out = append(out, InsideBlob(rng, host, 0.25+rng.Float64()*0.3, vertexCount(rng, 8, 64), cellClearance))
+		default:
+			v := vertexCount(rng, 8, 128)
+			r := sizeFor(rng, v, 0.08)
+			c := randIn(rng, s.Space, r*1.6)
+			out = append(out, Blob(rng, c, r, v))
+		}
+	}
+	return out
+}
+
+func densifyAll(rng *rand.Rand, rects []geom.MBR, vMin, vMax int) []*geom.Polygon {
+	out := make([]*geom.Polygon, len(rects))
+	for i, r := range rects {
+		out[i] = DensifiedRect(rng, r, vMin+rng.Intn(vMax-vMin+1))
+	}
+	return out
+}
+
+// zipCodes subdivides each county into sub-tiles; zip borders coincide
+// with county borders, producing covered-by and meets relations in TC-TZ.
+func (s *Suite) zipCodes(rng *rand.Rand, counties []geom.MBR, n int) []*geom.Polygon {
+	perCounty := n / len(counties)
+	if perCounty < 1 {
+		perCounty = 1
+	}
+	var out []*geom.Polygon
+	for _, c := range counties {
+		for _, z := range SplitRects(rng, c, perCounty) {
+			out = append(out, DensifiedRect(rng, z, 24+rng.Intn(96)))
+		}
+	}
+	return out
+}
+
+func (s *Suite) parks(rng *rand.Rand, region geom.MBR, n int) []*geom.Polygon {
+	out := make([]*geom.Polygon, 0, n)
+	for i := 0; i < n; i++ {
+		v := vertexCount(rng, 32, 1024)
+		r := sizeFor(rng, v, 0.05)
+		c := randIn(rng, region, math.Min(r*1.6, region.Width()/2-1))
+		if i%5 == 0 {
+			out = append(out, BlobWithHole(rng, c, r, v))
+		} else {
+			out = append(out, Blob(rng, c, r, v))
+		}
+	}
+	return out
+}
+
+// lakes places slightly over half of the lakes inside parks (the
+// lake-in-park structure of Fig. 9); the rest float freely, overlapping
+// parks at random.
+func (s *Suite) lakes(rng *rand.Rand, region geom.MBR, n int, parks []*geom.Polygon) []*geom.Polygon {
+	// Hosts sorted by size: a lake nests in a park of comparable rank, as
+	// in real data where large lakes sit in large parks. This is what
+	// lets the intermediate filter settle high-complexity containments
+	// (Fig. 8a) — a huge lake squeezed into a tiny park would always
+	// need refinement.
+	byArea := make([]*geom.Polygon, len(parks))
+	copy(byArea, parks)
+	sort.Slice(byArea, func(a, b int) bool { return byArea[a].Area() < byArea[b].Area() })
+	pickHost := func(v int) *geom.Polygon {
+		u := math.Sqrt(float64(v) / 2048)
+		f := u + (rng.Float64()-0.5)*0.3
+		idx := int(f * float64(len(byArea)-1))
+		if idx < 0 {
+			idx = 0
+		} else if idx >= len(byArea) {
+			idx = len(byArea) - 1
+		}
+		return byArea[idx]
+	}
+	out := make([]*geom.Polygon, 0, n)
+	for i := 0; i < n; i++ {
+		v := vertexCount(rng, 16, 2048)
+		switch {
+		case i%9 < 4 && len(parks) > 0:
+			host := pickHost(v)
+			rel := 0.1 + 0.45*math.Sqrt(float64(v)/2048)
+			out = append(out, InsideBlob(rng, host, rel, v, cellClearance))
+		case i%9 < 6 && len(parks) > 0:
+			// Near-miss: in a park's MBR but disjoint from it, the pairs
+			// the APRIL intersection filter settles.
+			host := parks[rng.Intn(len(parks))]
+			hb := host.Bounds()
+			r := math.Max(1.2, math.Min(sizeFor(rng, v, 0.035), math.Min(hb.Width(), hb.Height())*0.15))
+			out = append(out, NearMissBlob(rng, host, r, v, cellClearance))
+		default:
+			r := sizeFor(rng, v, 0.05)
+			c := randIn(rng, region, math.Min(r*1.6, region.Width()/2-1))
+			out = append(out, Blob(rng, c, r, v))
+		}
+	}
+	return out
+}
+
+func (s *Suite) buildings(rng *rand.Rand, region geom.MBR, n int, parks []*geom.Polygon) []*geom.Polygon {
+	out := make([]*geom.Polygon, 0, n)
+	for i := 0; i < n; i++ {
+		v := 4 + rng.Intn(9)
+		switch {
+		case i%4 == 0 && len(parks) > 0:
+			// Human intervention in green areas: buildings in parks.
+			host := parks[rng.Intn(len(parks))]
+			out = append(out, InsideBlob(rng, host, 0.03+rng.Float64()*0.05, v, cellClearance))
+		case i%4 == 1 && len(parks) > 0:
+			host := parks[rng.Intn(len(parks))]
+			out = append(out, NearMissBlob(rng, host, 0.4+rng.Float64()*1.0, v, cellClearance))
+		default:
+			r := 0.4 + rng.Float64()*1.4
+			c := randIn(rng, region, 2)
+			out = append(out, Blob(rng, c, r, v))
+		}
+	}
+	return out
+}
+
+// Combos lists the semantically meaningful dataset combinations of
+// Table 3, in presentation order.
+var Combos = [][2]string{
+	{"TL", "TW"}, {"TL", "TC"}, {"TC", "TZ"},
+	{"OLE", "OPE"}, {"OLN", "OPN"}, {"OBE", "OPE"}, {"OBN", "OPN"},
+}
+
+// ComboName renders a combination as in the paper ("TL-TW").
+func ComboName(c [2]string) string { return c[0] + "-" + c[1] }
+
+// SortedNames returns the dataset names actually present in the suite, in
+// canonical Table 2 order.
+func (s *Suite) SortedNames() []string {
+	out := make([]string, 0, len(s.Sets))
+	for _, n := range DatasetNames {
+		if _, ok := s.Sets[n]; ok {
+			out = append(out, n)
+		}
+	}
+	// Include any extra datasets tests may have injected.
+	var extra []string
+	for n := range s.Sets {
+		if EntityTypes[n] == "" {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
+}

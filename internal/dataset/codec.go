@@ -1,0 +1,214 @@
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/april"
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Binary format: a small header, then per object the polygon rings
+// followed by the encoded APRIL approximation. Written with buffered
+// little-endian primitives; floats are bit-exact.
+const (
+	magic   = 0x53544a31 // "STJ1"
+	version = 1
+)
+
+// Write serializes the dataset.
+func (d *Dataset) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if err := writeHeader(bw, d); err != nil {
+		return err
+	}
+	for _, o := range d.Objects {
+		if err := writeObject(bw, o); err != nil {
+			return fmt.Errorf("dataset %s: object %d: %w", d.Name, o.ID, err)
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHeader(w io.Writer, d *Dataset) error {
+	if err := binary.Write(w, binary.LittleEndian, uint32(magic)); err != nil {
+		return err
+	}
+	if err := binary.Write(w, binary.LittleEndian, uint16(version)); err != nil {
+		return err
+	}
+	if err := writeString(w, d.Name); err != nil {
+		return err
+	}
+	if err := writeString(w, d.Entity); err != nil {
+		return err
+	}
+	return binary.Write(w, binary.LittleEndian, uint32(len(d.Objects)))
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := binary.Write(w, binary.LittleEndian, uint16(len(s))); err != nil {
+		return err
+	}
+	_, err := w.Write([]byte(s))
+	return err
+}
+
+func writeObject(w io.Writer, o *core.Object) error {
+	if err := binary.Write(w, binary.LittleEndian, uint16(1+len(o.Poly.Holes))); err != nil {
+		return err
+	}
+	write := func(r geom.Ring) error {
+		if err := binary.Write(w, binary.LittleEndian, uint32(len(r))); err != nil {
+			return err
+		}
+		for _, p := range r {
+			if err := binary.Write(w, binary.LittleEndian, math.Float64bits(p.X)); err != nil {
+				return err
+			}
+			if err := binary.Write(w, binary.LittleEndian, math.Float64bits(p.Y)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := write(o.Poly.Shell); err != nil {
+		return err
+	}
+	for _, h := range o.Poly.Holes {
+		if err := write(h); err != nil {
+			return err
+		}
+	}
+	buf := o.Approx.AppendEncode(nil)
+	if err := binary.Write(w, binary.LittleEndian, uint32(len(buf))); err != nil {
+		return err
+	}
+	_, err := w.Write(buf)
+	return err
+}
+
+// Read parses a dataset written by Write.
+func Read(r io.Reader) (*Dataset, error) {
+	br := bufio.NewReader(r)
+	var m uint32
+	if err := binary.Read(br, binary.LittleEndian, &m); err != nil {
+		return nil, fmt.Errorf("dataset: header: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("dataset: bad magic %#x", m)
+	}
+	var v uint16
+	if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+		return nil, err
+	}
+	if v != version {
+		return nil, fmt.Errorf("dataset: unsupported version %d", v)
+	}
+	name, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	entity, err := readString(br)
+	if err != nil {
+		return nil, err
+	}
+	var n uint32
+	if err := binary.Read(br, binary.LittleEndian, &n); err != nil {
+		return nil, err
+	}
+	// Cap the preallocation: a corrupt header must not force gigabytes of
+	// slice capacity before the stream runs dry.
+	capHint := n
+	if capHint > 1<<16 {
+		capHint = 1 << 16
+	}
+	d := &Dataset{Name: name, Entity: entity, Objects: make([]*core.Object, 0, capHint)}
+	for i := uint32(0); i < n; i++ {
+		o, err := readObject(br, int(i))
+		if err != nil {
+			return nil, fmt.Errorf("dataset %s: object %d: %w", name, i, err)
+		}
+		d.Objects = append(d.Objects, o)
+	}
+	return d, nil
+}
+
+func readString(r io.Reader) (string, error) {
+	var n uint16
+	if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+		return "", err
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+// maxRingVertices bounds a single ring read from disk (16 MB of
+// coordinates): larger values indicate corruption, and failing early
+// avoids adversarial multi-gigabyte allocations.
+const maxRingVertices = 1 << 20
+
+func readObject(r io.Reader, id int) (*core.Object, error) {
+	var rings uint16
+	if err := binary.Read(r, binary.LittleEndian, &rings); err != nil {
+		return nil, err
+	}
+	if rings == 0 {
+		return nil, fmt.Errorf("object has no rings")
+	}
+	readRing := func() (geom.Ring, error) {
+		var n uint32
+		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
+			return nil, err
+		}
+		if n > maxRingVertices {
+			return nil, fmt.Errorf("implausible ring size %d", n)
+		}
+		ring := make(geom.Ring, n)
+		for i := range ring {
+			var xb, yb uint64
+			if err := binary.Read(r, binary.LittleEndian, &xb); err != nil {
+				return nil, err
+			}
+			if err := binary.Read(r, binary.LittleEndian, &yb); err != nil {
+				return nil, err
+			}
+			ring[i] = geom.Point{X: math.Float64frombits(xb), Y: math.Float64frombits(yb)}
+		}
+		return ring, nil
+	}
+	shell, err := readRing()
+	if err != nil {
+		return nil, err
+	}
+	holes := make([]geom.Ring, rings-1)
+	for i := range holes {
+		if holes[i], err = readRing(); err != nil {
+			return nil, err
+		}
+	}
+	var alen uint32
+	if err := binary.Read(r, binary.LittleEndian, &alen); err != nil {
+		return nil, err
+	}
+	if alen > 1<<28 {
+		return nil, fmt.Errorf("implausible approximation size %d", alen)
+	}
+	abuf := make([]byte, alen)
+	if _, err := io.ReadFull(r, abuf); err != nil {
+		return nil, err
+	}
+	ap, _, err := april.DecodeApprox(abuf)
+	if err != nil {
+		return nil, err
+	}
+	poly := geom.NewPolygon(shell, holes...)
+	return &core.Object{ID: id, Poly: poly, MBR: poly.Bounds(), Approx: ap}, nil
+}

@@ -1,0 +1,70 @@
+// Package dataset bundles a named collection of polygons with their
+// precomputed MBRs and APRIL approximations, tracks the storage sizes
+// reported in Table 2, and serializes collections to a compact binary
+// format so approximations are built once (the paper's preprocessing
+// step).
+package dataset
+
+import (
+	"fmt"
+
+	"repro/internal/april"
+	"repro/internal/core"
+	"repro/internal/geom"
+)
+
+// Dataset is a named, preprocessed object collection.
+type Dataset struct {
+	Name    string
+	Entity  string // human-readable entity type, e.g. "EU Lakes"
+	Objects []*core.Object
+}
+
+// Precompute builds a Dataset: every polygon gets its MBR and APRIL
+// approximation.
+func Precompute(name, entity string, polys []*geom.Polygon, b *april.Builder) (*Dataset, error) {
+	ds := &Dataset{Name: name, Entity: entity, Objects: make([]*core.Object, 0, len(polys))}
+	for i, p := range polys {
+		o, err := core.NewObject(i, p, b)
+		if err != nil {
+			return nil, fmt.Errorf("dataset %s: %w", name, err)
+		}
+		ds.Objects = append(ds.Objects, o)
+	}
+	return ds, nil
+}
+
+// Len returns the number of objects.
+func (d *Dataset) Len() int { return len(d.Objects) }
+
+// MBRs returns the bounding boxes of all objects, in object order.
+func (d *Dataset) MBRs() []geom.MBR {
+	out := make([]geom.MBR, len(d.Objects))
+	for i, o := range d.Objects {
+		out[i] = o.MBR
+	}
+	return out
+}
+
+// Sizes reports the storage footprint of the dataset in bytes, matching
+// Table 2's columns: exact polygons (16 bytes per vertex), MBRs (32 bytes
+// each), and the encoded P+C interval lists.
+type Sizes struct {
+	Polygons int
+	MBRs     int
+	Approx   int
+	Vertices int
+}
+
+// Sizes computes the storage accounting of the dataset.
+func (d *Dataset) Sizes() Sizes {
+	var s Sizes
+	for _, o := range d.Objects {
+		v := o.Poly.NumVertices()
+		s.Vertices += v
+		s.Polygons += 16 * v
+		s.MBRs += 32
+		s.Approx += o.Approx.Bytes()
+	}
+	return s
+}

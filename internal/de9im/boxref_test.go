@@ -1,0 +1,191 @@
+package de9im
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// boxMatrix computes the DE-9IM matrix of two axis-aligned rectangles
+// analytically, with pure 1D interval arithmetic — an independent
+// reference for the geometric engine, exact on touching/aligned cases.
+type iv1 struct{ lo, hi float64 }
+
+func (a iv1) openOverlap(b iv1) float64 {
+	lo, hi := a.lo, a.hi
+	if b.lo > lo {
+		lo = b.lo
+	}
+	if b.hi < hi {
+		hi = b.hi
+	}
+	return hi - lo
+}
+
+func (a iv1) contains(b iv1) bool { return a.lo <= b.lo && b.hi <= a.hi }
+
+func boxMatrix(a, b geom.MBR) Matrix {
+	ax, ay := iv1{a.MinX, a.MaxX}, iv1{a.MinY, a.MaxY}
+	bx, by := iv1{b.MinX, b.MaxX}, iv1{b.MinY, b.MaxY}
+
+	var m Matrix
+	for i := range m {
+		m[i] = DimF
+	}
+	m[EE] = Dim2
+
+	ox, oy := ax.openOverlap(bx), ay.openOverlap(by)
+	if ox > 0 && oy > 0 {
+		m[II] = Dim2
+	}
+	if !(bx.contains(ax) && by.contains(ay)) {
+		m[IE] = Dim2
+	}
+	if !(ax.contains(bx) && ay.contains(by)) {
+		m[EI] = Dim2
+	}
+
+	// Boundary of a box: 4 edges. Classify each edge of one box against
+	// the other box's interior/boundary/exterior with interval logic.
+	type edge struct {
+		fixed float64 // the constant coordinate
+		span  iv1     // the varying coordinate range
+		vert  bool    // vertical edge (x fixed)
+	}
+	edgesOf := func(r geom.MBR) []edge {
+		return []edge{
+			{r.MinY, iv1{r.MinX, r.MaxX}, false}, // bottom
+			{r.MaxY, iv1{r.MinX, r.MaxX}, false}, // top
+			{r.MinX, iv1{r.MinY, r.MaxY}, true},  // left
+			{r.MaxX, iv1{r.MinY, r.MaxY}, true},  // right
+		}
+	}
+	// classify edge e against box (cx, cy): sets dims for the edge's
+	// intersection with the box interior, boundary, exterior.
+	classify := func(e edge, cx, cy iv1) (inDim, onDim, outDim Dim) {
+		fixedIv, spanIv := cy, cx
+		if e.vert {
+			fixedIv, spanIv = cx, cy
+		}
+		inDim, onDim, outDim = DimF, DimF, DimF
+		fixedInterior := fixedIv.lo < e.fixed && e.fixed < fixedIv.hi
+		fixedOnBorder := e.fixed == fixedIv.lo || e.fixed == fixedIv.hi
+		ov := e.span.openOverlap(spanIv)
+		switch {
+		case fixedInterior:
+			if ov > 0 {
+				inDim = Dim1
+			}
+			// The edge crosses the box's side lines at points on the
+			// boundary, when those points lie in the edge span.
+			for _, x := range []float64{spanIv.lo, spanIv.hi} {
+				if e.span.lo <= x && x <= e.span.hi {
+					onDim = Dim0
+				}
+			}
+			if e.span.lo < spanIv.lo || e.span.hi > spanIv.hi {
+				outDim = Dim1
+			}
+		case fixedOnBorder:
+			if ov > 0 {
+				onDim = Dim1
+			} else {
+				// Touching at a single point still contributes to the
+				// boundary/boundary entry.
+				lo, hi := e.span.lo, e.span.hi
+				if lo == spanIv.hi || hi == spanIv.lo ||
+					(spanIv.contains(iv1{lo, lo})) || (spanIv.contains(iv1{hi, hi})) {
+					if lo <= spanIv.hi && hi >= spanIv.lo {
+						onDim = Dim0
+					}
+				}
+			}
+			if e.span.lo < spanIv.lo || e.span.hi > spanIv.hi {
+				outDim = Dim1
+			}
+		default:
+			outDim = Dim1
+		}
+		return inDim, onDim, outDim
+	}
+	max := func(d *Dim, v Dim) {
+		if v == DimF {
+			return
+		}
+		if *d == DimF || (*d == Dim0 && v != DimF) {
+			*d = v
+		}
+	}
+	for _, e := range edgesOf(a) {
+		in, on, out := classify(e, bx, by)
+		max(&m[BI], in)
+		max(&m[BB], on)
+		max(&m[BE], out)
+	}
+	for _, e := range edgesOf(b) {
+		in, on, out := classify(e, ax, ay)
+		max(&m[IB], in)
+		max(&m[BB], on)
+		max(&m[EB], out)
+	}
+	return m
+}
+
+func boxPoly(r geom.MBR) *geom.Polygon {
+	return geom.NewPolygon(geom.Ring{
+		{X: r.MinX, Y: r.MinY}, {X: r.MaxX, Y: r.MinY},
+		{X: r.MaxX, Y: r.MaxY}, {X: r.MinX, Y: r.MaxY},
+	})
+}
+
+// TestRelateAgainstBoxReference compares the engine with the analytic
+// reference over random integer-coordinate rectangles, where exact
+// touches and shared edges are common.
+func TestRelateAgainstBoxReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	randBox := func() geom.MBR {
+		x := float64(rng.Intn(12))
+		y := float64(rng.Intn(12))
+		return geom.MBR{
+			MinX: x, MinY: y,
+			MaxX: x + 1 + float64(rng.Intn(8)),
+			MaxY: y + 1 + float64(rng.Intn(8)),
+		}
+	}
+	for trial := 0; trial < 4000; trial++ {
+		a, b := randBox(), randBox()
+		got := RelatePolygons(boxPoly(a), boxPoly(b))
+		want := boxMatrix(a, b)
+		if got != want {
+			t.Fatalf("trial %d:\na=%+v\nb=%+v\nengine   = %s\nanalytic = %s",
+				trial, a, b, got, want)
+		}
+	}
+}
+
+// TestBoxReferenceSelfCheck pins the analytic reference on known cases so
+// the reference itself is trustworthy.
+func TestBoxReferenceSelfCheck(t *testing.T) {
+	box := func(x0, y0, x1, y1 float64) geom.MBR {
+		return geom.MBR{MinX: x0, MinY: y0, MaxX: x1, MaxY: y1}
+	}
+	cases := []struct {
+		a, b geom.MBR
+		want string
+	}{
+		{box(0, 0, 2, 2), box(5, 5, 7, 7), "FF2FF1212"},
+		{box(0, 0, 2, 2), box(0, 0, 2, 2), "2FFF1FFF2"},
+		{box(0, 0, 2, 2), box(2, 0, 4, 2), "FF2F11212"},
+		{box(0, 0, 2, 2), box(2, 2, 4, 4), "FF2F01212"},
+		{box(0, 0, 3, 3), box(2, 2, 5, 5), "212101212"},
+		{box(1, 1, 2, 2), box(0, 0, 4, 4), "2FF1FF212"},
+		{box(0, 0, 4, 4), box(1, 1, 2, 2), "212FF1FF2"},
+		{box(0, 0, 2, 2), box(0, 0, 4, 4), "2FF11F212"},
+	}
+	for _, c := range cases {
+		if got := boxMatrix(c.a, c.b); got.String() != c.want {
+			t.Errorf("boxMatrix(%v, %v) = %s, want %s", c.a, c.b, got, c.want)
+		}
+	}
+}

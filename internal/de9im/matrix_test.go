@@ -1,0 +1,92 @@
+package de9im
+
+import "testing"
+
+func TestParseMatrix(t *testing.T) {
+	m, err := ParseMatrix("212101212")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.String() != "212101212" {
+		t.Errorf("round trip = %q", m.String())
+	}
+	if _, err := ParseMatrix("short"); err == nil {
+		t.Error("short code should fail")
+	}
+	if _, err := ParseMatrix("21210121X"); err == nil {
+		t.Error("bad character should fail")
+	}
+	if _, err := ParseMatrix("T12101212"); err == nil {
+		t.Error("mask characters are not valid matrix entries")
+	}
+}
+
+func TestParseMask(t *testing.T) {
+	k, err := ParseMask("T*F**F***")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.String() != "T*F**F***" {
+		t.Errorf("round trip = %q", k.String())
+	}
+	if _, err := ParseMask("T*F**F**"); err == nil {
+		t.Error("short mask should fail")
+	}
+	if _, err := ParseMask("T*F**F**Q"); err == nil {
+		t.Error("bad character should fail")
+	}
+}
+
+func TestMaskMatches(t *testing.T) {
+	m, _ := ParseMatrix("2FF1FF212")
+	cases := []struct {
+		mask string
+		want bool
+	}{
+		{"T*F**F***", true}, // inside
+		{"*********", true},
+		{"2FF1FF212", true},  // exact dims
+		{"FF*FF****", false}, // disjoint
+		{"T*****FF*", false}, // contains
+		{"1********", false}, // wrong specific dim
+	}
+	for _, c := range cases {
+		k := MustMask(c.mask)
+		if got := k.Matches(m); got != c.want {
+			t.Errorf("mask %s vs %s = %v, want %v", c.mask, m, got, c.want)
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m, _ := ParseMatrix("212101FF2")
+	tr := m.Transpose()
+	if tr[II] != m[II] || tr[IB] != m[BI] || tr[IE] != m[EI] ||
+		tr[BI] != m[IB] || tr[BB] != m[BB] || tr[BE] != m[EB] ||
+		tr[EI] != m[IE] || tr[EB] != m[BE] || tr[EE] != m[EE] {
+		t.Errorf("Transpose(%s) = %s", m, tr)
+	}
+	if m.Transpose().Transpose() != m {
+		t.Error("double transpose must be identity")
+	}
+}
+
+func TestDim(t *testing.T) {
+	if DimF.Intersects() {
+		t.Error("F must not intersect")
+	}
+	for _, d := range []Dim{Dim0, Dim1, Dim2} {
+		if !d.Intersects() {
+			t.Errorf("%c must intersect", d)
+		}
+	}
+}
+
+func TestMustMaskPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustMask on bad input should panic")
+		}
+	}()
+	MustMask("bad")
+}

@@ -1,0 +1,186 @@
+package de9im
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// edgeRec is one boundary edge prepared for the sweep, with the cut
+// parameters accumulated during noding.
+type edgeRec struct {
+	a, b                   geom.Point
+	minX, maxX, minY, maxY float64
+	cuts                   []float64
+}
+
+func newEdgeRec(a, b geom.Point) edgeRec {
+	return edgeRec{
+		a: a, b: b,
+		minX: math.Min(a.X, b.X), maxX: math.Max(a.X, b.X),
+		minY: math.Min(a.Y, b.Y), maxY: math.Max(a.Y, b.Y),
+	}
+}
+
+// param returns the parameter of point p along the edge, using the
+// dominant axis for stability.
+func (e *edgeRec) param(p geom.Point) float64 {
+	dx, dy := e.b.X-e.a.X, e.b.Y-e.a.Y
+	if math.Abs(dx) >= math.Abs(dy) {
+		if dx == 0 {
+			return 0
+		}
+		return (p.X - e.a.X) / dx
+	}
+	return (p.Y - e.a.Y) / dy
+}
+
+func (e *edgeRec) addCut(p geom.Point) {
+	t := e.param(p)
+	if t > 1e-12 && t < 1-1e-12 {
+		e.cuts = append(e.cuts, t)
+	}
+}
+
+// collectEdges gathers all boundary edges of a multipolygon.
+func collectEdges(m *geom.MultiPolygon) []edgeRec {
+	var out []edgeRec
+	m.Edges(func(a, b geom.Point) { out = append(out, newEdgeRec(a, b)) })
+	return out
+}
+
+// nodeResult carries the outcome of noding two boundaries against each
+// other: per-edge cut lists live inside the edge slices, and anyPoint
+// records whether the boundaries share at least one point.
+type nodeResult struct {
+	rEdges, sEdges []edgeRec
+	anyPoint       bool
+}
+
+// nodeBoundaries intersects every edge of r against every edge of s using
+// a forward plane sweep over x to prune candidate pairs, recording cut
+// parameters on both edges.
+func nodeBoundaries(r, s *geom.MultiPolygon) nodeResult {
+	res := nodeResult{rEdges: collectEdges(r), sEdges: collectEdges(s)}
+
+	// Only edges near the MBR overlap window can intersect the other
+	// boundary; restrict the sweep to those.
+	win := r.Bounds().Intersection(s.Bounds())
+	if win.IsEmpty() {
+		return res
+	}
+	pad := geom.Eps
+	win = geom.MBR{MinX: win.MinX - pad, MinY: win.MinY - pad, MaxX: win.MaxX + pad, MaxY: win.MaxY + pad}
+
+	rIdx := windowIndices(res.rEdges, win)
+	sIdx := windowIndices(res.sEdges, win)
+	sortByMinX(res.rEdges, rIdx)
+	sortByMinX(res.sEdges, sIdx)
+
+	intersectPair := func(ri, si int) {
+		re, se := &res.rEdges[ri], &res.sEdges[si]
+		if re.minY > se.maxY+pad || se.minY > re.maxY+pad {
+			return
+		}
+		x := geom.SegIntersect(re.a, re.b, se.a, se.b)
+		switch x.Kind {
+		case geom.SegNone:
+		case geom.SegPoint:
+			res.anyPoint = true
+			re.addCut(x.P)
+			se.addCut(x.P)
+		case geom.SegOverlap:
+			res.anyPoint = true
+			re.addCut(x.P)
+			re.addCut(x.Q)
+			se.addCut(x.P)
+			se.addCut(x.Q)
+		}
+	}
+
+	// Forward sweep: process both index lists in merged minX order; each
+	// edge forward-scans the other list while minX <= its maxX. Pairs with
+	// the other edge starting earlier were visited from the other side.
+	i, j := 0, 0
+	for i < len(rIdx) && j < len(sIdx) {
+		if res.rEdges[rIdx[i]].minX <= res.sEdges[sIdx[j]].minX {
+			e := &res.rEdges[rIdx[i]]
+			for k := j; k < len(sIdx) && res.sEdges[sIdx[k]].minX <= e.maxX+pad; k++ {
+				intersectPair(rIdx[i], sIdx[k])
+			}
+			i++
+		} else {
+			e := &res.sEdges[sIdx[j]]
+			for k := i; k < len(rIdx) && res.rEdges[rIdx[k]].minX <= e.maxX+pad; k++ {
+				intersectPair(rIdx[k], sIdx[j])
+			}
+			j++
+		}
+	}
+	return res
+}
+
+// windowIndices returns the indices of edges whose bbox intersects win.
+func windowIndices(edges []edgeRec, win geom.MBR) []int {
+	var out []int
+	for i := range edges {
+		e := &edges[i]
+		if e.minX <= win.MaxX && win.MinX <= e.maxX &&
+			e.minY <= win.MaxY && win.MinY <= e.maxY {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func sortByMinX(edges []edgeRec, idx []int) {
+	sort.Slice(idx, func(a, b int) bool { return edges[idx[a]].minX < edges[idx[b]].minX })
+}
+
+// forEachNodedSub calls fn with every noded sub-segment of the edge. Cut
+// parameters are sorted and deduplicated first.
+func (e *edgeRec) forEachNodedSub(fn func(p, q geom.Point)) {
+	if len(e.cuts) == 0 {
+		fn(e.a, e.b)
+		return
+	}
+	sort.Float64s(e.cuts)
+	prev := 0.0
+	emit := func(t0, t1 float64) {
+		if t1-t0 > 1e-12 {
+			fn(geom.Lerp(e.a, e.b, t0), geom.Lerp(e.a, e.b, t1))
+		}
+	}
+	for _, t := range e.cuts {
+		if t-prev > 1e-12 {
+			emit(prev, t)
+			prev = t
+		}
+	}
+	emit(prev, 1)
+}
+
+// forEachNodedMidpoint calls fn with the midpoint of every noded
+// sub-segment of the edge.
+func (e *edgeRec) forEachNodedMidpoint(fn func(mid geom.Point)) {
+	e.forEachNodedSub(func(p, q geom.Point) { fn(geom.Midpoint(p, q)) })
+}
+
+// NodedSegments returns the boundary segments of a and b, each subdivided
+// at every intersection with the other's boundary. The overlay engine
+// builds its trapezoid sweep from these.
+func NodedSegments(a, b *geom.MultiPolygon) (as, bs [][2]geom.Point) {
+	nr := nodeBoundaries(a, b)
+	for i := range nr.rEdges {
+		nr.rEdges[i].forEachNodedSub(func(p, q geom.Point) {
+			as = append(as, [2]geom.Point{p, q})
+		})
+	}
+	for i := range nr.sEdges {
+		nr.sEdges[i].forEachNodedSub(func(p, q geom.Point) {
+			bs = append(bs, [2]geom.Point{p, q})
+		})
+	}
+	return as, bs
+}

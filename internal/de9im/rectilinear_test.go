@@ -1,0 +1,320 @@
+package de9im
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// Rectilinear reference: polygons built from unit grid cells have exact
+// DE-9IM matrices computable by pure set arithmetic on cells and lattice
+// edges. Tracing random cell blobs into polygons and comparing the
+// engine against the set-arithmetic reference exercises the nastiest
+// degeneracies — long shared edges, vertex-only contacts, holes — with
+// exact coordinates.
+
+type cell struct{ x, y int }
+
+type cellSet map[cell]bool
+
+// growBlob grows a connected random cell set of roughly n cells on a
+// small grid, rejecting checkerboard pinches (which would make the
+// traced boundary touch itself).
+func growBlob(rng *rand.Rand, n, side int) cellSet {
+	for attempt := 0; attempt < 100; attempt++ {
+		s := cellSet{}
+		start := cell{rng.Intn(side), rng.Intn(side)}
+		s[start] = true
+		frontier := []cell{start}
+		for len(s) < n && len(frontier) > 0 {
+			c := frontier[rng.Intn(len(frontier))]
+			dirs := [4]cell{{c.x + 1, c.y}, {c.x - 1, c.y}, {c.x, c.y + 1}, {c.x, c.y - 1}}
+			d := dirs[rng.Intn(4)]
+			if d.x < 0 || d.y < 0 || d.x >= side || d.y >= side || s[d] {
+				continue
+			}
+			s[d] = true
+			frontier = append(frontier, d)
+		}
+		if !hasPinch(s) {
+			return s
+		}
+	}
+	// Fall back to a simple bar, which is always pinch-free.
+	s := cellSet{}
+	for i := 0; i < n && i < side; i++ {
+		s[cell{i, 0}] = true
+	}
+	return s
+}
+
+// hasPinch reports whether two cells of s touch only diagonally at some
+// lattice vertex.
+func hasPinch(s cellSet) bool {
+	for c := range s {
+		for _, v := range [4]cell{{c.x, c.y}, {c.x + 1, c.y}, {c.x, c.y + 1}, {c.x + 1, c.y + 1}} {
+			a := s[cell{v.x - 1, v.y - 1}]
+			b := s[cell{v.x, v.y}]
+			cc := s[cell{v.x - 1, v.y}]
+			d := s[cell{v.x, v.y - 1}]
+			if (a && b && !cc && !d) || (cc && d && !a && !b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// latticeEdge is a unit boundary edge keyed by its lower-left endpoint
+// and orientation.
+type latticeEdge struct {
+	x, y int
+	horz bool // true: (x,y)-(x+1,y); false: (x,y)-(x,y+1)
+}
+
+// boundaryEdges returns the set of unit edges separating s from its
+// complement.
+func boundaryEdges(s cellSet) map[latticeEdge]bool {
+	out := map[latticeEdge]bool{}
+	for c := range s {
+		if !s[cell{c.x, c.y - 1}] {
+			out[latticeEdge{c.x, c.y, true}] = true
+		}
+		if !s[cell{c.x, c.y + 1}] {
+			out[latticeEdge{c.x, c.y + 1, true}] = true
+		}
+		if !s[cell{c.x - 1, c.y}] {
+			out[latticeEdge{c.x, c.y, false}] = true
+		}
+		if !s[cell{c.x + 1, c.y}] {
+			out[latticeEdge{c.x + 1, c.y, false}] = true
+		}
+	}
+	return out
+}
+
+// flanks returns the two cells separated by e.
+func (e latticeEdge) flanks() (cell, cell) {
+	if e.horz {
+		return cell{e.x, e.y - 1}, cell{e.x, e.y}
+	}
+	return cell{e.x - 1, e.y}, cell{e.x, e.y}
+}
+
+// vertices returns the endpoints of e.
+func (e latticeEdge) vertices() (cell, cell) {
+	if e.horz {
+		return cell{e.x, e.y}, cell{e.x + 1, e.y}
+	}
+	return cell{e.x, e.y}, cell{e.x, e.y + 1}
+}
+
+// refMatrix computes the exact DE-9IM matrix of two pinch-free cell sets.
+func refMatrix(a, b cellSet) Matrix {
+	var m Matrix
+	for i := range m {
+		m[i] = DimF
+	}
+	m[EE] = Dim2
+	for c := range a {
+		if b[c] {
+			m[II] = Dim2
+		} else {
+			m[IE] = Dim2
+		}
+	}
+	for c := range b {
+		if !a[c] {
+			m[EI] = Dim2
+		}
+	}
+	ea, eb := boundaryEdges(a), boundaryEdges(b)
+	sharedVertex := false
+	bVerts := map[cell]bool{}
+	for e := range eb {
+		v1, v2 := e.vertices()
+		bVerts[v1], bVerts[v2] = true, true
+	}
+	for e := range ea {
+		f1, f2 := e.flanks()
+		if eb[e] {
+			m[BB] = Dim1
+		} else {
+			v1, v2 := e.vertices()
+			if bVerts[v1] || bVerts[v2] {
+				sharedVertex = true
+			}
+		}
+		switch {
+		case b[f1] && b[f2]:
+			m[BI] = Dim1
+		case !b[f1] && !b[f2]:
+			m[BE] = Dim1
+		}
+	}
+	for e := range eb {
+		f1, f2 := e.flanks()
+		switch {
+		case a[f1] && a[f2]:
+			m[IB] = Dim1
+		case !a[f1] && !a[f2]:
+			m[EB] = Dim1
+		}
+	}
+	if m[BB] == DimF && sharedVertex {
+		m[BB] = Dim0
+	}
+	return m
+}
+
+// tracePolygon converts a connected, pinch-free cell set into a polygon
+// by walking its directed boundary loops (interior kept on the left):
+// the counter-clockwise loop is the shell, clockwise loops are holes.
+func tracePolygon(t *testing.T, s cellSet) *geom.Polygon {
+	t.Helper()
+	type vert = cell
+	next := map[vert]vert{}
+	addEdge := func(from, to vert) {
+		if _, dup := next[from]; dup {
+			t.Fatalf("pinch vertex at %v", from)
+		}
+		next[from] = to
+	}
+	for c := range s {
+		if !s[cell{c.x, c.y - 1}] {
+			addEdge(vert{c.x, c.y}, vert{c.x + 1, c.y})
+		}
+		if !s[cell{c.x + 1, c.y}] {
+			addEdge(vert{c.x + 1, c.y}, vert{c.x + 1, c.y + 1})
+		}
+		if !s[cell{c.x, c.y + 1}] {
+			addEdge(vert{c.x + 1, c.y + 1}, vert{c.x, c.y + 1})
+		}
+		if !s[cell{c.x - 1, c.y}] {
+			addEdge(vert{c.x, c.y + 1}, vert{c.x, c.y})
+		}
+	}
+	visited := map[vert]bool{}
+	var loops []geom.Ring
+	for start := range next {
+		if visited[start] {
+			continue
+		}
+		var ring geom.Ring
+		cur := start
+		for {
+			visited[cur] = true
+			ring = append(ring, geom.Point{X: float64(cur.x), Y: float64(cur.y)})
+			cur = next[cur]
+			if cur == start {
+				break
+			}
+		}
+		loops = append(loops, ring)
+	}
+	var shell geom.Ring
+	var holes []geom.Ring
+	for _, l := range loops {
+		if l.IsCCW() {
+			if shell != nil {
+				t.Fatalf("cell set has %d shells; expected a connected set", 2)
+			}
+			shell = l
+		} else {
+			holes = append(holes, l)
+		}
+	}
+	if shell == nil {
+		t.Fatal("no shell traced")
+	}
+	return geom.NewPolygon(shell, holes...)
+}
+
+// TestTracePolygon sanity-checks the tracer itself.
+func TestTracePolygon(t *testing.T) {
+	// A 2x2 block.
+	s := cellSet{{0, 0}: true, {1, 0}: true, {0, 1}: true, {1, 1}: true}
+	p := tracePolygon(t, s)
+	if p.Area() != 4 || len(p.Holes) != 0 {
+		t.Fatalf("block: area %v, %d holes", p.Area(), len(p.Holes))
+	}
+	// A 3x3 ring of cells around an empty center: one hole.
+	s = cellSet{}
+	for x := 0; x < 3; x++ {
+		for y := 0; y < 3; y++ {
+			if x != 1 || y != 1 {
+				s[cell{x, y}] = true
+			}
+		}
+	}
+	p = tracePolygon(t, s)
+	if p.Area() != 8 || len(p.Holes) != 1 {
+		t.Fatalf("ring: area %v, %d holes", p.Area(), len(p.Holes))
+	}
+	if err := geom.ValidatePolygon(p); err != nil {
+		t.Fatalf("traced polygon invalid: %v", err)
+	}
+}
+
+// TestRelateAgainstRectilinearReference is the adversarial degeneracy
+// sweep: random rectilinear blobs share long edge runs, single vertices
+// and holes, and the engine must match exact set arithmetic every time.
+func TestRelateAgainstRectilinearReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(777))
+	const side = 8
+	for trial := 0; trial < 600; trial++ {
+		a := growBlob(rng, 3+rng.Intn(20), side)
+		b := growBlob(rng, 3+rng.Intn(20), side)
+		pa := tracePolygon(t, a)
+		pb := tracePolygon(t, b)
+		got := RelatePolygons(pa, pb)
+		want := refMatrix(a, b)
+		if got != want {
+			t.Fatalf("trial %d:\nA=%v\nB=%v\nengine    = %s\nreference = %s",
+				trial, a, b, got, want)
+		}
+	}
+}
+
+// TestRectilinearRelations spot-checks extracted relations on engineered
+// cell sets.
+func TestRectilinearRelations(t *testing.T) {
+	row := func(x0, x1, y int) cellSet {
+		s := cellSet{}
+		for x := x0; x < x1; x++ {
+			s[cell{x, y}] = true
+		}
+		return s
+	}
+	block := func(x0, y0, x1, y1 int) cellSet {
+		s := cellSet{}
+		for x := x0; x < x1; x++ {
+			for y := y0; y < y1; y++ {
+				s[cell{x, y}] = true
+			}
+		}
+		return s
+	}
+	cases := []struct {
+		a, b cellSet
+		want Relation
+	}{
+		{row(0, 3, 0), row(3, 6, 0), Meets},    // shared vertical edge
+		{row(0, 3, 0), row(0, 3, 1), Meets},    // shared long horizontal run
+		{row(0, 3, 0), row(3, 6, 1), Meets},    // corner-only contact
+		{row(0, 3, 0), row(4, 6, 0), Disjoint}, // gap
+		{block(0, 0, 4, 4), block(1, 1, 3, 3), Contains},
+		{block(1, 1, 3, 3), block(0, 0, 4, 4), Inside},
+		{block(0, 0, 4, 4), block(0, 0, 2, 2), Covers}, // shares the corner
+		{block(0, 0, 2, 2), block(0, 0, 4, 4), CoveredBy},
+		{block(0, 0, 3, 3), block(0, 0, 3, 3), Equals},
+		{block(0, 0, 3, 3), block(1, 1, 4, 4), Intersects},
+	}
+	for i, c := range cases {
+		pa, pb := tracePolygon(t, c.a), tracePolygon(t, c.b)
+		if got := FindRelation(geom.NewMultiPolygon(pa), geom.NewMultiPolygon(pb)); got != c.want {
+			t.Errorf("case %d: %v, want %v (matrix %s)", i, got, c.want, RelatePolygons(pa, pb))
+		}
+	}
+}

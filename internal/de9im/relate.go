@@ -1,0 +1,172 @@
+package de9im
+
+import "repro/internal/geom"
+
+// Relate computes the DE-9IM matrix of the ordered pair (r, s).
+func Relate(r, s *geom.MultiPolygon) Matrix {
+	return RelatePrepared(Prepare(r), Prepare(s))
+}
+
+// RelatePolygons computes the DE-9IM matrix of two single polygons.
+func RelatePolygons(r, s *geom.Polygon) Matrix {
+	return Relate(geom.NewMultiPolygon(r), geom.NewMultiPolygon(s))
+}
+
+// Prepared wraps a geometry with the acceleration structures Relate needs:
+// a slab-indexed point locator and lazily computed per-component interior
+// points. Preparing once is useful when the same object participates in
+// many pairs.
+type Prepared struct {
+	Geom    *geom.MultiPolygon
+	locator *geom.Locator
+	intPts  []geom.Point
+}
+
+// Prepare builds the locator for g.
+func Prepare(g *geom.MultiPolygon) *Prepared {
+	return &Prepared{Geom: g, locator: geom.NewLocator(g)}
+}
+
+// interiorPoints computes one interior point per polygon component, caching
+// the result.
+func (p *Prepared) interiorPoints() []geom.Point {
+	if p.intPts == nil {
+		p.intPts = geom.InteriorPoints(p.Geom)
+	}
+	return p.intPts
+}
+
+// probe classifies an interior point of the *other* geometry, nudging the
+// probe off numerically-degenerate boundary hits while staying inside own.
+func probe(pt geom.Point, other, own *geom.Locator) geom.Location {
+	loc := other.Locate(pt)
+	if loc != geom.OnBoundary {
+		return loc
+	}
+	const d = 1e-9
+	for _, off := range [...]geom.Point{{X: d}, {X: -d}, {Y: d}, {Y: -d}} {
+		q := pt.Add(off)
+		if own.Locate(q) != geom.Inside {
+			continue
+		}
+		if l := other.Locate(q); l != geom.OnBoundary {
+			return l
+		}
+	}
+	return loc
+}
+
+// RelatePrepared computes the DE-9IM matrix from prepared geometries.
+//
+// Derivation: after noding the boundaries against each other, every noded
+// boundary segment of one geometry lies entirely in the interior, on the
+// boundary, or in the exterior of the other (its interior cannot cross the
+// other boundary), so its midpoint classification is exact. Because
+// interiors and exteriors are open sets, boundary/interior and
+// boundary/exterior intersections are never isolated points, which makes
+// the segment flags sufficient for all B-row and B-column entries.
+// Area entries (II, IE, EI) follow from the flags plus per-component
+// interior-point probes; DESIGN.md §4 sketches the completeness argument.
+func RelatePrepared(r, s *Prepared) Matrix {
+	var m Matrix
+	for i := range m {
+		m[i] = DimF
+	}
+	m[EE] = Dim2
+	if len(r.Geom.Polys) == 0 || len(s.Geom.Polys) == 0 {
+		// Degenerate empty inputs: only the non-empty side contributes.
+		if len(r.Geom.Polys) != 0 {
+			m[IE], m[BE] = Dim2, Dim1
+		}
+		if len(s.Geom.Polys) != 0 {
+			m[EI], m[EB] = Dim2, Dim1
+		}
+		return m
+	}
+
+	nr := nodeBoundaries(r.Geom, s.Geom)
+
+	var rIn, rOn, rOut, sIn, sOn, sOut bool
+	classify := func(edges []edgeRec, loc *geom.Locator, in, on, out *bool) {
+		for i := range edges {
+			if *in && *on && *out {
+				return
+			}
+			edges[i].forEachNodedMidpoint(func(mid geom.Point) {
+				switch loc.Locate(mid) {
+				case geom.Inside:
+					*in = true
+				case geom.OnBoundary:
+					*on = true
+				default:
+					*out = true
+				}
+			})
+		}
+	}
+	classify(nr.rEdges, s.locator, &rIn, &rOn, &rOut)
+	classify(nr.sEdges, r.locator, &sIn, &sOn, &sOut)
+
+	// Boundary rows/columns.
+	if rIn {
+		m[BI] = Dim1
+	}
+	if rOut {
+		m[BE] = Dim1
+	}
+	if sIn {
+		m[IB] = Dim1
+	}
+	if sOut {
+		m[EB] = Dim1
+	}
+	switch {
+	case rOn || sOn:
+		m[BB] = Dim1
+	case nr.anyPoint:
+		m[BB] = Dim0
+	}
+
+	// Area entries. A boundary segment of one geometry inside the other's
+	// interior witnesses area overlap on both sides of that segment.
+	if rIn || sIn {
+		m[II] = Dim2
+	}
+	if rOut || sIn {
+		m[IE] = Dim2
+	}
+	if sOut || rIn {
+		m[EI] = Dim2
+	}
+
+	// Interior-point fallbacks for the undecided open-set entries: needed
+	// when one region's components avoid the other's boundary entirely
+	// (nesting without contact, identical boundaries, disjointness).
+	if m[II] == DimF || m[IE] == DimF {
+		for _, pt := range r.interiorPoints() {
+			switch probe(pt, s.locator, r.locator) {
+			case geom.Inside:
+				m[II] = Dim2
+			case geom.Outside:
+				m[IE] = Dim2
+			}
+		}
+	}
+	if m[II] == DimF || m[EI] == DimF {
+		for _, pt := range s.interiorPoints() {
+			switch probe(pt, r.locator, s.locator) {
+			case geom.Inside:
+				m[II] = Dim2
+			case geom.Outside:
+				m[EI] = Dim2
+			}
+		}
+	}
+	return m
+}
+
+// FindRelation computes the most specific topological relation of (r, s)
+// by full refinement: the ST2 baseline's core.
+func FindRelation(r, s *geom.MultiPolygon) Relation {
+	return MostSpecific(Relate(r, s), AllRelations)
+}

@@ -1,0 +1,176 @@
+package de9im
+
+// Relation is one of the eight topological relations of the paper (Fig. 1a).
+// Directional relations read left-to-right for an ordered pair (r, s):
+// Inside means "r inside s", Contains means "r contains s", and so on.
+type Relation uint8
+
+// The eight topological relations.
+const (
+	Disjoint Relation = iota
+	Intersects
+	Meets
+	Equals
+	Inside
+	CoveredBy
+	Contains
+	Covers
+	numRelations
+)
+
+// NumRelations is the number of distinct relations.
+const NumRelations = int(numRelations)
+
+var relationNames = [...]string{
+	Disjoint:   "disjoint",
+	Intersects: "intersects",
+	Meets:      "meets",
+	Equals:     "equals",
+	Inside:     "inside",
+	CoveredBy:  "covered_by",
+	Contains:   "contains",
+	Covers:     "covers",
+}
+
+func (r Relation) String() string {
+	if int(r) < len(relationNames) {
+		return relationNames[r]
+	}
+	return "unknown"
+}
+
+// Inverse returns the relation of the swapped pair: if r relates (a, b),
+// Inverse relates (b, a).
+func (r Relation) Inverse() Relation {
+	switch r {
+	case Inside:
+		return Contains
+	case Contains:
+		return Inside
+	case CoveredBy:
+		return Covers
+	case Covers:
+		return CoveredBy
+	default:
+		return r
+	}
+}
+
+// masks is Table 1 of the paper: the DE-9IM masks of each topological
+// relation. A relation holds iff any of its masks matches the matrix.
+//
+// One deviation from the literal table: for area/area pairs the OGC
+// within/contains masks are implied by the covered-by/covers masks (a
+// polygon covered by another always has intersecting interiors), which
+// would collapse inside and covered by into one relation. The paper's
+// Fig. 1(a) and Fig. 2 treat inside/contains as the *strict* variants with
+// no boundary contact (inside ⊂ covered by, contains ⊂ covers), so the
+// inside and contains masks additionally require BB = F.
+var masks = map[Relation][]Mask{
+	Disjoint: {MustMask("FF*FF****")},
+	Intersects: {
+		MustMask("T********"), MustMask("*T*******"),
+		MustMask("***T*****"), MustMask("****T****"),
+	},
+	Covers: {
+		MustMask("T*****FF*"), MustMask("*T****FF*"),
+		MustMask("***T**FF*"), MustMask("****T*FF*"),
+	},
+	CoveredBy: {
+		MustMask("T*F**F***"), MustMask("*TF**F***"),
+		MustMask("**FT*F***"), MustMask("**F*TF***"),
+	},
+	Equals:   {MustMask("T*F**FFF*")},
+	Contains: {MustMask("T***F*FF*")},
+	Inside:   {MustMask("T*F*FF***")},
+	Meets: {
+		MustMask("FT*******"), MustMask("F**T*****"), MustMask("F***T****"),
+	},
+}
+
+// MasksOf returns the DE-9IM masks of a relation (Table 1).
+func MasksOf(r Relation) []Mask { return masks[r] }
+
+// Holds reports whether relation rel holds for a pair with matrix m.
+func Holds(rel Relation, m Matrix) bool {
+	for _, k := range masks[rel] {
+		if k.Matches(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// SpecificToGeneral is the order in which relations are tested to find the
+// most specific relation of a pair (Fig. 2's hierarchy): equals is the most
+// specific, then proper containments, then boundary-only contact, then the
+// generic intersects, and finally disjoint.
+var SpecificToGeneral = [...]Relation{
+	Equals, Inside, Contains, CoveredBy, Covers, Meets, Intersects, Disjoint,
+}
+
+// MostSpecific returns the most specific relation satisfied by matrix m,
+// considering only the candidate relations in set (a bitmask built with
+// RelationSet). Pass AllRelations to consider all eight.
+func MostSpecific(m Matrix, set RelationSet) Relation {
+	for _, rel := range SpecificToGeneral {
+		if set.Has(rel) && Holds(rel, m) {
+			return rel
+		}
+	}
+	// Non-disjoint matrices always match intersects; reaching this point
+	// means the candidate set excluded everything that holds, which callers
+	// prevent; fall back to the unrestricted answer.
+	for _, rel := range SpecificToGeneral {
+		if Holds(rel, m) {
+			return rel
+		}
+	}
+	return Disjoint
+}
+
+// RelationSet is a bitmask of candidate relations.
+type RelationSet uint16
+
+// AllRelations contains every relation.
+const AllRelations RelationSet = 1<<numRelations - 1
+
+// NewRelationSet builds a set from individual relations.
+func NewRelationSet(rels ...Relation) RelationSet {
+	var s RelationSet
+	for _, r := range rels {
+		s |= 1 << r
+	}
+	return s
+}
+
+// Has reports whether the set contains r.
+func (s RelationSet) Has(r Relation) bool { return s&(1<<r) != 0 }
+
+// With returns the set extended by r.
+func (s RelationSet) With(r Relation) RelationSet { return s | 1<<r }
+
+// Without returns the set with r removed.
+func (s RelationSet) Without(r Relation) RelationSet { return s &^ (1 << r) }
+
+// Count returns the number of relations in the set.
+func (s RelationSet) Count() int {
+	n := 0
+	for r := Relation(0); r < numRelations; r++ {
+		if s.Has(r) {
+			n++
+		}
+	}
+	return n
+}
+
+// Relations lists the members of the set in specific-to-general order.
+func (s RelationSet) Relations() []Relation {
+	out := make([]Relation, 0, s.Count())
+	for _, r := range SpecificToGeneral {
+		if s.Has(r) {
+			out = append(out, r)
+		}
+	}
+	return out
+}

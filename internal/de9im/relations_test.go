@@ -1,0 +1,165 @@
+package de9im
+
+import "testing"
+
+func mat(s string) Matrix {
+	m, err := ParseMatrix(s)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestHoldsCanonicalMatrices(t *testing.T) {
+	cases := []struct {
+		code string
+		rels []Relation // relations that must hold
+		not  []Relation // relations that must not hold
+	}{
+		{"FF2FF1212", []Relation{Disjoint}, []Relation{Intersects, Meets, Equals}},
+		{"2FFF1FFF2", []Relation{Equals, CoveredBy, Covers, Intersects}, []Relation{Disjoint, Meets, Inside, Contains}},
+		{"FF2F11212", []Relation{Meets, Intersects}, []Relation{Disjoint, Equals, Inside}},
+		{"FF2F01212", []Relation{Meets, Intersects}, []Relation{Disjoint}},
+		{"212101212", []Relation{Intersects}, []Relation{Disjoint, Meets, Equals, Inside, Contains, CoveredBy, Covers}},
+		{"2FF1FF212", []Relation{Inside, CoveredBy, Intersects}, []Relation{Contains, Covers, Equals, Meets, Disjoint}},
+		{"2FF11F212", []Relation{CoveredBy, Intersects}, []Relation{Inside, Equals, Contains, Disjoint}},
+		{"212FF1FF2", []Relation{Contains, Covers, Intersects}, []Relation{Inside, CoveredBy, Equals, Disjoint}},
+		{"212F1FFF2", []Relation{Covers, Intersects}, []Relation{Contains, Inside, Equals, Disjoint}},
+	}
+	for _, c := range cases {
+		m := mat(c.code)
+		for _, r := range c.rels {
+			if !Holds(r, m) {
+				t.Errorf("%s should satisfy %v", c.code, r)
+			}
+		}
+		for _, r := range c.not {
+			if Holds(r, m) {
+				t.Errorf("%s should not satisfy %v", c.code, r)
+			}
+		}
+	}
+}
+
+// TestMaskHierarchy verifies Fig. 2's Venn relationships on all matrices
+// reachable by the engine: equals implies covered-by and covers; inside
+// implies covered-by; contains implies covers; every non-disjoint matrix
+// satisfies intersects; meets excludes the containment family.
+func TestMaskHierarchy(t *testing.T) {
+	dims := []Dim{DimF, Dim0, Dim1, Dim2}
+	var m Matrix
+	m[EE] = Dim2
+	// Enumerate a representative subset: II, IB, IE, BI, BB, BE, EI, EB
+	// over {F, 1-or-2}; full 4^8 enumeration is unnecessary because masks
+	// only distinguish F vs T.
+	for bits := 0; bits < 256; bits++ {
+		for e := 0; e < 8; e++ {
+			if bits&(1<<e) != 0 {
+				m[e] = dims[1+e%3]
+			} else {
+				m[e] = DimF
+			}
+		}
+		if Holds(Equals, m) && (!Holds(CoveredBy, m) || !Holds(Covers, m)) {
+			t.Fatalf("%s: equals must imply covered_by and covers", m)
+		}
+		if Holds(Inside, m) && !Holds(CoveredBy, m) {
+			t.Fatalf("%s: inside must imply covered_by", m)
+		}
+		if Holds(Contains, m) && !Holds(Covers, m) {
+			t.Fatalf("%s: contains must imply covers", m)
+		}
+		for _, r := range []Relation{Meets, Equals, Inside, Contains, CoveredBy, Covers} {
+			if Holds(r, m) && !Holds(Intersects, m) {
+				t.Fatalf("%s: %v must imply intersects", m, r)
+			}
+		}
+		if Holds(Meets, m) && (Holds(Inside, m) || Holds(Contains, m) || Holds(Equals, m)) {
+			t.Fatalf("%s: meets excludes containment", m)
+		}
+		if Holds(Disjoint, m) && Holds(Intersects, m) {
+			t.Fatalf("%s: disjoint and intersects are exclusive", m)
+		}
+	}
+}
+
+func TestMostSpecific(t *testing.T) {
+	cases := []struct {
+		code string
+		want Relation
+	}{
+		{"FF2FF1212", Disjoint},
+		{"2FFF1FFF2", Equals},
+		{"2FF1FF212", Inside},
+		{"2FF11F212", CoveredBy},
+		{"212FF1FF2", Contains},
+		{"212F1FFF2", Covers},
+		{"FF2F11212", Meets},
+		{"212101212", Intersects},
+	}
+	for _, c := range cases {
+		if got := MostSpecific(mat(c.code), AllRelations); got != c.want {
+			t.Errorf("MostSpecific(%s) = %v, want %v", c.code, got, c.want)
+		}
+	}
+}
+
+func TestMostSpecificRestricted(t *testing.T) {
+	m := mat("2FF1FF212") // inside
+	set := NewRelationSet(CoveredBy, Intersects, Disjoint)
+	if got := MostSpecific(m, set); got != CoveredBy {
+		t.Errorf("restricted = %v, want covered_by", got)
+	}
+	// A set excluding everything that holds falls back to the true answer.
+	empty := NewRelationSet(Contains)
+	if got := MostSpecific(m, empty); got != Inside {
+		t.Errorf("fallback = %v, want inside", got)
+	}
+}
+
+func TestRelationInverse(t *testing.T) {
+	pairs := map[Relation]Relation{
+		Inside: Contains, Contains: Inside,
+		CoveredBy: Covers, Covers: CoveredBy,
+		Disjoint: Disjoint, Equals: Equals, Meets: Meets, Intersects: Intersects,
+	}
+	for r, want := range pairs {
+		if got := r.Inverse(); got != want {
+			t.Errorf("%v.Inverse() = %v, want %v", r, got, want)
+		}
+		if r.Inverse().Inverse() != r {
+			t.Errorf("%v: inverse not involutive", r)
+		}
+	}
+}
+
+func TestRelationString(t *testing.T) {
+	if Disjoint.String() != "disjoint" || CoveredBy.String() != "covered_by" {
+		t.Error("relation names wrong")
+	}
+	if Relation(200).String() != "unknown" {
+		t.Error("out-of-range relation should be unknown")
+	}
+}
+
+func TestRelationSet(t *testing.T) {
+	s := NewRelationSet(Meets, Disjoint)
+	if !s.Has(Meets) || !s.Has(Disjoint) || s.Has(Equals) {
+		t.Error("membership wrong")
+	}
+	s = s.With(Equals)
+	if !s.Has(Equals) || s.Count() != 3 {
+		t.Errorf("With/Count wrong: %v", s.Count())
+	}
+	s = s.Without(Disjoint)
+	if s.Has(Disjoint) || s.Count() != 2 {
+		t.Error("Without wrong")
+	}
+	if AllRelations.Count() != NumRelations {
+		t.Errorf("AllRelations has %d members", AllRelations.Count())
+	}
+	rels := NewRelationSet(Intersects, Equals, Meets).Relations()
+	if len(rels) != 3 || rels[0] != Equals || rels[1] != Meets || rels[2] != Intersects {
+		t.Errorf("Relations order = %v", rels)
+	}
+}

@@ -1,0 +1,225 @@
+// Package geojson reads and writes the GeoJSON (RFC 7946) encodings of
+// the geometry types used by the library: Polygon and MultiPolygon
+// geometries, Features with properties, and FeatureCollections. Positions
+// are [x, y]; any extra ordinates are rejected rather than dropped.
+package geojson
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/geom"
+)
+
+// Feature is one GeoJSON feature: a geometry with optional properties.
+type Feature struct {
+	Geometry   *geom.MultiPolygon
+	Properties map[string]any
+}
+
+// rawGeometry mirrors the GeoJSON geometry object.
+type rawGeometry struct {
+	Type        string          `json:"type"`
+	Coordinates json.RawMessage `json:"coordinates"`
+}
+
+type rawFeature struct {
+	Type       string         `json:"type"`
+	Geometry   *rawGeometry   `json:"geometry"`
+	Properties map[string]any `json:"properties,omitempty"`
+}
+
+type rawCollection struct {
+	Type     string       `json:"type"`
+	Features []rawFeature `json:"features"`
+}
+
+// ParseGeometry reads a GeoJSON geometry object (Polygon or
+// MultiPolygon) into a multipolygon.
+func ParseGeometry(data []byte) (*geom.MultiPolygon, error) {
+	var rg rawGeometry
+	if err := json.Unmarshal(data, &rg); err != nil {
+		return nil, fmt.Errorf("geojson: %w", err)
+	}
+	return decodeGeometry(&rg)
+}
+
+func decodeGeometry(rg *rawGeometry) (*geom.MultiPolygon, error) {
+	switch rg.Type {
+	case "Polygon":
+		var rings [][][]float64
+		if err := json.Unmarshal(rg.Coordinates, &rings); err != nil {
+			return nil, fmt.Errorf("geojson: polygon coordinates: %w", err)
+		}
+		p, err := decodePolygon(rings)
+		if err != nil {
+			return nil, err
+		}
+		return geom.NewMultiPolygon(p), nil
+	case "MultiPolygon":
+		var polys [][][][]float64
+		if err := json.Unmarshal(rg.Coordinates, &polys); err != nil {
+			return nil, fmt.Errorf("geojson: multipolygon coordinates: %w", err)
+		}
+		out := make([]*geom.Polygon, 0, len(polys))
+		for i, rings := range polys {
+			p, err := decodePolygon(rings)
+			if err != nil {
+				return nil, fmt.Errorf("geojson: member %d: %w", i, err)
+			}
+			out = append(out, p)
+		}
+		return geom.NewMultiPolygon(out...), nil
+	default:
+		return nil, fmt.Errorf("geojson: unsupported geometry type %q", rg.Type)
+	}
+}
+
+func decodePolygon(rings [][][]float64) (*geom.Polygon, error) {
+	if len(rings) == 0 {
+		return nil, fmt.Errorf("polygon with no rings")
+	}
+	decoded := make([]geom.Ring, 0, len(rings))
+	for ri, raw := range rings {
+		ring, err := decodeRing(raw)
+		if err != nil {
+			return nil, fmt.Errorf("ring %d: %w", ri, err)
+		}
+		decoded = append(decoded, ring)
+	}
+	return geom.NewPolygon(decoded[0], decoded[1:]...), nil
+}
+
+func decodeRing(raw [][]float64) (geom.Ring, error) {
+	ring := make(geom.Ring, 0, len(raw))
+	for i, pos := range raw {
+		if len(pos) != 2 {
+			return nil, fmt.Errorf("position %d has %d ordinates, want 2", i, len(pos))
+		}
+		ring = append(ring, geom.Point{X: pos[0], Y: pos[1]})
+	}
+	// GeoJSON rings repeat the first position at the end.
+	if len(ring) >= 2 && ring[0].Eq(ring[len(ring)-1]) {
+		ring = ring[:len(ring)-1]
+	}
+	if len(ring) < 3 {
+		return nil, fmt.Errorf("ring has %d distinct vertices, need 3", len(ring))
+	}
+	return ring, nil
+}
+
+// MarshalGeometry writes a multipolygon as a GeoJSON geometry object:
+// a Polygon when it has one member, a MultiPolygon otherwise.
+func MarshalGeometry(m *geom.MultiPolygon) ([]byte, error) {
+	if len(m.Polys) == 1 {
+		return json.Marshal(map[string]any{
+			"type":        "Polygon",
+			"coordinates": encodePolygon(m.Polys[0]),
+		})
+	}
+	coords := make([][][][]float64, 0, len(m.Polys))
+	for _, p := range m.Polys {
+		coords = append(coords, encodePolygon(p))
+	}
+	return json.Marshal(map[string]any{
+		"type":        "MultiPolygon",
+		"coordinates": coords,
+	})
+}
+
+func encodePolygon(p *geom.Polygon) [][][]float64 {
+	out := make([][][]float64, 0, 1+len(p.Holes))
+	out = append(out, encodeRing(p.Shell))
+	for _, h := range p.Holes {
+		out = append(out, encodeRing(h))
+	}
+	return out
+}
+
+func encodeRing(r geom.Ring) [][]float64 {
+	out := make([][]float64, 0, len(r)+1)
+	for _, pt := range r {
+		out = append(out, []float64{pt.X, pt.Y})
+	}
+	if len(r) > 0 {
+		out = append(out, []float64{r[0].X, r[0].Y})
+	}
+	return out
+}
+
+// ParseFeatureCollection reads a FeatureCollection (or a single Feature,
+// or a bare geometry) into features.
+func ParseFeatureCollection(data []byte) ([]Feature, error) {
+	var probe struct {
+		Type string `json:"type"`
+	}
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return nil, fmt.Errorf("geojson: %w", err)
+	}
+	switch probe.Type {
+	case "FeatureCollection":
+		var rc rawCollection
+		if err := json.Unmarshal(data, &rc); err != nil {
+			return nil, fmt.Errorf("geojson: %w", err)
+		}
+		out := make([]Feature, 0, len(rc.Features))
+		for i, rf := range rc.Features {
+			f, err := decodeFeature(&rf)
+			if err != nil {
+				return nil, fmt.Errorf("geojson: feature %d: %w", i, err)
+			}
+			out = append(out, f)
+		}
+		return out, nil
+	case "Feature":
+		var rf rawFeature
+		if err := json.Unmarshal(data, &rf); err != nil {
+			return nil, fmt.Errorf("geojson: %w", err)
+		}
+		f, err := decodeFeature(&rf)
+		if err != nil {
+			return nil, err
+		}
+		return []Feature{f}, nil
+	case "Polygon", "MultiPolygon":
+		g, err := ParseGeometry(data)
+		if err != nil {
+			return nil, err
+		}
+		return []Feature{{Geometry: g}}, nil
+	default:
+		return nil, fmt.Errorf("geojson: unsupported root type %q", probe.Type)
+	}
+}
+
+func decodeFeature(rf *rawFeature) (Feature, error) {
+	if rf.Geometry == nil {
+		return Feature{}, fmt.Errorf("feature without geometry")
+	}
+	g, err := decodeGeometry(rf.Geometry)
+	if err != nil {
+		return Feature{}, err
+	}
+	return Feature{Geometry: g, Properties: rf.Properties}, nil
+}
+
+// MarshalFeatureCollection writes features as a FeatureCollection.
+func MarshalFeatureCollection(features []Feature) ([]byte, error) {
+	rc := rawCollection{Type: "FeatureCollection", Features: make([]rawFeature, 0, len(features))}
+	for _, f := range features {
+		gj, err := MarshalGeometry(f.Geometry)
+		if err != nil {
+			return nil, err
+		}
+		var rg rawGeometry
+		if err := json.Unmarshal(gj, &rg); err != nil {
+			return nil, err
+		}
+		rc.Features = append(rc.Features, rawFeature{
+			Type:       "Feature",
+			Geometry:   &rg,
+			Properties: f.Properties,
+		})
+	}
+	return json.Marshal(rc)
+}

@@ -1,0 +1,139 @@
+package geojson
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestParsePolygonGeometry(t *testing.T) {
+	data := []byte(`{"type":"Polygon","coordinates":[[[0,0],[10,0],[10,10],[0,10],[0,0]],[[2,2],[4,2],[4,4],[2,4],[2,2]]]}`)
+	m, err := ParseGeometry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Polys) != 1 || len(m.Polys[0].Holes) != 1 {
+		t.Fatalf("structure: %d polys", len(m.Polys))
+	}
+	if a := m.Area(); math.Abs(a-96) > 1e-9 {
+		t.Errorf("area = %v, want 96", a)
+	}
+	if !m.Polys[0].Shell.IsCCW() || m.Polys[0].Holes[0].IsCCW() {
+		t.Error("orientation not normalized")
+	}
+}
+
+func TestParseMultiPolygonGeometry(t *testing.T) {
+	data := []byte(`{"type":"MultiPolygon","coordinates":[[[[0,0],[1,0],[1,1],[0,0]]],[[[5,5],[7,5],[7,7],[5,7],[5,5]]]]}`)
+	m, err := ParseGeometry(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Polys) != 2 {
+		t.Fatalf("got %d polys", len(m.Polys))
+	}
+	if a := m.Area(); math.Abs(a-(0.5+4)) > 1e-9 {
+		t.Errorf("area = %v", a)
+	}
+}
+
+func TestGeometryRoundTrip(t *testing.T) {
+	p1 := geom.NewPolygon(
+		geom.Ring{{X: 0, Y: 0}, {X: 8, Y: 0}, {X: 8, Y: 6}, {X: 0, Y: 6}},
+		geom.Ring{{X: 1, Y: 1}, {X: 2, Y: 1}, {X: 2, Y: 2}},
+	)
+	p2 := geom.NewPolygon(geom.Ring{{X: 20, Y: 20}, {X: 22, Y: 20}, {X: 21, Y: 23}})
+	for _, m := range []*geom.MultiPolygon{
+		geom.NewMultiPolygon(p1),
+		geom.NewMultiPolygon(p1, p2),
+	} {
+		data, err := MarshalGeometry(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := ParseGeometry(data)
+		if err != nil {
+			t.Fatalf("%s: %v", data, err)
+		}
+		if len(back.Polys) != len(m.Polys) || back.NumVertices() != m.NumVertices() {
+			t.Fatalf("round trip changed structure: %s", data)
+		}
+		if math.Abs(back.Area()-m.Area()) > 1e-9 {
+			t.Fatal("round trip changed area")
+		}
+	}
+}
+
+func TestFeatureCollectionRoundTrip(t *testing.T) {
+	fs := []Feature{
+		{
+			Geometry:   geom.NewMultiPolygon(geom.NewPolygon(geom.Ring{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 0, Y: 4}})),
+			Properties: map[string]any{"name": "park", "id": float64(7)},
+		},
+		{
+			Geometry: geom.NewMultiPolygon(geom.NewPolygon(geom.Ring{{X: 10, Y: 10}, {X: 12, Y: 10}, {X: 11, Y: 13}})),
+		},
+	}
+	data, err := MarshalFeatureCollection(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseFeatureCollection(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 {
+		t.Fatalf("got %d features", len(back))
+	}
+	if back[0].Properties["name"] != "park" || back[0].Properties["id"] != float64(7) {
+		t.Errorf("properties lost: %v", back[0].Properties)
+	}
+	if back[1].Geometry.NumVertices() != 3 {
+		t.Error("second geometry wrong")
+	}
+}
+
+func TestParseRootVariants(t *testing.T) {
+	// Single feature.
+	fs, err := ParseFeatureCollection([]byte(`{"type":"Feature","geometry":{"type":"Polygon","coordinates":[[[0,0],[2,0],[2,2],[0,0]]]},"properties":{"a":1}}`))
+	if err != nil || len(fs) != 1 {
+		t.Fatalf("feature root: %v, %d", err, len(fs))
+	}
+	// Bare geometry.
+	fs, err = ParseFeatureCollection([]byte(`{"type":"Polygon","coordinates":[[[0,0],[2,0],[2,2],[0,0]]]}`))
+	if err != nil || len(fs) != 1 {
+		t.Fatalf("bare geometry root: %v", err)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		``,
+		`{"type":"Point","coordinates":[1,2]}`,
+		`{"type":"Polygon","coordinates":[]}`,
+		`{"type":"Polygon","coordinates":[[[0,0],[1,1]]]}`,             // too few
+		`{"type":"Polygon","coordinates":[[[0,0,5],[1,0,5],[1,1,5]]]}`, // 3D
+		`{"type":"Polygon","coordinates":"nope"}`,
+		`{"type":"FeatureCollection","features":[{"type":"Feature","properties":{}}]}`, // no geometry
+		`{"type":"LineString","coordinates":[[0,0],[1,1]]}`,
+	}
+	for _, s := range bad {
+		if _, err := ParseFeatureCollection([]byte(s)); err == nil {
+			t.Errorf("input %q should fail", s)
+		}
+	}
+}
+
+func TestMarshalClosesRings(t *testing.T) {
+	m := geom.NewMultiPolygon(geom.NewPolygon(geom.Ring{{X: 0, Y: 0}, {X: 2, Y: 0}, {X: 1, Y: 2}}))
+	data, err := MarshalGeometry(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RFC 7946 rings are closed: 4 positions for a triangle.
+	if !strings.Contains(string(data), `[[[0,0],[2,0],[1,2],[0,0]]]`) {
+		t.Errorf("ring not closed: %s", data)
+	}
+}

@@ -1,0 +1,73 @@
+package geom
+
+import "math"
+
+// SegmentDistance returns the minimum distance between segments (a, b)
+// and (c, d); 0 when they intersect.
+func SegmentDistance(a, b, c, d Point) float64 {
+	if SegIntersect(a, b, c, d).Kind != SegNone {
+		return 0
+	}
+	return math.Min(
+		math.Min(distToSegment(a, c, d), distToSegment(b, c, d)),
+		math.Min(distToSegment(c, a, b), distToSegment(d, a, b)),
+	)
+}
+
+// MBRDistance returns the minimum distance between two rectangles
+// (0 when they intersect) — the cheap lower bound used to prune distance
+// computations.
+func MBRDistance(a, b MBR) float64 {
+	dx := math.Max(0, math.Max(a.MinX-b.MaxX, b.MinX-a.MaxX))
+	dy := math.Max(0, math.Max(a.MinY-b.MaxY, b.MinY-a.MaxY))
+	return math.Hypot(dx, dy)
+}
+
+// PointPolygonDistance returns the distance from p to polygon poly:
+// 0 when p lies inside or on the boundary.
+func PointPolygonDistance(p Point, poly *Polygon) float64 {
+	if LocateInPolygon(p, poly) != Outside {
+		return 0
+	}
+	best := math.Inf(1)
+	poly.Edges(func(a, b Point) {
+		if d := distToSegment(p, a, b); d < best {
+			best = d
+		}
+	})
+	return best
+}
+
+// PolygonDistance returns the minimum distance between two polygons:
+// 0 when they share a point (including containment). For separated
+// polygons the minimum is attained between boundary edges; the edge scan
+// prunes pairs whose bounding boxes already exceed the best found.
+func PolygonDistance(a, b *Polygon) float64 {
+	if MBRDistance(a.Bounds(), b.Bounds()) == 0 {
+		// Potential overlap: containment makes the distance 0 without any
+		// boundary proximity.
+		if LocateInPolygon(a.Shell[0], b) != Outside || LocateInPolygon(b.Shell[0], a) != Outside {
+			return 0
+		}
+	}
+	best := math.Inf(1)
+	a.Edges(func(p, q Point) {
+		// Edge-level bound: the other polygon's MBR.
+		eb := BoundsOf([]Point{p, q})
+		if MBRDistance(eb, b.Bounds()) >= best {
+			return
+		}
+		b.Edges(func(r, s Point) {
+			sb := BoundsOf([]Point{r, s})
+			if MBRDistance(eb, sb) >= best {
+				return
+			}
+			if d := SegmentDistance(p, q, r, s); d < best {
+				best = d
+			}
+		})
+	})
+	return best
+}
+
+// distToSegment is defined in simplify.go and shared here.

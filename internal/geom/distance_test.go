@@ -1,0 +1,139 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMBRDistance(t *testing.T) {
+	a := MBR{0, 0, 2, 2}
+	cases := []struct {
+		b    MBR
+		want float64
+	}{
+		{MBR{1, 1, 3, 3}, 0},    // overlap
+		{MBR{2, 0, 4, 2}, 0},    // touch
+		{MBR{5, 0, 6, 2}, 3},    // right
+		{MBR{0, 5, 2, 6}, 3},    // above
+		{MBR{5, 6, 7, 8}, 5},    // diagonal (3,4)
+		{MBR{-4, -2, -2, 0}, 2}, // left, touching in y
+	}
+	for _, c := range cases {
+		if got := MBRDistance(a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("MBRDistance(%v) = %v, want %v", c.b, got, c.want)
+		}
+		if got := MBRDistance(c.b, a); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("MBRDistance symmetric (%v) = %v", c.b, got)
+		}
+	}
+}
+
+func TestSegmentDistance(t *testing.T) {
+	if d := SegmentDistance(Point{0, 0}, Point{2, 2}, Point{0, 2}, Point{2, 0}); d != 0 {
+		t.Errorf("crossing segments: %v", d)
+	}
+	if d := SegmentDistance(Point{0, 0}, Point{4, 0}, Point{0, 3}, Point{4, 3}); math.Abs(d-3) > 1e-12 {
+		t.Errorf("parallel segments: %v", d)
+	}
+	if d := SegmentDistance(Point{0, 0}, Point{1, 0}, Point{3, 4}, Point{3, 8}); math.Abs(d-math.Hypot(2, 4)) > 1e-12 {
+		t.Errorf("endpoint distance: %v", d)
+	}
+}
+
+func TestPointPolygonDistance(t *testing.T) {
+	p := NewPolygon(square(0, 0, 4))
+	if d := PointPolygonDistance(Point{2, 2}, p); d != 0 {
+		t.Errorf("inside: %v", d)
+	}
+	if d := PointPolygonDistance(Point{4, 2}, p); d != 0 {
+		t.Errorf("on boundary: %v", d)
+	}
+	if d := PointPolygonDistance(Point{7, 2}, p); math.Abs(d-3) > 1e-12 {
+		t.Errorf("beside: %v", d)
+	}
+	if d := PointPolygonDistance(Point{7, 8}, p); math.Abs(d-5) > 1e-12 {
+		t.Errorf("diagonal: %v", d)
+	}
+	// Inside the hole of an annulus: distance to the hole ring.
+	ann := NewPolygon(square(0, 0, 10), square(3, 3, 4))
+	if d := PointPolygonDistance(Point{5, 5}, ann); math.Abs(d-2) > 1e-12 {
+		t.Errorf("hole center: %v", d)
+	}
+}
+
+func TestPolygonDistance(t *testing.T) {
+	a := NewPolygon(square(0, 0, 2))
+	cases := []struct {
+		b    *Polygon
+		want float64
+	}{
+		{NewPolygon(square(5, 0, 2)), 3},
+		{NewPolygon(square(2, 0, 2)), 0},             // touching
+		{NewPolygon(square(1, 1, 4)), 0},             // overlapping
+		{NewPolygon(square(-3, -3, 10)), 0},          // contains a
+		{NewPolygon(square(5, 5, 2)), math.Sqrt(18)}, // diagonal
+	}
+	for i, c := range cases {
+		if got := PolygonDistance(a, c.b); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d: %v, want %v", i, got, c.want)
+		}
+		if got := PolygonDistance(c.b, a); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("case %d symmetric: %v", i, got)
+		}
+	}
+	// a inside the hole of an annulus: positive distance to the hole ring.
+	ann := NewPolygon(square(-10, -10, 30), square(-1, -1, 4))
+	if got := PolygonDistance(a, ann); math.Abs(got-1) > 1e-12 {
+		t.Errorf("annulus case: %v, want 1", got)
+	}
+}
+
+// TestPolygonDistanceRandom: distance is 0 iff the polygons intersect
+// (brute force), and otherwise equals the minimum over all edge pairs.
+func TestPolygonDistanceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 80; trial++ {
+		a := NewPolygon(randBlob(rng, rng.Float64()*20, rng.Float64()*20, 2+rng.Float64()*5, 6+rng.Intn(30)))
+		b := NewPolygon(randBlob(rng, rng.Float64()*20, rng.Float64()*20, 2+rng.Float64()*5, 6+rng.Intn(30)))
+		got := PolygonDistance(a, b)
+		intersects := bruteIntersect(a, b)
+		if intersects && got != 0 {
+			t.Fatalf("trial %d: intersecting but distance %v", trial, got)
+		}
+		if !intersects {
+			want := math.Inf(1)
+			a.Edges(func(p, q Point) {
+				b.Edges(func(r, s Point) {
+					if d := SegmentDistance(p, q, r, s); d < want {
+						want = d
+					}
+				})
+			})
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("trial %d: %v, brute %v", trial, got, want)
+			}
+			if got <= 0 {
+				t.Fatalf("trial %d: disjoint but distance %v", trial, got)
+			}
+		}
+	}
+}
+
+func bruteIntersect(a, b *Polygon) bool {
+	cross := false
+	a.Edges(func(p, q Point) {
+		b.Edges(func(r, s Point) {
+			if SegIntersect(p, q, r, s).Kind != SegNone {
+				cross = true
+			}
+		})
+	})
+	if cross {
+		return true
+	}
+	if LocateInPolygon(a.Shell[0], b) != Outside {
+		return true
+	}
+	return LocateInPolygon(b.Shell[0], a) != Outside
+}

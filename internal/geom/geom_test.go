@@ -1,0 +1,207 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randBlob generates a random star-shaped ring around (cx, cy): angles are
+// sorted so the ring is simple by construction.
+func randBlob(rng *rand.Rand, cx, cy, radius float64, n int) Ring {
+	angles := make([]float64, n)
+	step := 2 * math.Pi / float64(n)
+	for i := range angles {
+		angles[i] = float64(i)*step + rng.Float64()*step*0.8
+	}
+	ring := make(Ring, n)
+	for i, a := range angles {
+		r := radius * (0.4 + 0.6*rng.Float64())
+		ring[i] = Point{cx + r*math.Cos(a), cy + r*math.Sin(a)}
+	}
+	return ring
+}
+
+func square(x, y, side float64) Ring {
+	return Ring{{x, y}, {x + side, y}, {x + side, y + side}, {x, y + side}}
+}
+
+func TestOrient(t *testing.T) {
+	a, b := Point{0, 0}, Point{1, 0}
+	if Orient(a, b, Point{0.5, 1}) != 1 {
+		t.Error("expected CCW")
+	}
+	if Orient(a, b, Point{0.5, -1}) != -1 {
+		t.Error("expected CW")
+	}
+	if Orient(a, b, Point{2, 0}) != 0 {
+		t.Error("expected collinear")
+	}
+}
+
+func TestPointOps(t *testing.T) {
+	p, q := Point{1, 2}, Point{4, 6}
+	if got := p.Add(q); got != (Point{5, 8}) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := q.Sub(p); got != (Point{3, 4}) {
+		t.Errorf("Sub = %v", got)
+	}
+	if d := p.Dist(q); math.Abs(d-5) > 1e-12 {
+		t.Errorf("Dist = %v, want 5", d)
+	}
+	if got := Midpoint(p, q); got != (Point{2.5, 4}) {
+		t.Errorf("Midpoint = %v", got)
+	}
+	if got := Lerp(p, q, 0); !got.Eq(p) {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := Lerp(p, q, 1); !got.Eq(q) {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+	if !p.Eq(Point{1 + 1e-13, 2}) {
+		t.Error("Eq should tolerate Eps")
+	}
+}
+
+func TestMBRBasics(t *testing.T) {
+	m := EmptyMBR()
+	if !m.IsEmpty() {
+		t.Fatal("EmptyMBR not empty")
+	}
+	m = m.ExpandPoint(Point{1, 2}).ExpandPoint(Point{3, -1})
+	want := MBR{1, -1, 3, 2}
+	if m != want {
+		t.Fatalf("expand = %v, want %v", m, want)
+	}
+	if m.Area() != 2*3 {
+		t.Errorf("Area = %v", m.Area())
+	}
+	if m.Center() != (Point{2, 0.5}) {
+		t.Errorf("Center = %v", m.Center())
+	}
+
+	o := MBR{2, 0, 5, 5}
+	if !m.Intersects(o) {
+		t.Error("should intersect")
+	}
+	inter := m.Intersection(o)
+	if inter != (MBR{2, 0, 3, 2}) {
+		t.Errorf("Intersection = %v", inter)
+	}
+	if m.Intersects(MBR{10, 10, 11, 11}) {
+		t.Error("should not intersect")
+	}
+	// Touching boundaries intersect.
+	if !m.Intersects(MBR{3, 2, 4, 4}) {
+		t.Error("touching MBRs must intersect")
+	}
+}
+
+func TestMBRContains(t *testing.T) {
+	outer := MBR{0, 0, 10, 10}
+	inner := MBR{2, 2, 8, 8}
+	if !outer.ContainsMBR(inner) || !outer.StrictlyContainsMBR(inner) {
+		t.Error("outer should contain inner")
+	}
+	edge := MBR{0, 2, 8, 8}
+	if !outer.ContainsMBR(edge) {
+		t.Error("contains with shared edge")
+	}
+	if outer.StrictlyContainsMBR(edge) {
+		t.Error("strict containment must reject shared edge")
+	}
+	if !outer.Equal(MBR{0, 0, 10, 10}) {
+		t.Error("Equal failed")
+	}
+	if !outer.ContainsPoint(Point{0, 0}) || outer.ContainsPoint(Point{-1, 5}) {
+		t.Error("ContainsPoint failed")
+	}
+}
+
+func TestRingAreaOrientation(t *testing.T) {
+	sq := square(0, 0, 2)
+	if a := sq.Area(); math.Abs(a-4) > 1e-12 {
+		t.Errorf("Area = %v, want 4", a)
+	}
+	if !sq.IsCCW() {
+		t.Error("square should be CCW")
+	}
+	rev := sq.Clone()
+	rev.Reverse()
+	if rev.IsCCW() {
+		t.Error("reversed square should be CW")
+	}
+	if a := rev.Area(); math.Abs(a+4) > 1e-12 {
+		t.Errorf("reversed Area = %v, want -4", a)
+	}
+}
+
+func TestNewPolygonNormalizesOrientation(t *testing.T) {
+	shell := square(0, 0, 10)
+	shell.Reverse()         // CW input
+	hole := square(2, 2, 2) // CCW input
+	p := NewPolygon(shell, hole)
+	if !p.Shell.IsCCW() {
+		t.Error("shell not normalized to CCW")
+	}
+	if p.Holes[0].IsCCW() {
+		t.Error("hole not normalized to CW")
+	}
+	if a := p.Area(); math.Abs(a-(100-4)) > 1e-9 {
+		t.Errorf("Area = %v, want 96", a)
+	}
+	if p.NumVertices() != 8 {
+		t.Errorf("NumVertices = %d, want 8", p.NumVertices())
+	}
+}
+
+func TestPolygonEdgesAndRings(t *testing.T) {
+	p := NewPolygon(square(0, 0, 4), square(1, 1, 1))
+	var edges, rings int
+	p.Edges(func(a, b Point) { edges++ })
+	p.Rings(func(r Ring) { rings++ })
+	if edges != 8 || rings != 2 {
+		t.Errorf("edges=%d rings=%d, want 8, 2", edges, rings)
+	}
+}
+
+func TestPolygonTransforms(t *testing.T) {
+	p := NewPolygon(square(0, 0, 2))
+	q := p.Translate(10, 5)
+	if q.Bounds() != (MBR{10, 5, 12, 7}) {
+		t.Errorf("Translate bounds = %v", q.Bounds())
+	}
+	// Original untouched.
+	if p.Bounds() != (MBR{0, 0, 2, 2}) {
+		t.Error("Translate mutated the receiver")
+	}
+	s := p.ScaleAbout(Point{0, 0}, 3)
+	if s.Bounds() != (MBR{0, 0, 6, 6}) {
+		t.Errorf("ScaleAbout bounds = %v", s.Bounds())
+	}
+	if math.Abs(s.Area()-36) > 1e-9 {
+		t.Errorf("scaled area = %v", s.Area())
+	}
+}
+
+func TestMultiPolygon(t *testing.T) {
+	m := NewMultiPolygon(
+		NewPolygon(square(0, 0, 1)),
+		NewPolygon(square(5, 5, 2)),
+	)
+	if m.Bounds() != (MBR{0, 0, 7, 7}) {
+		t.Errorf("Bounds = %v", m.Bounds())
+	}
+	if math.Abs(m.Area()-5) > 1e-9 {
+		t.Errorf("Area = %v, want 5", m.Area())
+	}
+	if m.NumVertices() != 8 {
+		t.Errorf("NumVertices = %d", m.NumVertices())
+	}
+	var edges int
+	m.Edges(func(a, b Point) { edges++ })
+	if edges != 8 {
+		t.Errorf("edges = %d", edges)
+	}
+}

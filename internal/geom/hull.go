@@ -1,0 +1,130 @@
+package geom
+
+import "sort"
+
+// ConvexHull returns the convex hull of the points as a CCW ring, using
+// Andrew's monotone chain. Collinear points on the hull boundary are
+// dropped. The input is not modified.
+func ConvexHull(pts []Point) Ring {
+	if len(pts) < 3 {
+		out := make(Ring, len(pts))
+		copy(out, pts)
+		return out
+	}
+	ps := make([]Point, len(pts))
+	copy(ps, pts)
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].X != ps[j].X {
+			return ps[i].X < ps[j].X
+		}
+		return ps[i].Y < ps[j].Y
+	})
+	// Deduplicate.
+	uniq := ps[:1]
+	for _, p := range ps[1:] {
+		if !p.Eq(uniq[len(uniq)-1]) {
+			uniq = append(uniq, p)
+		}
+	}
+	ps = uniq
+	if len(ps) < 3 {
+		out := make(Ring, len(ps))
+		copy(out, ps)
+		return out
+	}
+
+	build := func(iter func(fn func(Point))) []Point {
+		var chain []Point
+		iter(func(p Point) {
+			for len(chain) >= 2 && Cross(chain[len(chain)-2], chain[len(chain)-1], p) <= Eps {
+				chain = chain[:len(chain)-1]
+			}
+			chain = append(chain, p)
+		})
+		return chain
+	}
+	lower := build(func(fn func(Point)) {
+		for _, p := range ps {
+			fn(p)
+		}
+	})
+	upper := build(func(fn func(Point)) {
+		for i := len(ps) - 1; i >= 0; i-- {
+			fn(ps[i])
+		}
+	})
+	hull := append(lower[:len(lower)-1], upper[:len(upper)-1]...)
+	return Ring(hull)
+}
+
+// HullOfPolygon returns the convex hull of the polygon's shell (holes
+// cannot contribute hull vertices).
+func HullOfPolygon(p *Polygon) Ring { return ConvexHull(p.Shell) }
+
+// ConvexContainsPoint reports whether p lies inside or on a convex CCW
+// ring, in O(log n) via binary search on the fan around vertex 0.
+func ConvexContainsPoint(hull Ring, p Point) bool {
+	n := len(hull)
+	if n == 0 {
+		return false
+	}
+	if n == 1 {
+		return hull[0].Eq(p)
+	}
+	if n == 2 {
+		return OnSegment(p, hull[0], hull[1])
+	}
+	if Cross(hull[0], hull[1], p) < -Eps || Cross(hull[0], hull[n-1], p) > Eps {
+		return false
+	}
+	lo, hi := 1, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if Cross(hull[0], hull[mid], p) >= -Eps {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return Cross(hull[lo], hull[lo+1], p) >= -Eps
+}
+
+// ConvexIntersects reports whether two convex CCW rings share at least
+// one point, via separating-axis testing over both edge sets.
+func ConvexIntersects(a, b Ring) bool {
+	if len(a) == 0 || len(b) == 0 {
+		return false
+	}
+	return !hasSeparatingAxis(a, b) && !hasSeparatingAxis(b, a)
+}
+
+// hasSeparatingAxis reports whether some edge of a separates all of b
+// strictly to its outside.
+func hasSeparatingAxis(a, b Ring) bool {
+	n := len(a)
+	for i := 0; i < n; i++ {
+		p, q := a[i], a[(i+1)%n]
+		separates := true
+		for _, v := range b {
+			if Cross(p, q, v) >= -Eps {
+				separates = false
+				break
+			}
+		}
+		if separates {
+			return true
+		}
+	}
+	return false
+}
+
+// ConvexContainsRing reports whether every vertex of r lies inside hull
+// (sufficient for ring containment when hull is convex).
+func ConvexContainsRing(hull, r Ring) bool {
+	for _, v := range r {
+		if !ConvexContainsPoint(hull, v) {
+			return false
+		}
+	}
+	return true
+}

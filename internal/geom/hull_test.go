@@ -1,0 +1,151 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestConvexHullSquarePlusInterior(t *testing.T) {
+	pts := []Point{{0, 0}, {4, 0}, {4, 4}, {0, 4}, {2, 2}, {1, 3}, {2, 0}}
+	hull := ConvexHull(pts)
+	if len(hull) != 4 {
+		t.Fatalf("hull has %d vertices: %v", len(hull), hull)
+	}
+	if !hull.IsCCW() {
+		t.Error("hull must be CCW")
+	}
+	if a := hull.Area(); a != 16 {
+		t.Errorf("hull area = %v", a)
+	}
+}
+
+func TestConvexHullDegenerate(t *testing.T) {
+	if h := ConvexHull([]Point{{1, 1}}); len(h) != 1 {
+		t.Errorf("single point hull: %v", h)
+	}
+	if h := ConvexHull([]Point{{1, 1}, {2, 2}}); len(h) != 2 {
+		t.Errorf("two point hull: %v", h)
+	}
+	// All identical points collapse.
+	if h := ConvexHull([]Point{{1, 1}, {1, 1}, {1, 1}, {1, 1}}); len(h) != 1 {
+		t.Errorf("identical points hull: %v", h)
+	}
+}
+
+// TestConvexHullProperties: the hull contains every input point, is
+// convex, and is invariant under input shuffling.
+func TestConvexHullProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	for trial := 0; trial < 60; trial++ {
+		n := 4 + rng.Intn(200)
+		pts := make([]Point, n)
+		for i := range pts {
+			pts[i] = Point{rng.Float64() * 20, rng.Float64() * 20}
+		}
+		hull := ConvexHull(pts)
+		if len(hull) < 3 {
+			t.Fatalf("trial %d: degenerate hull from %d points", trial, n)
+		}
+		// Convexity: every consecutive triple turns left (or straight).
+		m := len(hull)
+		for i := 0; i < m; i++ {
+			if Cross(hull[i], hull[(i+1)%m], hull[(i+2)%m]) < -Eps {
+				t.Fatalf("trial %d: hull not convex at %d", trial, i)
+			}
+		}
+		for _, p := range pts {
+			if !ConvexContainsPoint(hull, p) {
+				t.Fatalf("trial %d: hull misses input point %v", trial, p)
+			}
+		}
+		// Shuffle invariance (same vertex set).
+		rng.Shuffle(n, func(i, j int) { pts[i], pts[j] = pts[j], pts[i] })
+		hull2 := ConvexHull(pts)
+		if len(hull2) != m || hull2.Area() != hull.Area() {
+			t.Fatalf("trial %d: hull changed under shuffle", trial)
+		}
+	}
+}
+
+func TestConvexContainsPoint(t *testing.T) {
+	hull := Ring{{0, 0}, {6, 0}, {6, 6}, {0, 6}}
+	for _, p := range []Point{{3, 3}, {0, 0}, {6, 6}, {3, 0}, {0, 3}} {
+		if !ConvexContainsPoint(hull, p) {
+			t.Errorf("%v should be inside", p)
+		}
+	}
+	for _, p := range []Point{{-1, 3}, {7, 3}, {3, -0.001}, {3, 6.001}} {
+		if ConvexContainsPoint(hull, p) {
+			t.Errorf("%v should be outside", p)
+		}
+	}
+}
+
+// TestConvexIntersectsAgainstBrute compares the SAT test with a brute
+// force on random convex polygons.
+func TestConvexIntersectsAgainstBrute(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	randHull := func() Ring {
+		n := 4 + rng.Intn(20)
+		pts := make([]Point, n)
+		cx, cy := rng.Float64()*16, rng.Float64()*16
+		for i := range pts {
+			pts[i] = Point{cx + rng.Float64()*8, cy + rng.Float64()*8}
+		}
+		return ConvexHull(pts)
+	}
+	for trial := 0; trial < 300; trial++ {
+		a, b := randHull(), randHull()
+		if len(a) < 3 || len(b) < 3 {
+			continue
+		}
+		got := ConvexIntersects(a, b)
+		want := bruteRingsIntersect(a, b)
+		if got != want {
+			t.Fatalf("trial %d: SAT=%v brute=%v\na=%v\nb=%v", trial, got, want, a, b)
+		}
+	}
+}
+
+func bruteRingsIntersect(a, b Ring) bool {
+	cross := false
+	a.Edges(func(p, q Point) {
+		b.Edges(func(r, s Point) {
+			if SegIntersect(p, q, r, s).Kind != SegNone {
+				cross = true
+			}
+		})
+	})
+	if cross {
+		return true
+	}
+	if LocateInRing(a[0], b) != Outside {
+		return true
+	}
+	return LocateInRing(b[0], a) != Outside
+}
+
+func TestConvexContainsRing(t *testing.T) {
+	outer := Ring{{0, 0}, {10, 0}, {10, 10}, {0, 10}}
+	inner := Ring{{2, 2}, {5, 2}, {4, 5}}
+	if !ConvexContainsRing(outer, inner) {
+		t.Error("inner should be contained")
+	}
+	if ConvexContainsRing(inner, outer) {
+		t.Error("outer cannot be inside inner")
+	}
+}
+
+func TestHullOfPolygon(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p := NewPolygon(randBlob(rng, 5, 5, 4, 60))
+	hull := HullOfPolygon(p)
+	for _, v := range p.Shell {
+		if !ConvexContainsPoint(hull, v) {
+			t.Fatalf("hull misses shell vertex %v", v)
+		}
+	}
+	if hull.Area() < p.Shell.Area() {
+		t.Error("hull area must dominate shell area")
+	}
+}

@@ -1,0 +1,109 @@
+package geom
+
+import "math"
+
+// MBR is an axis-aligned minimum bounding rectangle.
+type MBR struct {
+	MinX, MinY, MaxX, MaxY float64
+}
+
+// EmptyMBR returns an MBR that behaves as the identity under Expand.
+func EmptyMBR() MBR {
+	return MBR{
+		MinX: math.Inf(1), MinY: math.Inf(1),
+		MaxX: math.Inf(-1), MaxY: math.Inf(-1),
+	}
+}
+
+// IsEmpty reports whether the MBR contains no points.
+func (m MBR) IsEmpty() bool { return m.MinX > m.MaxX || m.MinY > m.MaxY }
+
+// Width returns the horizontal extent.
+func (m MBR) Width() float64 { return m.MaxX - m.MinX }
+
+// Height returns the vertical extent.
+func (m MBR) Height() float64 { return m.MaxY - m.MinY }
+
+// Area returns the rectangle area (0 for degenerate rectangles).
+func (m MBR) Area() float64 {
+	if m.IsEmpty() {
+		return 0
+	}
+	return m.Width() * m.Height()
+}
+
+// Center returns the rectangle center.
+func (m MBR) Center() Point { return Point{(m.MinX + m.MaxX) / 2, (m.MinY + m.MaxY) / 2} }
+
+// ExpandPoint grows m to include p.
+func (m MBR) ExpandPoint(p Point) MBR {
+	return MBR{
+		MinX: math.Min(m.MinX, p.X), MinY: math.Min(m.MinY, p.Y),
+		MaxX: math.Max(m.MaxX, p.X), MaxY: math.Max(m.MaxY, p.Y),
+	}
+}
+
+// Expand grows m to include o.
+func (m MBR) Expand(o MBR) MBR {
+	if o.IsEmpty() {
+		return m
+	}
+	if m.IsEmpty() {
+		return o
+	}
+	return MBR{
+		MinX: math.Min(m.MinX, o.MinX), MinY: math.Min(m.MinY, o.MinY),
+		MaxX: math.Max(m.MaxX, o.MaxX), MaxY: math.Max(m.MaxY, o.MaxY),
+	}
+}
+
+// Intersects reports whether m and o share at least one point
+// (touching edges count as intersecting).
+func (m MBR) Intersects(o MBR) bool {
+	return m.MinX <= o.MaxX && o.MinX <= m.MaxX &&
+		m.MinY <= o.MaxY && o.MinY <= m.MaxY
+}
+
+// Intersection returns the overlap rectangle of m and o; it is empty when
+// the rectangles are disjoint.
+func (m MBR) Intersection(o MBR) MBR {
+	r := MBR{
+		MinX: math.Max(m.MinX, o.MinX), MinY: math.Max(m.MinY, o.MinY),
+		MaxX: math.Min(m.MaxX, o.MaxX), MaxY: math.Min(m.MaxY, o.MaxY),
+	}
+	return r
+}
+
+// ContainsMBR reports whether o lies entirely within m (boundaries may touch).
+func (m MBR) ContainsMBR(o MBR) bool {
+	return m.MinX <= o.MinX && o.MaxX <= m.MaxX &&
+		m.MinY <= o.MinY && o.MaxY <= m.MaxY
+}
+
+// StrictlyContainsMBR reports whether o lies in the interior of m
+// (no shared boundary coordinates).
+func (m MBR) StrictlyContainsMBR(o MBR) bool {
+	return m.MinX < o.MinX && o.MaxX < m.MaxX &&
+		m.MinY < o.MinY && o.MaxY < m.MaxY
+}
+
+// Equal reports whether m and o are the same rectangle (exact comparison;
+// approximations are built from identical source coordinates).
+func (m MBR) Equal(o MBR) bool {
+	return m.MinX == o.MinX && m.MinY == o.MinY &&
+		m.MaxX == o.MaxX && m.MaxY == o.MaxY
+}
+
+// ContainsPoint reports whether p lies inside or on the boundary of m.
+func (m MBR) ContainsPoint(p Point) bool {
+	return m.MinX <= p.X && p.X <= m.MaxX && m.MinY <= p.Y && p.Y <= m.MaxY
+}
+
+// BoundsOf returns the MBR of a point slice.
+func BoundsOf(pts []Point) MBR {
+	m := EmptyMBR()
+	for _, p := range pts {
+		m = m.ExpandPoint(p)
+	}
+	return m
+}

@@ -1,0 +1,89 @@
+package geom
+
+// Location classifies a point against a region.
+type Location int
+
+// Point locations relative to a region.
+const (
+	Outside Location = iota
+	OnBoundary
+	Inside
+)
+
+func (l Location) String() string {
+	switch l {
+	case Outside:
+		return "outside"
+	case OnBoundary:
+		return "boundary"
+	default:
+		return "inside"
+	}
+}
+
+// ringCrossings counts, for the ray from p to x = +inf, the parity of ring
+// edge crossings, reporting (odd, onBoundary).
+func ringCrossings(p Point, r Ring) (bool, bool) {
+	n := len(r)
+	odd := false
+	for i := 0; i < n; i++ {
+		a, b := r[i], r[(i+1)%n]
+		if OnSegment(p, a, b) {
+			return false, true
+		}
+		// Half-open rule: count edges whose y-span straddles p.Y.
+		if (a.Y > p.Y) != (b.Y > p.Y) {
+			xint := a.X + (p.Y-a.Y)*(b.X-a.X)/(b.Y-a.Y)
+			if xint > p.X {
+				odd = !odd
+			}
+		}
+	}
+	return odd, false
+}
+
+// LocateInRing classifies p against the region enclosed by ring r.
+func LocateInRing(p Point, r Ring) Location {
+	odd, on := ringCrossings(p, r)
+	switch {
+	case on:
+		return OnBoundary
+	case odd:
+		return Inside
+	default:
+		return Outside
+	}
+}
+
+// LocateInPolygon classifies p against polygon poly, treating hole
+// boundaries as part of the polygon boundary and hole interiors as exterior.
+func LocateInPolygon(p Point, poly *Polygon) Location {
+	if !poly.Bounds().ContainsPoint(p) {
+		return Outside
+	}
+	switch LocateInRing(p, poly.Shell) {
+	case Outside:
+		return Outside
+	case OnBoundary:
+		return OnBoundary
+	}
+	for _, h := range poly.Holes {
+		switch LocateInRing(p, h) {
+		case Inside:
+			return Outside // inside a hole
+		case OnBoundary:
+			return OnBoundary
+		}
+	}
+	return Inside
+}
+
+// LocateInMulti classifies p against a multipolygon.
+func LocateInMulti(p Point, m *MultiPolygon) Location {
+	for _, poly := range m.Polys {
+		if loc := LocateInPolygon(p, poly); loc != Outside {
+			return loc
+		}
+	}
+	return Outside
+}

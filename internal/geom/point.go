@@ -1,0 +1,72 @@
+// Package geom implements the planar geometry kernel used throughout the
+// library: points, axis-aligned rectangles, linear rings, polygons with
+// holes, and multipolygons, together with the predicates needed by the
+// DE-9IM refinement engine and the raster approximation builder.
+//
+// Conventions:
+//   - Rings are stored without a repeated closing vertex and are treated as
+//     cyclic: the edge (pts[len-1], pts[0]) is implicit.
+//   - Polygon shells are counter-clockwise, holes clockwise; constructors
+//     normalize orientation.
+//   - All predicates use float64 with a small absolute tolerance Eps, which
+//     is adequate for coordinates of magnitude O(1)..O(10^4) as produced by
+//     the synthetic data generators.
+package geom
+
+import "math"
+
+// Eps is the absolute tolerance used by geometric predicates.
+const Eps = 1e-12
+
+// Point is a location in the plane.
+type Point struct {
+	X, Y float64
+}
+
+// Sub returns the vector p - q.
+func (p Point) Sub(q Point) Point { return Point{p.X - q.X, p.Y - q.Y} }
+
+// Add returns the vector sum p + q.
+func (p Point) Add(q Point) Point { return Point{p.X + q.X, p.Y + q.Y} }
+
+// Scale returns p scaled by f.
+func (p Point) Scale(f float64) Point { return Point{p.X * f, p.Y * f} }
+
+// Eq reports whether p and q coincide within Eps.
+func (p Point) Eq(q Point) bool {
+	return math.Abs(p.X-q.X) <= Eps && math.Abs(p.Y-q.Y) <= Eps
+}
+
+// Dist returns the Euclidean distance between p and q.
+func (p Point) Dist(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Cross returns the 2D cross product (q-p) × (r-p).
+func Cross(p, q, r Point) float64 {
+	return (q.X-p.X)*(r.Y-p.Y) - (q.Y-p.Y)*(r.X-p.X)
+}
+
+// Orient returns the orientation of the triple (p, q, r):
+// +1 for counter-clockwise, -1 for clockwise, 0 for (near-)collinear.
+func Orient(p, q, r Point) int {
+	c := Cross(p, q, r)
+	switch {
+	case c > Eps:
+		return 1
+	case c < -Eps:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// Midpoint returns the midpoint of segment (p, q).
+func Midpoint(p, q Point) Point {
+	return Point{(p.X + q.X) / 2, (p.Y + q.Y) / 2}
+}
+
+// Lerp returns p + t*(q-p).
+func Lerp(p, q Point, t float64) Point {
+	return Point{p.X + t*(q.X-p.X), p.Y + t*(q.Y-p.Y)}
+}

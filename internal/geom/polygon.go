@@ -1,0 +1,207 @@
+package geom
+
+// Ring is a closed sequence of vertices. The closing edge from the last
+// vertex back to the first is implicit; the first vertex is not repeated.
+type Ring []Point
+
+// Area returns the signed area of the ring: positive for counter-clockwise,
+// negative for clockwise orientation.
+func (r Ring) Area() float64 {
+	n := len(r)
+	if n < 3 {
+		return 0
+	}
+	var a float64
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		a += r[i].X*r[j].Y - r[j].X*r[i].Y
+	}
+	return a / 2
+}
+
+// IsCCW reports whether the ring winds counter-clockwise.
+func (r Ring) IsCCW() bool { return r.Area() > 0 }
+
+// Reverse reverses the vertex order in place.
+func (r Ring) Reverse() {
+	for i, j := 0, len(r)-1; i < j; i, j = i+1, j-1 {
+		r[i], r[j] = r[j], r[i]
+	}
+}
+
+// Clone returns a deep copy of the ring.
+func (r Ring) Clone() Ring {
+	c := make(Ring, len(r))
+	copy(c, r)
+	return c
+}
+
+// Bounds returns the MBR of the ring.
+func (r Ring) Bounds() MBR { return BoundsOf(r) }
+
+// Edges calls fn for every edge (a, b) of the ring, including the implicit
+// closing edge.
+func (r Ring) Edges(fn func(a, b Point)) {
+	n := len(r)
+	for i := 0; i < n; i++ {
+		fn(r[i], r[(i+1)%n])
+	}
+}
+
+// Polygon is a simple polygon with optional holes. The shell is
+// counter-clockwise and holes are clockwise after NewPolygon.
+type Polygon struct {
+	Shell Ring
+	Holes []Ring
+
+	bounds MBR
+	hasBox bool
+}
+
+// NewPolygon builds a polygon from a shell and optional holes, normalizing
+// ring orientations (shell CCW, holes CW) and caching the bounding box.
+func NewPolygon(shell Ring, holes ...Ring) *Polygon {
+	if !shell.IsCCW() {
+		shell.Reverse()
+	}
+	for _, h := range holes {
+		if h.IsCCW() {
+			h.Reverse()
+		}
+	}
+	p := &Polygon{Shell: shell, Holes: holes}
+	p.bounds = shell.Bounds()
+	p.hasBox = true
+	return p
+}
+
+// Bounds returns the polygon's MBR, computing and caching it if needed.
+func (p *Polygon) Bounds() MBR {
+	if !p.hasBox {
+		p.bounds = p.Shell.Bounds()
+		p.hasBox = true
+	}
+	return p.bounds
+}
+
+// Area returns the area of the polygon (shell area minus hole areas).
+func (p *Polygon) Area() float64 {
+	a := p.Shell.Area()
+	for _, h := range p.Holes {
+		a += h.Area() // holes are CW, so their signed area is negative
+	}
+	return a
+}
+
+// NumVertices returns the total vertex count over all rings.
+func (p *Polygon) NumVertices() int {
+	n := len(p.Shell)
+	for _, h := range p.Holes {
+		n += len(h)
+	}
+	return n
+}
+
+// Rings calls fn for every ring of the polygon (shell first, then holes).
+func (p *Polygon) Rings(fn func(r Ring)) {
+	fn(p.Shell)
+	for _, h := range p.Holes {
+		fn(h)
+	}
+}
+
+// Edges calls fn for every boundary edge of the polygon.
+func (p *Polygon) Edges(fn func(a, b Point)) {
+	p.Rings(func(r Ring) { r.Edges(fn) })
+}
+
+// Clone returns a deep copy of the polygon.
+func (p *Polygon) Clone() *Polygon {
+	holes := make([]Ring, len(p.Holes))
+	for i, h := range p.Holes {
+		holes[i] = h.Clone()
+	}
+	c := &Polygon{Shell: p.Shell.Clone(), Holes: holes}
+	c.bounds, c.hasBox = p.bounds, p.hasBox
+	return c
+}
+
+// Translate returns a copy of the polygon shifted by (dx, dy).
+func (p *Polygon) Translate(dx, dy float64) *Polygon {
+	c := p.Clone()
+	c.hasBox = false
+	for i := range c.Shell {
+		c.Shell[i].X += dx
+		c.Shell[i].Y += dy
+	}
+	for _, h := range c.Holes {
+		for i := range h {
+			h[i].X += dx
+			h[i].Y += dy
+		}
+	}
+	return c
+}
+
+// ScaleAbout returns a copy of the polygon scaled by f about point o.
+func (p *Polygon) ScaleAbout(o Point, f float64) *Polygon {
+	c := p.Clone()
+	c.hasBox = false
+	scale := func(pt *Point) {
+		pt.X = o.X + (pt.X-o.X)*f
+		pt.Y = o.Y + (pt.Y-o.Y)*f
+	}
+	for i := range c.Shell {
+		scale(&c.Shell[i])
+	}
+	for _, h := range c.Holes {
+		for i := range h {
+			scale(&h[i])
+		}
+	}
+	return c
+}
+
+// MultiPolygon is a collection of disjoint polygons.
+type MultiPolygon struct {
+	Polys []*Polygon
+}
+
+// NewMultiPolygon wraps polygons into a multipolygon.
+func NewMultiPolygon(polys ...*Polygon) *MultiPolygon {
+	return &MultiPolygon{Polys: polys}
+}
+
+// Bounds returns the MBR of all member polygons.
+func (m *MultiPolygon) Bounds() MBR {
+	b := EmptyMBR()
+	for _, p := range m.Polys {
+		b = b.Expand(p.Bounds())
+	}
+	return b
+}
+
+// Area returns the total area over all member polygons.
+func (m *MultiPolygon) Area() float64 {
+	var a float64
+	for _, p := range m.Polys {
+		a += p.Area()
+	}
+	return a
+}
+
+// NumVertices returns the total vertex count over all member polygons.
+func (m *MultiPolygon) NumVertices() int {
+	var n int
+	for _, p := range m.Polys {
+		n += p.NumVertices()
+	}
+	return n
+}
+
+// Edges calls fn for every boundary edge of every member polygon.
+func (m *MultiPolygon) Edges(fn func(a, b Point)) {
+	for _, p := range m.Polys {
+		p.Edges(fn)
+	}
+}

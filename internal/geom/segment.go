@@ -1,0 +1,97 @@
+package geom
+
+import "math"
+
+// SegKind classifies how two segments intersect.
+type SegKind int
+
+// Segment intersection kinds.
+const (
+	SegNone    SegKind = iota // no common point
+	SegPoint                  // exactly one common point (proper cross or touch)
+	SegOverlap                // collinear segments sharing a positive-length piece
+)
+
+// SegResult describes the intersection of two segments. For SegPoint, P is
+// the common point and Proper reports whether the intersection is interior
+// to both segments. For SegOverlap, P and Q are the endpoints of the shared
+// sub-segment.
+type SegResult struct {
+	Kind   SegKind
+	P, Q   Point
+	Proper bool
+}
+
+// OnSegment reports whether point p lies on segment (a, b), endpoints
+// included, within Eps.
+func OnSegment(p, a, b Point) bool {
+	if Orient(a, b, p) != 0 {
+		return false
+	}
+	return math.Min(a.X, b.X)-Eps <= p.X && p.X <= math.Max(a.X, b.X)+Eps &&
+		math.Min(a.Y, b.Y)-Eps <= p.Y && p.Y <= math.Max(a.Y, b.Y)+Eps
+}
+
+// SegIntersect computes the intersection of segments (a, b) and (c, d).
+func SegIntersect(a, b, c, d Point) SegResult {
+	o1 := Orient(a, b, c)
+	o2 := Orient(a, b, d)
+	o3 := Orient(c, d, a)
+	o4 := Orient(c, d, b)
+
+	if o1 != o2 && o3 != o4 && o1 != 0 && o2 != 0 && o3 != 0 && o4 != 0 {
+		// Proper crossing: solve for the intersection point.
+		den := (b.X-a.X)*(d.Y-c.Y) - (b.Y-a.Y)*(d.X-c.X)
+		t := ((c.X-a.X)*(d.Y-c.Y) - (c.Y-a.Y)*(d.X-c.X)) / den
+		return SegResult{Kind: SegPoint, P: Lerp(a, b, t), Proper: true}
+	}
+
+	if o1 == 0 && o2 == 0 && o3 == 0 && o4 == 0 {
+		return collinearOverlap(a, b, c, d)
+	}
+
+	// Touch cases: an endpoint of one segment lies on the other.
+	switch {
+	case o1 == 0 && OnSegment(c, a, b):
+		return SegResult{Kind: SegPoint, P: c}
+	case o2 == 0 && OnSegment(d, a, b):
+		return SegResult{Kind: SegPoint, P: d}
+	case o3 == 0 && OnSegment(a, c, d):
+		return SegResult{Kind: SegPoint, P: a}
+	case o4 == 0 && OnSegment(b, c, d):
+		return SegResult{Kind: SegPoint, P: b}
+	}
+	return SegResult{Kind: SegNone}
+}
+
+// collinearOverlap handles the all-collinear case by projecting onto the
+// dominant axis of (a, b).
+func collinearOverlap(a, b, c, d Point) SegResult {
+	key := func(p Point) float64 { return p.X }
+	if math.Abs(b.X-a.X) < math.Abs(b.Y-a.Y) {
+		key = func(p Point) float64 { return p.Y }
+	}
+	lo1, hi1 := a, b
+	if key(lo1) > key(hi1) {
+		lo1, hi1 = hi1, lo1
+	}
+	lo2, hi2 := c, d
+	if key(lo2) > key(hi2) {
+		lo2, hi2 = hi2, lo2
+	}
+	lo, hi := lo1, hi1
+	if key(lo2) > key(lo) {
+		lo = lo2
+	}
+	if key(hi2) < key(hi) {
+		hi = hi2
+	}
+	switch {
+	case key(lo) > key(hi)+Eps:
+		return SegResult{Kind: SegNone}
+	case math.Abs(key(hi)-key(lo)) <= Eps:
+		return SegResult{Kind: SegPoint, P: lo}
+	default:
+		return SegResult{Kind: SegOverlap, P: lo, Q: hi}
+	}
+}

@@ -1,0 +1,142 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSegIntersectProperCross(t *testing.T) {
+	res := SegIntersect(Point{0, 0}, Point{2, 2}, Point{0, 2}, Point{2, 0})
+	if res.Kind != SegPoint || !res.Proper {
+		t.Fatalf("got %+v, want proper point", res)
+	}
+	if !res.P.Eq(Point{1, 1}) {
+		t.Errorf("P = %v, want (1,1)", res.P)
+	}
+}
+
+func TestSegIntersectEndpointTouch(t *testing.T) {
+	// d touches (a,b) at its interior.
+	res := SegIntersect(Point{0, 0}, Point{4, 0}, Point{2, 3}, Point{2, 0})
+	if res.Kind != SegPoint || res.Proper {
+		t.Fatalf("got %+v, want non-proper touch", res)
+	}
+	if !res.P.Eq(Point{2, 0}) {
+		t.Errorf("P = %v", res.P)
+	}
+	// Shared endpoint.
+	res = SegIntersect(Point{0, 0}, Point{1, 1}, Point{1, 1}, Point{2, 0})
+	if res.Kind != SegPoint || !res.P.Eq(Point{1, 1}) {
+		t.Fatalf("shared endpoint: got %+v", res)
+	}
+}
+
+func TestSegIntersectNone(t *testing.T) {
+	res := SegIntersect(Point{0, 0}, Point{1, 0}, Point{0, 1}, Point{1, 1})
+	if res.Kind != SegNone {
+		t.Fatalf("got %+v, want none", res)
+	}
+	// Collinear but disjoint.
+	res = SegIntersect(Point{0, 0}, Point{1, 0}, Point{2, 0}, Point{3, 0})
+	if res.Kind != SegNone {
+		t.Fatalf("collinear disjoint: got %+v", res)
+	}
+}
+
+func TestSegIntersectCollinearOverlap(t *testing.T) {
+	res := SegIntersect(Point{0, 0}, Point{4, 0}, Point{2, 0}, Point{6, 0})
+	if res.Kind != SegOverlap {
+		t.Fatalf("got %+v, want overlap", res)
+	}
+	if !res.P.Eq(Point{2, 0}) || !res.Q.Eq(Point{4, 0}) {
+		t.Errorf("overlap = [%v, %v]", res.P, res.Q)
+	}
+	// Collinear touching at a single point.
+	res = SegIntersect(Point{0, 0}, Point{2, 0}, Point{2, 0}, Point{5, 0})
+	if res.Kind != SegPoint || !res.P.Eq(Point{2, 0}) {
+		t.Fatalf("collinear touch: got %+v", res)
+	}
+	// Vertical collinear overlap exercises the dominant-axis switch.
+	res = SegIntersect(Point{1, 0}, Point{1, 4}, Point{1, 3}, Point{1, 9})
+	if res.Kind != SegOverlap || !res.P.Eq(Point{1, 3}) || !res.Q.Eq(Point{1, 4}) {
+		t.Fatalf("vertical overlap: got %+v", res)
+	}
+	// One segment inside the other.
+	res = SegIntersect(Point{0, 0}, Point{10, 0}, Point{3, 0}, Point{4, 0})
+	if res.Kind != SegOverlap || !res.P.Eq(Point{3, 0}) || !res.Q.Eq(Point{4, 0}) {
+		t.Fatalf("nested overlap: got %+v", res)
+	}
+}
+
+func TestOnSegment(t *testing.T) {
+	a, b := Point{0, 0}, Point{4, 4}
+	if !OnSegment(Point{2, 2}, a, b) {
+		t.Error("midpoint should be on segment")
+	}
+	if !OnSegment(a, a, b) || !OnSegment(b, a, b) {
+		t.Error("endpoints should be on segment")
+	}
+	if OnSegment(Point{5, 5}, a, b) {
+		t.Error("beyond endpoint should be off segment")
+	}
+	if OnSegment(Point{2, 2.1}, a, b) {
+		t.Error("off-line point should be off segment")
+	}
+}
+
+// TestSegIntersectSymmetry checks SegIntersect(a,b,c,d) and
+// SegIntersect(c,d,a,b) agree in kind on random segments.
+func TestSegIntersectSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		p := func() Point { return Point{rng.Float64() * 10, rng.Float64() * 10} }
+		a, b, c, d := p(), p(), p(), p()
+		r1 := SegIntersect(a, b, c, d)
+		r2 := SegIntersect(c, d, a, b)
+		return r1.Kind == r2.Kind
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSegIntersectPointOnBoth checks that a reported intersection point lies
+// on both segments.
+func TestSegIntersectPointOnBoth(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := func() bool {
+		p := func() Point { return Point{rng.Float64() * 10, rng.Float64() * 10} }
+		a, b, c, d := p(), p(), p(), p()
+		r := SegIntersect(a, b, c, d)
+		if r.Kind != SegPoint {
+			return true
+		}
+		// Allow slack: the intersection point is computed, not exact.
+		near := func(p, a, b Point) bool {
+			e0 := Eps
+			defer func() { _ = e0 }()
+			return distToSeg(p, a, b) < 1e-7
+		}
+		return near(r.P, a, b) && near(r.P, c, d)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func distToSeg(p, a, b Point) float64 {
+	ab := b.Sub(a)
+	ap := p.Sub(a)
+	l2 := ab.X*ab.X + ab.Y*ab.Y
+	if l2 == 0 {
+		return p.Dist(a)
+	}
+	tt := (ap.X*ab.X + ap.Y*ab.Y) / l2
+	if tt < 0 {
+		tt = 0
+	} else if tt > 1 {
+		tt = 1
+	}
+	return p.Dist(Lerp(a, b, tt))
+}

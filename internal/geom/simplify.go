@@ -1,0 +1,132 @@
+package geom
+
+// Simplify reduces the vertex count of a ring with the Douglas-Peucker
+// algorithm at the given tolerance, preserving the first vertex. The
+// result always keeps at least 3 vertices (or the input when it is
+// already smaller). Simplification of a simple ring can in rare cases
+// introduce self-intersections; callers that need validity should check
+// with ValidateRing and fall back to a smaller tolerance.
+func Simplify(r Ring, tolerance float64) Ring {
+	n := len(r)
+	if n <= 3 {
+		return r.Clone()
+	}
+	// Split the cyclic ring at its two mutually farthest-ish vertices
+	// (vertex 0 and the vertex farthest from it), simplify both open
+	// chains, and rejoin.
+	far := 0
+	var best float64
+	for i := 1; i < n; i++ {
+		if d := r[0].Dist(r[i]); d > best {
+			best, far = d, i
+		}
+	}
+	keep := make([]bool, n)
+	keep[0], keep[far] = true, true
+	dpMark(r, 0, far, tolerance, keep)
+	dpMarkWrap(r, far, n, tolerance, keep)
+
+	out := make(Ring, 0, n)
+	for i, k := range keep {
+		if k {
+			out = append(out, r[i])
+		}
+	}
+	if len(out) < 3 {
+		// Tolerance collapsed the ring; keep a minimal triangle.
+		third := (far + n/3) % n
+		keep[third] = true
+		out = out[:0]
+		for i, k := range keep {
+			if k {
+				out = append(out, r[i])
+			}
+		}
+	}
+	return out
+}
+
+// dpMark marks the vertices to keep in the open chain r[lo..hi].
+func dpMark(r Ring, lo, hi int, tol float64, keep []bool) {
+	if hi-lo < 2 {
+		return
+	}
+	far, best := -1, tol
+	for i := lo + 1; i < hi; i++ {
+		if d := distToSegment(r[i], r[lo], r[hi]); d > best {
+			best, far = d, i
+		}
+	}
+	if far < 0 {
+		return
+	}
+	keep[far] = true
+	dpMark(r, lo, far, tol, keep)
+	dpMark(r, far, hi, tol, keep)
+}
+
+// dpMarkWrap handles the chain from index lo around the wrap back to 0.
+func dpMarkWrap(r Ring, lo, n int, tol float64, keep []bool) {
+	idx := make([]int, 0, n-lo+1)
+	for i := lo; i < n; i++ {
+		idx = append(idx, i)
+	}
+	idx = append(idx, 0)
+	var rec func(a, b int)
+	rec = func(a, b int) {
+		if b-a < 2 {
+			return
+		}
+		far, best := -1, tol
+		for i := a + 1; i < b; i++ {
+			if d := distToSegment(r[idx[i]], r[idx[a]], r[idx[b]]); d > best {
+				best, far = d, i
+			}
+		}
+		if far < 0 {
+			return
+		}
+		keep[idx[far]] = true
+		rec(a, far)
+		rec(far, b)
+	}
+	rec(0, len(idx)-1)
+}
+
+// distToSegment returns the distance from p to segment (a, b).
+func distToSegment(p, a, b Point) float64 {
+	ab := b.Sub(a)
+	l2 := ab.X*ab.X + ab.Y*ab.Y
+	if l2 == 0 {
+		return p.Dist(a)
+	}
+	t := ((p.X-a.X)*ab.X + (p.Y-a.Y)*ab.Y) / l2
+	if t < 0 {
+		t = 0
+	} else if t > 1 {
+		t = 1
+	}
+	return p.Dist(Lerp(a, b, t))
+}
+
+// SimplifyPolygon simplifies every ring of the polygon; holes smaller
+// than the tolerance, or that collapse below 3 vertices or lose their
+// validity, are dropped.
+func SimplifyPolygon(p *Polygon, tolerance float64) *Polygon {
+	shell := Simplify(p.Shell, tolerance)
+	if ValidateRing(shell) != nil {
+		shell = p.Shell.Clone() // keep the original on failure
+	}
+	var holes []Ring
+	for _, h := range p.Holes {
+		hb := h.Bounds()
+		if hb.Width() < tolerance && hb.Height() < tolerance {
+			continue // the hole is below the feature scale
+		}
+		s := Simplify(h, tolerance)
+		if len(s) >= 3 && ValidateRing(s) == nil {
+			holes = append(holes, s)
+		}
+	}
+	return NewPolygon(shell, holes...)
+}

@@ -1,0 +1,97 @@
+package geom
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestSimplifyReducesVertices(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 40; trial++ {
+		r := randBlob(rng, 0, 0, 10, 100+rng.Intn(400))
+		s := Simplify(r, 0.3)
+		if len(s) >= len(r) {
+			t.Fatalf("trial %d: no reduction (%d -> %d)", trial, len(r), len(s))
+		}
+		if len(s) < 3 {
+			t.Fatalf("trial %d: collapsed to %d vertices", trial, len(s))
+		}
+		// Every kept vertex is an original vertex.
+		orig := make(map[Point]bool, len(r))
+		for _, p := range r {
+			orig[p] = true
+		}
+		for _, p := range s {
+			if !orig[p] {
+				t.Fatalf("trial %d: invented vertex %v", trial, p)
+			}
+		}
+	}
+}
+
+func TestSimplifyZeroToleranceKeepsShape(t *testing.T) {
+	r := Ring{{0, 0}, {4, 0}, {4, 4}, {0, 4}}
+	s := Simplify(r, 0)
+	if len(s) != 4 {
+		t.Errorf("square at zero tolerance: %d vertices", len(s))
+	}
+}
+
+func TestSimplifyDropsCollinear(t *testing.T) {
+	// A square with extra collinear vertices along its edges.
+	r := Ring{{0, 0}, {1, 0}, {2, 0}, {4, 0}, {4, 2}, {4, 4}, {2, 4}, {0, 4}, {0, 2}}
+	s := Simplify(r, 1e-9)
+	if len(s) != 4 {
+		t.Errorf("collinear vertices not dropped: %d left (%v)", len(s), s)
+	}
+}
+
+func TestSimplifyTiny(t *testing.T) {
+	tri := Ring{{0, 0}, {2, 0}, {1, 2}}
+	s := Simplify(tri, 10)
+	if len(s) != 3 {
+		t.Errorf("triangle must be returned as-is: %v", s)
+	}
+}
+
+func TestSimplifyHausdorffBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	const tol = 0.5
+	for trial := 0; trial < 25; trial++ {
+		r := randBlob(rng, 0, 0, 8, 200)
+		s := Simplify(r, tol)
+		// Every dropped vertex must be within tolerance of the simplified
+		// boundary (the Douglas-Peucker guarantee).
+		for _, p := range r {
+			best := 1e18
+			s.Edges(func(a, b Point) {
+				if d := distToSegment(p, a, b); d < best {
+					best = d
+				}
+			})
+			if best > tol+1e-9 {
+				t.Fatalf("trial %d: vertex %v is %.3f from simplified boundary", trial, p, best)
+			}
+		}
+	}
+}
+
+func TestSimplifyPolygonWithHoles(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	shell := randBlob(rng, 0, 0, 20, 300)
+	hole := randBlob(rng, 0, 0, 2, 40)
+	p := NewPolygon(shell, hole)
+	s := SimplifyPolygon(p, 0.4)
+	if s.NumVertices() >= p.NumVertices() {
+		t.Errorf("no reduction: %d -> %d", p.NumVertices(), s.NumVertices())
+	}
+	if err := ValidatePolygon(s); err != nil {
+		t.Errorf("simplified polygon invalid: %v", err)
+	}
+	// A hole far below the tolerance disappears.
+	tiny := NewPolygon(shell.Clone(), randBlob(rng, 1, 1, 0.05, 12))
+	st := SimplifyPolygon(tiny, 1.0)
+	if len(st.Holes) != 0 {
+		t.Errorf("sub-tolerance hole should be dropped, got %d holes", len(st.Holes))
+	}
+}

@@ -1,0 +1,96 @@
+package geom
+
+import (
+	"math"
+	"sort"
+)
+
+// PointOnSurface returns a point strictly in the interior of the polygon.
+// It scans a horizontal line through the polygon, collecting boundary
+// crossings, and returns the midpoint of the widest interior interval.
+// The scan y is nudged when it hits vertices, which would make crossing
+// parity ambiguous.
+func PointOnSurface(p *Polygon) Point {
+	b := p.Bounds()
+	// Candidate scan heights: middle first, then golden-ratio offsets.
+	h := b.Height()
+	if h <= 0 {
+		return b.Center()
+	}
+	const tries = 32
+	for t := 0; t < tries; t++ {
+		frac := 0.5
+		if t > 0 {
+			frac = math.Mod(0.5+float64(t)*0.6180339887498949, 1)
+			if frac < 0.05 || frac > 0.95 {
+				continue
+			}
+		}
+		y := b.MinY + frac*h
+		if pt, ok := scanInteriorPoint(p, y); ok {
+			return pt
+		}
+	}
+	// Fallback: centroid of the first shell triangle that lies inside.
+	n := len(p.Shell)
+	for i := 1; i+1 < n; i++ {
+		c := Point{
+			X: (p.Shell[0].X + p.Shell[i].X + p.Shell[i+1].X) / 3,
+			Y: (p.Shell[0].Y + p.Shell[i].Y + p.Shell[i+1].Y) / 3,
+		}
+		if LocateInPolygon(c, p) == Inside {
+			return c
+		}
+	}
+	return b.Center()
+}
+
+// scanInteriorPoint intersects the horizontal line at height y with the
+// polygon boundary and returns the midpoint of the widest interior run.
+func scanInteriorPoint(p *Polygon, y float64) (Point, bool) {
+	var xs []float64
+	ok := true
+	p.Rings(func(r Ring) {
+		n := len(r)
+		for i := 0; i < n && ok; i++ {
+			a, b := r[i], r[(i+1)%n]
+			// Reject scan lines passing (nearly) through vertices or along
+			// horizontal edges: parity would be unreliable.
+			if math.Abs(a.Y-y) <= Eps || math.Abs(b.Y-y) <= Eps {
+				ok = false
+				return
+			}
+			if (a.Y > y) != (b.Y > y) {
+				xs = append(xs, a.X+(y-a.Y)*(b.X-a.X)/(b.Y-a.Y))
+			}
+		}
+	})
+	if !ok || len(xs) < 2 {
+		return Point{}, false
+	}
+	sort.Float64s(xs)
+	bestW := 0.0
+	var best Point
+	for i := 0; i+1 < len(xs); i += 2 {
+		if w := xs[i+1] - xs[i]; w > bestW {
+			bestW = w
+			best = Point{(xs[i] + xs[i+1]) / 2, y}
+		}
+	}
+	if bestW <= Eps {
+		return Point{}, false
+	}
+	if LocateInPolygon(best, p) != Inside {
+		return Point{}, false
+	}
+	return best, true
+}
+
+// InteriorPoints returns one interior point per polygon component of m.
+func InteriorPoints(m *MultiPolygon) []Point {
+	pts := make([]Point, 0, len(m.Polys))
+	for _, p := range m.Polys {
+		pts = append(pts, PointOnSurface(p))
+	}
+	return pts
+}

@@ -1,0 +1,80 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Validation errors.
+var (
+	ErrTooFewVertices  = errors.New("geom: ring has fewer than 3 vertices")
+	ErrZeroArea        = errors.New("geom: ring has (near-)zero area")
+	ErrSelfIntersect   = errors.New("geom: ring is self-intersecting")
+	ErrRepeatedVertex  = errors.New("geom: ring has consecutive repeated vertices")
+	ErrHoleOutsideHull = errors.New("geom: hole not inside shell")
+)
+
+// ValidateRing checks that r is a simple ring: at least 3 vertices, no
+// consecutive duplicates, non-zero area, and no self-intersections
+// (adjacent edges may share their common vertex only).
+func ValidateRing(r Ring) error {
+	n := len(r)
+	if n < 3 {
+		return ErrTooFewVertices
+	}
+	for i := 0; i < n; i++ {
+		if r[i].Eq(r[(i+1)%n]) {
+			return fmt.Errorf("%w (vertex %d)", ErrRepeatedVertex, i)
+		}
+	}
+	if a := r.Area(); -1e-9 < a && a < 1e-9 {
+		return ErrZeroArea
+	}
+	for i := 0; i < n; i++ {
+		a1, b1 := r[i], r[(i+1)%n]
+		for j := i + 1; j < n; j++ {
+			a2, b2 := r[j], r[(j+1)%n]
+			adjacent := j == i+1 || (i == 0 && j == n-1)
+			res := SegIntersect(a1, b1, a2, b2)
+			switch res.Kind {
+			case SegNone:
+			case SegPoint:
+				if !adjacent {
+					return fmt.Errorf("%w (edges %d,%d)", ErrSelfIntersect, i, j)
+				}
+				// Adjacent edges must meet exactly at the shared vertex.
+				shared := b1
+				if i == 0 && j == n-1 {
+					shared = a1
+				}
+				if !res.P.Eq(shared) {
+					return fmt.Errorf("%w (edges %d,%d)", ErrSelfIntersect, i, j)
+				}
+			case SegOverlap:
+				return fmt.Errorf("%w (collinear edges %d,%d)", ErrSelfIntersect, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidatePolygon checks ring simplicity and that every hole lies inside
+// the shell. It does not check hole/hole disjointness exhaustively (the
+// generators never produce overlapping holes); it does verify that each
+// hole's vertices are not outside the shell.
+func ValidatePolygon(p *Polygon) error {
+	if err := ValidateRing(p.Shell); err != nil {
+		return fmt.Errorf("shell: %w", err)
+	}
+	for i, h := range p.Holes {
+		if err := ValidateRing(h); err != nil {
+			return fmt.Errorf("hole %d: %w", i, err)
+		}
+		for _, v := range h {
+			if LocateInRing(v, p.Shell) == Outside {
+				return fmt.Errorf("hole %d: %w", i, ErrHoleOutsideHull)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,47 @@
+package geom
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+)
+
+func TestValidateRingOK(t *testing.T) {
+	if err := ValidateRing(square(0, 0, 1)); err != nil {
+		t.Errorf("square should be valid: %v", err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	for i := 0; i < 25; i++ {
+		if err := ValidateRing(randBlob(rng, 0, 0, 5, 8+rng.Intn(30))); err != nil {
+			t.Errorf("random blob %d should be valid: %v", i, err)
+		}
+	}
+}
+
+func TestValidateRingErrors(t *testing.T) {
+	if err := ValidateRing(Ring{{0, 0}, {1, 1}}); !errors.Is(err, ErrTooFewVertices) {
+		t.Errorf("want ErrTooFewVertices, got %v", err)
+	}
+	if err := ValidateRing(Ring{{0, 0}, {0, 0}, {1, 1}}); !errors.Is(err, ErrRepeatedVertex) {
+		t.Errorf("want ErrRepeatedVertex, got %v", err)
+	}
+	if err := ValidateRing(Ring{{0, 0}, {1, 0}, {2, 0}}); !errors.Is(err, ErrZeroArea) {
+		t.Errorf("want ErrZeroArea, got %v", err)
+	}
+	// Bowtie self-intersection.
+	bow := Ring{{0, 0}, {4, 4}, {6, 0}, {0, 3}}
+	if err := ValidateRing(bow); !errors.Is(err, ErrSelfIntersect) {
+		t.Errorf("want ErrSelfIntersect, got %v", err)
+	}
+}
+
+func TestValidatePolygon(t *testing.T) {
+	good := NewPolygon(square(0, 0, 10), square(1, 1, 2))
+	if err := ValidatePolygon(good); err != nil {
+		t.Errorf("valid polygon rejected: %v", err)
+	}
+	badHole := NewPolygon(square(0, 0, 4), square(10, 10, 2))
+	if err := ValidatePolygon(badHole); !errors.Is(err, ErrHoleOutsideHull) {
+		t.Errorf("want ErrHoleOutsideHull, got %v", err)
+	}
+}

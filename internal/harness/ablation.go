@@ -1,0 +1,157 @@
+package harness
+
+import (
+	"time"
+
+	"repro/internal/april"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/de9im"
+	"repro/internal/join"
+	"repro/internal/mbrrel"
+)
+
+// Ablations isolate the design choices DESIGN.md calls out: the global
+// grid granularity, the contribution of the Progressive lists, and the
+// value of definite filter verdicts versus mere candidate narrowing.
+
+// GridAblationRow reports the effect of one grid order on the OLE-OPE
+// workload.
+type GridAblationRow struct {
+	Order        uint
+	ApproxKB     float64 // P+C storage of OLE + OPE
+	PCUndetPct   float64 // find-relation pairs refined under P+C
+	MeetsRefined int     // relate_meets pairs refined
+	Pairs        int
+	BuildTime    time.Duration // approximation construction time
+}
+
+// GridOrderAblation regenerates the OLE/OPE datasets at each grid order
+// (same seed, identical polygons) and measures filter power vs
+// approximation cost — the tradeoff behind the paper's 2^16 choice.
+func GridOrderAblation(seed int64, scale float64, orders []uint) ([]GridAblationRow, error) {
+	// The polygons are identical across orders; only the approximations
+	// are rebuilt, and only for the two datasets the experiment uses.
+	suite := datagen.NewSuite(seed, scale)
+	rows := make([]GridAblationRow, 0, len(orders))
+	for _, order := range orders {
+		builder := april.NewBuilder(suite.Space, order)
+		start := time.Now()
+		left, err := dataset.Precompute("OLE", datagen.EntityTypes["OLE"], suite.Sets["OLE"], builder)
+		if err != nil {
+			return nil, err
+		}
+		right, err := dataset.Precompute("OPE", datagen.EntityTypes["OPE"], suite.Sets["OPE"], builder)
+		if err != nil {
+			return nil, err
+		}
+		build := time.Since(start)
+
+		idPairs := join.Pairs(left.MBRs(), right.MBRs())
+		pairs := make([]Pair, len(idPairs))
+		for i, p := range idPairs {
+			pairs[i] = Pair{R: left.Objects[p[0]], S: right.Objects[p[1]]}
+		}
+		st := RunFindRelation(core.PC, pairs)
+		meets := 0
+		for _, p := range pairs {
+			if core.RelatePred(core.PC, p.R, p.S, de9im.Meets).Refined {
+				meets++
+			}
+		}
+		rows = append(rows, GridAblationRow{
+			Order:        order,
+			ApproxKB:     float64(left.Sizes().Approx+right.Sizes().Approx) / 1024,
+			PCUndetPct:   st.UndeterminedPct(),
+			MeetsRefined: meets,
+			Pairs:        len(pairs),
+			BuildTime:    build,
+		})
+	}
+	return rows, nil
+}
+
+// StripProgressive returns copies of the pairs with empty P lists: the
+// C-only variant that reduces P+C to APRIL-style evidence (plus
+// candidate narrowing).
+func StripProgressive(pairs []Pair) []Pair {
+	out := make([]Pair, len(pairs))
+	cache := make(map[*core.Object]*core.Object)
+	strip := func(o *core.Object) *core.Object {
+		if c, ok := cache[o]; ok {
+			return c
+		}
+		c := &core.Object{ID: o.ID, Poly: o.Poly, MBR: o.MBR, Approx: o.Approx}
+		c.Approx.P = nil
+		cache[o] = c
+		return c
+	}
+	for i, p := range pairs {
+		out[i] = Pair{R: strip(p.R), S: strip(p.S)}
+	}
+	return out
+}
+
+// RunNarrowingOnly evaluates a pipeline that uses the MBR case and the
+// intermediate filters only to narrow the candidate masks, always
+// refining (except for the MBR shortcuts) — isolating how much of P+C's
+// win comes from skipped refinements rather than fewer mask checks.
+func RunNarrowingOnly(pairs []Pair) MethodStats {
+	st := MethodStats{Method: core.PC, Pairs: len(pairs)}
+	start := time.Now()
+	for _, p := range pairs {
+		c := mbrrel.Classify(p.R.MBR, p.S.MBR)
+		if rel, ok := mbrrel.Definite(c); ok {
+			st.Relations[rel]++
+			continue
+		}
+		var out core.Outcome
+		switch c {
+		case mbrrel.EqualMBRs:
+			out = core.IFEquals(p.R, p.S)
+		case mbrrel.RInsideS:
+			out = core.IFInside(p.R, p.S)
+		case mbrrel.RContainsS:
+			out = core.IFContains(p.R, p.S)
+		default:
+			out = core.IFIntersects(p.R, p.S)
+		}
+		cands := out.Candidates
+		if out.Definite {
+			cands = de9im.NewRelationSet(out.Relation)
+		}
+		st.Undetermined++
+		rel := de9im.MostSpecific(core.Refine(p.R, p.S), cands)
+		st.Relations[rel]++
+	}
+	st.Elapsed = time.Since(start)
+	st.RefineTime = st.Elapsed
+	return st
+}
+
+// PListAblationRow compares pipeline variants on one workload.
+type PListAblationRow struct {
+	Variant    string
+	UndetPct   float64
+	Throughput float64
+}
+
+// PListAblation measures the full P+C pipeline, the C-only variant, and
+// the narrowing-only variant on the OLE-OPE workload.
+func (e *Env) PListAblation() ([]PListAblationRow, error) {
+	pairs, err := e.CandidatePairs(ComplexityCombo)
+	if err != nil {
+		return nil, err
+	}
+	full := RunFindRelation(core.PC, pairs)
+	cOnly := RunFindRelation(core.PC, StripProgressive(pairs))
+	narrow := RunNarrowingOnly(pairs)
+	april := RunFindRelation(core.APRIL, pairs)
+	return []PListAblationRow{
+		{Variant: "P+C (full)", UndetPct: full.UndeterminedPct(), Throughput: full.Throughput()},
+		{Variant: "C-only (P stripped)", UndetPct: cOnly.UndeterminedPct(), Throughput: cOnly.Throughput()},
+		{Variant: "narrowing-only", UndetPct: narrow.UndeterminedPct(), Throughput: narrow.Throughput()},
+		{Variant: "APRIL baseline", UndetPct: april.UndeterminedPct(), Throughput: april.Throughput()},
+	}, nil
+}

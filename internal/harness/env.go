@@ -1,0 +1,84 @@
+// Package harness runs the paper's experiments (Sec. 4) on the synthetic
+// dataset suite: one runner per table and figure, each returning typed
+// rows plus a text rendering that mirrors the paper's presentation.
+// EXPERIMENTS.md records paper-vs-measured values for every experiment.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/april"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/dataset"
+	"repro/internal/join"
+)
+
+// Env is a fully preprocessed experiment environment: the generated
+// datasets with MBRs and APRIL approximations built, sharing one global
+// grid per the paper's setup.
+type Env struct {
+	Suite    *datagen.Suite
+	Builder  *april.Builder
+	Datasets map[string]*dataset.Dataset
+
+	pairCache map[string][]Pair
+}
+
+// Pair is one candidate pair produced by the MBR join filter step.
+type Pair struct {
+	R, S *core.Object
+}
+
+// NewEnv generates the suite and precomputes every dataset.
+// Scale multiplies dataset cardinalities; order is the grid order
+// (datagen.DefaultOrder reproduces the default setup).
+func NewEnv(seed int64, scale float64, order uint) (*Env, error) {
+	suite := datagen.NewSuite(seed, scale)
+	b := april.NewBuilder(suite.Space, order)
+	e := &Env{
+		Suite:     suite,
+		Builder:   b,
+		Datasets:  make(map[string]*dataset.Dataset, len(suite.Sets)),
+		pairCache: make(map[string][]Pair),
+	}
+	for name, polys := range suite.Sets {
+		ds, err := dataset.Precompute(name, datagen.EntityTypes[name], polys, b)
+		if err != nil {
+			return nil, fmt.Errorf("harness: %w", err)
+		}
+		e.Datasets[name] = ds
+	}
+	return e, nil
+}
+
+// CandidatePairs runs the spatial-join filter step for a dataset
+// combination and returns the MBR-intersecting pairs. Results are cached:
+// the paper excludes this step's cost from all measurements.
+func (e *Env) CandidatePairs(combo [2]string) ([]Pair, error) {
+	key := datagen.ComboName(combo)
+	if cached, ok := e.pairCache[key]; ok {
+		return cached, nil
+	}
+	left, ok := e.Datasets[combo[0]]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown dataset %q", combo[0])
+	}
+	right, ok := e.Datasets[combo[1]]
+	if !ok {
+		return nil, fmt.Errorf("harness: unknown dataset %q", combo[1])
+	}
+	idPairs := join.Pairs(left.MBRs(), right.MBRs())
+	pairs := make([]Pair, len(idPairs))
+	for i, p := range idPairs {
+		pairs[i] = Pair{R: left.Objects[p[0]], S: right.Objects[p[1]]}
+	}
+	e.pairCache[key] = pairs
+	return pairs, nil
+}
+
+// Complexity returns the complexity of a pair: the sum of the two
+// objects' vertex counts (Sec. 4.3).
+func (p Pair) Complexity() int {
+	return p.R.Poly.NumVertices() + p.S.Poly.NumVertices()
+}

@@ -1,0 +1,73 @@
+package harness
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/de9im"
+)
+
+// MethodStats aggregates one find-relation sweep of a method over a pair
+// workload.
+type MethodStats struct {
+	Method       core.Method
+	Pairs        int
+	Undetermined int // pairs that needed DE-9IM refinement (Fig. 7b)
+	Elapsed      time.Duration
+	FilterTime   time.Duration // MBR + intermediate filter time
+	RefineTime   time.Duration // DE-9IM time
+	Relations    [de9im.NumRelations]int
+}
+
+// Throughput returns processed pairs per second (Fig. 7a's metric).
+func (s MethodStats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Pairs) / s.Elapsed.Seconds()
+}
+
+// UndeterminedPct returns the percentage of pairs requiring refinement.
+func (s MethodStats) UndeterminedPct() float64 {
+	if s.Pairs == 0 {
+		return 0
+	}
+	return 100 * float64(s.Undetermined) / float64(s.Pairs)
+}
+
+// RunFindRelation sweeps method m over the pairs, timing the filter and
+// refinement stages separately (Fig. 8b reports them split).
+func RunFindRelation(m core.Method, pairs []Pair) MethodStats {
+	st := MethodStats{Method: m, Pairs: len(pairs)}
+	start := time.Now()
+	var refine time.Duration
+	for _, p := range pairs {
+		t0 := time.Now()
+		res := core.FindRelation(m, p.R, p.S)
+		d := time.Since(t0)
+		if res.Refined {
+			st.Undetermined++
+			refine += d // refinement dominates the per-pair time
+		}
+		st.Relations[res.Relation]++
+	}
+	st.Elapsed = time.Since(start)
+	st.RefineTime = refine
+	st.FilterTime = st.Elapsed - refine
+	return st
+}
+
+// UniqueObjectsRefined counts how many distinct objects of each side had
+// their exact geometry accessed (refined pairs touch both geometries):
+// the data-access saving reported in Sec. 4.3.
+func UniqueObjectsRefined(m core.Method, pairs []Pair) (left, right int) {
+	ls := make(map[int]bool)
+	rs := make(map[int]bool)
+	for _, p := range pairs {
+		if core.FindRelation(m, p.R, p.S).Refined {
+			ls[p.R.ID] = true
+			rs[p.S.ID] = true
+		}
+	}
+	return len(ls), len(rs)
+}

@@ -1,0 +1,65 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// RunFindRelationParallel sweeps method m over the pairs with a worker
+// pool, as in the parallel in-memory join evaluation the paper builds on
+// (Tsitsigkos et al., SIGSPATIAL 2019). Pairs are claimed in chunks from
+// an atomic cursor so stragglers (high-complexity refinements) do not
+// imbalance the workers. workers <= 0 selects GOMAXPROCS.
+func RunFindRelationParallel(m core.Method, pairs []Pair, workers int) MethodStats {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(pairs) && len(pairs) > 0 {
+		workers = len(pairs)
+	}
+	st := MethodStats{Method: m, Pairs: len(pairs)}
+	const chunk = 16
+
+	var cursor atomic.Int64
+	var undetermined atomic.Int64
+	partial := make([]MethodStats, workers)
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(self *MethodStats) {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(chunk)) - chunk
+				if lo >= len(pairs) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(pairs) {
+					hi = len(pairs)
+				}
+				for _, p := range pairs[lo:hi] {
+					res := core.FindRelation(m, p.R, p.S)
+					if res.Refined {
+						undetermined.Add(1)
+					}
+					self.Relations[res.Relation]++
+				}
+			}
+		}(&partial[w])
+	}
+	wg.Wait()
+	st.Elapsed = time.Since(start)
+	st.Undetermined = int(undetermined.Load())
+	for _, p := range partial {
+		for i, n := range p.Relations {
+			st.Relations[i] += n
+		}
+	}
+	return st
+}

@@ -1,0 +1,62 @@
+package harness
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestParallelMatchesSequential(t *testing.T) {
+	pairs, err := env(t).CandidatePairs(ComplexityCombo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := RunFindRelation(core.PC, pairs)
+	for _, workers := range []int{1, 2, 7, 0} {
+		par := RunFindRelationParallel(core.PC, pairs, workers)
+		if par.Relations != seq.Relations {
+			t.Fatalf("workers=%d: relation histogram differs\nseq: %v\npar: %v",
+				workers, seq.Relations, par.Relations)
+		}
+		if par.Undetermined != seq.Undetermined {
+			t.Fatalf("workers=%d: undetermined %d != %d", workers, par.Undetermined, seq.Undetermined)
+		}
+		if par.Pairs != seq.Pairs {
+			t.Fatalf("workers=%d: pair count mismatch", workers)
+		}
+	}
+}
+
+func TestParallelSpeedup(t *testing.T) {
+	if runtime.GOMAXPROCS(0) < 2 {
+		t.Skip("single CPU")
+	}
+	pairs, err := env(t).CandidatePairs(ComplexityCombo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OP2 refines everything, so it parallelizes near-linearly; allow a
+	// loose bound to keep the test robust on loaded machines.
+	seq := RunFindRelationParallel(core.OP2, pairs, 1)
+	par := RunFindRelationParallel(core.OP2, pairs, 0)
+	if par.Elapsed >= seq.Elapsed {
+		t.Errorf("no speedup: sequential %v, parallel %v", seq.Elapsed, par.Elapsed)
+	}
+}
+
+func TestParallelEmptyAndTiny(t *testing.T) {
+	st := RunFindRelationParallel(core.PC, nil, 4)
+	if st.Pairs != 0 || st.Undetermined != 0 {
+		t.Errorf("empty input: %+v", st)
+	}
+	pairs, err := env(t).CandidatePairs(ComplexityCombo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := pairs[:1]
+	st = RunFindRelationParallel(core.PC, one, 8)
+	if st.Pairs != 1 {
+		t.Errorf("single pair: %+v", st)
+	}
+}

@@ -1,0 +1,79 @@
+// Package hilbert maps between 2D grid coordinates and positions along a
+// Hilbert space-filling curve. The paper enumerates the cells of a
+// 2^16 × 2^16 global grid with a Hilbert curve so that cells that are close
+// in space receive close identifiers, which keeps the APRIL interval lists
+// short.
+package hilbert
+
+// MaxOrder is the largest supported curve order (coordinates fit in 32 bits
+// and distances in 64 bits).
+const MaxOrder = 31
+
+// Curve is a Hilbert curve of a fixed order covering a 2^order × 2^order
+// grid.
+type Curve struct {
+	order uint
+	side  uint32
+}
+
+// New returns a curve of the given order. Order o enumerates a 2^o × 2^o
+// grid with ids in [0, 4^o).
+func New(order uint) Curve {
+	if order == 0 || order > MaxOrder {
+		panic("hilbert: order out of range [1, 31]")
+	}
+	return Curve{order: order, side: 1 << order}
+}
+
+// Order returns the curve order.
+func (c Curve) Order() uint { return c.order }
+
+// Side returns the grid side length 2^order.
+func (c Curve) Side() uint32 { return c.side }
+
+// NumCells returns the total number of cells, 4^order.
+func (c Curve) NumCells() uint64 { return uint64(c.side) * uint64(c.side) }
+
+// D returns the Hilbert distance of cell (x, y). Both coordinates must be
+// < Side().
+func (c Curve) D(x, y uint32) uint64 {
+	var d uint64
+	for s := c.side >> 1; s > 0; s >>= 1 {
+		var rx, ry uint32
+		if x&s > 0 {
+			rx = 1
+		}
+		if y&s > 0 {
+			ry = 1
+		}
+		d += uint64(s) * uint64(s) * uint64((3*rx)^ry)
+		x, y = rot(s, x, y, rx, ry)
+	}
+	return d
+}
+
+// XY returns the cell coordinates at Hilbert distance d.
+func (c Curve) XY(d uint64) (x, y uint32) {
+	t := d
+	for s := uint32(1); s < c.side; s <<= 1 {
+		rx := uint32(1) & uint32(t/2)
+		ry := uint32(1) & uint32(t^uint64(rx))
+		x, y = rot(s, x, y, rx, ry)
+		x += s * rx
+		y += s * ry
+		t /= 4
+	}
+	return x, y
+}
+
+// rot rotates/flips a quadrant appropriately.
+func rot(n, x, y, rx, ry uint32) (uint32, uint32) {
+	if ry == 0 {
+		if rx == 1 {
+			x = n - 1 - x
+			y = n - 1 - y
+		}
+		x, y = y, x
+	}
+	return x, y
+}

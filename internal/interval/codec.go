@@ -1,0 +1,69 @@
+package interval
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// AppendEncode serializes the list onto buf using delta-varint coding:
+// gaps and lengths compress well because Hilbert enumeration keeps
+// neighbouring cells close. Returns the extended buffer.
+func (l List) AppendEncode(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(l)))
+	var prev uint64
+	for _, iv := range l {
+		buf = binary.AppendUvarint(buf, iv.Start-prev)
+		buf = binary.AppendUvarint(buf, iv.End-iv.Start)
+		prev = iv.End
+	}
+	return buf
+}
+
+// EncodedSize returns the number of bytes AppendEncode would emit.
+func (l List) EncodedSize() int {
+	return len(l.AppendEncode(nil))
+}
+
+// Decode parses a list previously written by AppendEncode and returns the
+// list together with the number of bytes consumed.
+func Decode(buf []byte) (List, int, error) {
+	n, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return nil, 0, fmt.Errorf("interval: bad list header")
+	}
+	// Every interval occupies at least two bytes (gap + length varints),
+	// so a count beyond the remaining buffer is corrupt; checking before
+	// allocating prevents adversarial headers from forcing huge
+	// allocations.
+	if n > uint64(len(buf)-k) {
+		return nil, 0, fmt.Errorf("interval: implausible interval count %d", n)
+	}
+	off := k
+	out := make(List, 0, n)
+	var prev uint64
+	for i := uint64(0); i < n; i++ {
+		gap, k1 := binary.Uvarint(buf[off:])
+		if k1 <= 0 {
+			return nil, 0, fmt.Errorf("interval: truncated gap at %d", i)
+		}
+		if i > 0 && gap == 0 {
+			// Adjacent intervals would denormalize the list; the encoder
+			// never emits them.
+			return nil, 0, fmt.Errorf("interval: non-canonical zero gap at %d", i)
+		}
+		off += k1
+		length, k2 := binary.Uvarint(buf[off:])
+		if k2 <= 0 || length == 0 {
+			return nil, 0, fmt.Errorf("interval: truncated or empty length at %d", i)
+		}
+		off += k2
+		start := prev + gap
+		end := start + length
+		if start < prev || end <= start {
+			return nil, 0, fmt.Errorf("interval: overflowing interval at %d", i)
+		}
+		out = append(out, Interval{start, end})
+		prev = end
+	}
+	return out, off, nil
+}

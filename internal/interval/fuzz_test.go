@@ -1,0 +1,37 @@
+package interval
+
+import "testing"
+
+// FuzzDecode checks the delta-varint reader never panics on arbitrary
+// bytes, and that anything it accepts is a valid normalized list that
+// re-encodes to the bytes it consumed.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(List{{1, 5}, {9, 12}}.AppendEncode(nil))
+	f.Add(List{{0, 1}}.AppendEncode(nil))
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 1})
+	f.Add([]byte{3, 1, 1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		l, n, err := Decode(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		if !l.IsValid() {
+			// Decoding can produce overflow-wrapped intervals from
+			// adversarial varints; they must still be structurally
+			// rejected or valid.
+			t.Fatalf("accepted invalid list %v from %x", l, data[:n])
+		}
+		re := l.AppendEncode(nil)
+		back, m, err := Decode(re)
+		if err != nil || m != len(re) {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !Match(l, back) {
+			t.Fatalf("re-encode changed list: %v vs %v", l, back)
+		}
+	})
+}

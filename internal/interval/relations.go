@@ -1,0 +1,113 @@
+package interval
+
+// Overlap reports whether lists x and y share at least one cell id
+// ('X,Y overlap' in the paper). Single merge scan, O(|x| + |y|).
+func Overlap(x, y List) bool {
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		if x[i].Overlaps(y[j]) {
+			return true
+		}
+		if x[i].End <= y[j].Start {
+			i++
+		} else {
+			j++
+		}
+	}
+	return false
+}
+
+// Match reports whether the two lists are identical ('X,Y match').
+func Match(x, y List) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Inside reports whether every interval of x is contained in some interval
+// of y ('X inside Y'). Because both lists are normalized, each x-interval
+// can be checked against the unique y-interval whose End exceeds its Start.
+func Inside(x, y List) bool {
+	if len(x) == 0 {
+		return true
+	}
+	j := 0
+	for _, iv := range x {
+		for j < len(y) && y[j].End < iv.End {
+			j++
+		}
+		if j == len(y) || !y[j].ContainsIv(iv) {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether every interval of y is contained in some
+// interval of x ('X contains Y').
+func Contains(x, y List) bool { return Inside(y, x) }
+
+// Union returns the normalized union of the two lists.
+func Union(x, y List) List {
+	merged := make([]Interval, 0, len(x)+len(y))
+	merged = append(merged, x...)
+	merged = append(merged, y...)
+	return Normalize(merged)
+}
+
+// Intersect returns the normalized intersection of the two lists.
+func Intersect(x, y List) List {
+	var out List
+	i, j := 0, 0
+	for i < len(x) && j < len(y) {
+		a, b := x[i], y[j]
+		lo, hi := a.Start, a.End
+		if b.Start > lo {
+			lo = b.Start
+		}
+		if b.End < hi {
+			hi = b.End
+		}
+		if lo < hi {
+			out = append(out, Interval{lo, hi})
+		}
+		if a.End <= b.End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}
+
+// Subtract returns the normalized difference x \ y.
+func Subtract(x, y List) List {
+	var out List
+	j := 0
+	for _, iv := range x {
+		cur := iv.Start
+		for j < len(y) && y[j].End <= cur {
+			j++
+		}
+		k := j
+		for k < len(y) && y[k].Start < iv.End {
+			if y[k].Start > cur {
+				out = append(out, Interval{cur, y[k].Start})
+			}
+			if y[k].End > cur {
+				cur = y[k].End
+			}
+			k++
+		}
+		if cur < iv.End {
+			out = append(out, Interval{cur, iv.End})
+		}
+	}
+	return out
+}

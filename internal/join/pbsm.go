@@ -1,0 +1,149 @@
+package join
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/geom"
+)
+
+// PBSM is a partition-based spatial-merge join: the space is cut into a
+// uniform grid, each rectangle is replicated into every partition it
+// overlaps, and partitions are joined independently with a plane sweep
+// over x. Duplicate results from replicated rectangles are avoided with
+// the reference-point method: a pair is reported only in the partition
+// containing the top-left corner of its intersection.
+type PBSM struct {
+	grid int
+}
+
+// NewPBSM creates a join operator with a grid x grid partitioning.
+func NewPBSM(grid int) *PBSM {
+	if grid < 1 {
+		grid = 1
+	}
+	return &PBSM{grid: grid}
+}
+
+// Join reports every intersecting pair (a ∈ as, b ∈ bs) exactly once.
+func (p *PBSM) Join(as, bs []Entry, fn func(a, b Entry)) {
+	space := geom.EmptyMBR()
+	for _, e := range as {
+		space = space.Expand(e.Box)
+	}
+	for _, e := range bs {
+		space = space.Expand(e.Box)
+	}
+	if space.IsEmpty() {
+		return
+	}
+	cw := space.Width() / float64(p.grid)
+	ch := space.Height() / float64(p.grid)
+	if cw <= 0 {
+		cw = 1
+	}
+	if ch <= 0 {
+		ch = 1
+	}
+	cellIdx := func(x, y float64) (int, int) {
+		cx := int((x - space.MinX) / cw)
+		cy := int((y - space.MinY) / ch)
+		if cx < 0 {
+			cx = 0
+		} else if cx >= p.grid {
+			cx = p.grid - 1
+		}
+		if cy < 0 {
+			cy = 0
+		} else if cy >= p.grid {
+			cy = p.grid - 1
+		}
+		return cx, cy
+	}
+
+	nCells := p.grid * p.grid
+	pa := make([][]Entry, nCells)
+	pb := make([][]Entry, nCells)
+	assign := func(parts [][]Entry, es []Entry) {
+		for _, e := range es {
+			x0, y0 := cellIdx(e.Box.MinX, e.Box.MinY)
+			x1, y1 := cellIdx(e.Box.MaxX, e.Box.MaxY)
+			for cy := y0; cy <= y1; cy++ {
+				for cx := x0; cx <= x1; cx++ {
+					idx := cy*p.grid + cx
+					parts[idx] = append(parts[idx], e)
+				}
+			}
+		}
+	}
+	assign(pa, as)
+	assign(pb, bs)
+
+	for cy := 0; cy < p.grid; cy++ {
+		for cx := 0; cx < p.grid; cx++ {
+			idx := cy*p.grid + cx
+			if len(pa[idx]) == 0 || len(pb[idx]) == 0 {
+				continue
+			}
+			sweep(pa[idx], pb[idx], func(a, b Entry) {
+				// Reference point: report only in the cell holding the
+				// min corner of the intersection rectangle.
+				ix := math.Max(a.Box.MinX, b.Box.MinX)
+				iy := math.Max(a.Box.MinY, b.Box.MinY)
+				rx, ry := cellIdx(ix, iy)
+				if rx == cx && ry == cy {
+					fn(a, b)
+				}
+			})
+		}
+	}
+}
+
+// sweep is a forward plane-sweep join over x between two entry lists.
+func sweep(as, bs []Entry, fn func(a, b Entry)) {
+	sa := make([]Entry, len(as))
+	copy(sa, as)
+	sb := make([]Entry, len(bs))
+	copy(sb, bs)
+	sort.Slice(sa, func(i, j int) bool { return sa[i].Box.MinX < sa[j].Box.MinX })
+	sort.Slice(sb, func(i, j int) bool { return sb[i].Box.MinX < sb[j].Box.MinX })
+
+	i, j := 0, 0
+	for i < len(sa) && j < len(sb) {
+		if sa[i].Box.MinX <= sb[j].Box.MinX {
+			a := sa[i]
+			for k := j; k < len(sb) && sb[k].Box.MinX <= a.Box.MaxX; k++ {
+				if a.Box.Intersects(sb[k].Box) {
+					fn(a, sb[k])
+				}
+			}
+			i++
+		} else {
+			b := sb[j]
+			for k := i; k < len(sa) && sa[k].Box.MinX <= b.Box.MaxX; k++ {
+				if b.Box.Intersects(sa[k].Box) {
+					fn(sa[k], b)
+				}
+			}
+			j++
+		}
+	}
+}
+
+// Pairs collects the join result of two MBR slices using the R-tree join;
+// it is the convenience entry point used by the harness to produce
+// candidate pairs.
+func Pairs(as, bs []geom.MBR) [][2]int32 {
+	ea := make([]Entry, len(as))
+	for i, b := range as {
+		ea[i] = Entry{Box: b, ID: int32(i)}
+	}
+	eb := make([]Entry, len(bs))
+	for i, b := range bs {
+		eb[i] = Entry{Box: b, ID: int32(i)}
+	}
+	ta, tb := BuildRTree(ea), BuildRTree(eb)
+	var out [][2]int32
+	ta.Join(tb, func(a, b Entry) { out = append(out, [2]int32{a.ID, b.ID}) })
+	return out
+}

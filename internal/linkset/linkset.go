@@ -1,0 +1,149 @@
+// Package linkset implements geo-spatial interlinking on top of the
+// topology-join core: it discovers the topological links between two
+// object collections and serializes them as GeoSPARQL simple-feature
+// triples, the output format of link-discovery frameworks such as RADON
+// and Silk that the paper motivates and plans to integrate with.
+package linkset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/de9im"
+	"repro/internal/join"
+)
+
+// Link is one discovered topological relation between two entities.
+type Link struct {
+	LeftID   int
+	RightID  int
+	Relation de9im.Relation
+}
+
+// Set is a collection of discovered links plus discovery statistics.
+type Set struct {
+	Links []Link
+	// Candidates is the number of MBR-intersecting pairs examined.
+	Candidates int
+	// Refined is the number of pairs that needed DE-9IM computation.
+	Refined int
+}
+
+// Discover runs the full interlinking pipeline between two collections:
+// MBR join for candidates, then find-relation with method m on each pair.
+// Disjoint pairs produce no link. Results are ordered by (left, right) id.
+func Discover(left, right []*core.Object, m core.Method) *Set {
+	lb := make([]join.Entry, len(left))
+	for i, o := range left {
+		lb[i] = join.Entry{Box: o.MBR, ID: int32(i)}
+	}
+	rb := make([]join.Entry, len(right))
+	for i, o := range right {
+		rb[i] = join.Entry{Box: o.MBR, ID: int32(i)}
+	}
+	set := &Set{}
+	tl, tr := join.BuildRTree(lb), join.BuildRTree(rb)
+	tl.Join(tr, func(a, b join.Entry) {
+		set.Candidates++
+		l, r := left[a.ID], right[b.ID]
+		res := core.FindRelation(m, l, r)
+		if res.Refined {
+			set.Refined++
+		}
+		if res.Relation != de9im.Disjoint {
+			set.Links = append(set.Links, Link{LeftID: l.ID, RightID: r.ID, Relation: res.Relation})
+		}
+	})
+	sort.Slice(set.Links, func(i, j int) bool {
+		if set.Links[i].LeftID != set.Links[j].LeftID {
+			return set.Links[i].LeftID < set.Links[j].LeftID
+		}
+		return set.Links[i].RightID < set.Links[j].RightID
+	})
+	return set
+}
+
+// Histogram counts links per relation.
+func (s *Set) Histogram() map[de9im.Relation]int {
+	h := make(map[de9im.Relation]int)
+	for _, l := range s.Links {
+		h[l.Relation]++
+	}
+	return h
+}
+
+// GeoSPARQL simple-feature predicate IRIs for each relation. The simple
+// features vocabulary folds covered-by into within and covers into
+// contains; the generic intersects is used for proper overlap.
+var geoPredicates = map[de9im.Relation]string{
+	de9im.Equals:     "http://www.opengis.net/ont/geosparql#sfEquals",
+	de9im.Inside:     "http://www.opengis.net/ont/geosparql#sfWithin",
+	de9im.CoveredBy:  "http://www.opengis.net/ont/geosparql#sfWithin",
+	de9im.Contains:   "http://www.opengis.net/ont/geosparql#sfContains",
+	de9im.Covers:     "http://www.opengis.net/ont/geosparql#sfContains",
+	de9im.Meets:      "http://www.opengis.net/ont/geosparql#sfTouches",
+	de9im.Intersects: "http://www.opengis.net/ont/geosparql#sfIntersects",
+}
+
+// Predicate returns the GeoSPARQL predicate IRI of a relation, or false
+// for disjoint (which yields no link).
+func Predicate(rel de9im.Relation) (string, bool) {
+	p, ok := geoPredicates[rel]
+	return p, ok
+}
+
+// WriteNTriples serializes the links in N-Triples form. Entity IRIs are
+// leftBase+ID and rightBase+ID.
+func (s *Set) WriteNTriples(w io.Writer, leftBase, rightBase string) error {
+	bw := bufio.NewWriter(w)
+	for _, l := range s.Links {
+		pred, ok := Predicate(l.Relation)
+		if !ok {
+			continue
+		}
+		if _, err := fmt.Fprintf(bw, "<%s%d> <%s> <%s%d> .\n",
+			leftBase, l.LeftID, pred, rightBase, l.RightID); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Expand returns the link set closed under the relation hierarchy: every
+// link implies the links of its generalizations (inside additionally
+// yields within-as-covered-by is already folded, and every non-disjoint
+// pair yields sfIntersects), matching RADON's all-relations output mode.
+func (s *Set) Expand() *Set {
+	out := &Set{Candidates: s.Candidates, Refined: s.Refined}
+	seen := make(map[Link]bool)
+	add := func(l Link) {
+		if !seen[l] {
+			seen[l] = true
+			out.Links = append(out.Links, l)
+		}
+	}
+	for _, l := range s.Links {
+		add(l)
+		for _, rel := range []de9im.Relation{
+			de9im.CoveredBy, de9im.Covers, de9im.Intersects,
+		} {
+			if rel != l.Relation && core.Implies(l.Relation, rel) {
+				add(Link{LeftID: l.LeftID, RightID: l.RightID, Relation: rel})
+			}
+		}
+	}
+	sort.Slice(out.Links, func(i, j int) bool {
+		a, b := out.Links[i], out.Links[j]
+		if a.LeftID != b.LeftID {
+			return a.LeftID < b.LeftID
+		}
+		if a.RightID != b.RightID {
+			return a.RightID < b.RightID
+		}
+		return a.Relation < b.Relation
+	})
+	return out
+}

@@ -1,0 +1,173 @@
+package linkset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/april"
+	"repro/internal/core"
+	"repro/internal/de9im"
+	"repro/internal/geom"
+)
+
+func buildObjects(t *testing.T) (left, right []*core.Object) {
+	t.Helper()
+	space := geom.MBR{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	b := april.NewBuilder(space, 9)
+	rect := func(id int, x0, y0, x1, y1 float64) *core.Object {
+		p := geom.NewPolygon(geom.Ring{{X: x0, Y: y0}, {X: x1, Y: y0}, {X: x1, Y: y1}, {X: x0, Y: y1}})
+		o, err := core.NewObject(id, p, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	// left: 0 big host, 1 isolated, 2 toucher
+	left = []*core.Object{
+		rect(0, 10, 10, 50, 50),
+		rect(1, 80, 80, 90, 90),
+		rect(2, 50, 10, 70, 30),
+	}
+	// right: 0 inside left0, 1 equals left1, 2 meets left2 via shared edge,
+	// 3 overlaps left0
+	right = []*core.Object{
+		rect(0, 20, 20, 30, 30),
+		rect(1, 80, 80, 90, 90),
+		rect(2, 70, 10, 75, 30),
+		rect(3, 40, 40, 60, 60),
+	}
+	return left, right
+}
+
+func TestDiscover(t *testing.T) {
+	left, right := buildObjects(t)
+	set := Discover(left, right, core.PC)
+	if set.Candidates == 0 {
+		t.Fatal("no candidates")
+	}
+	got := map[Link]bool{}
+	for _, l := range set.Links {
+		got[l] = true
+	}
+	want := []Link{
+		{0, 0, de9im.Contains},
+		{1, 1, de9im.Equals},
+		{2, 2, de9im.Meets},
+		{0, 3, de9im.Intersects},
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("missing link %+v (have %v)", w, set.Links)
+		}
+	}
+	// No disjoint links.
+	for _, l := range set.Links {
+		if l.Relation == de9im.Disjoint {
+			t.Errorf("disjoint link emitted: %+v", l)
+		}
+	}
+	// Deterministic ordering.
+	for i := 1; i < len(set.Links); i++ {
+		a, b := set.Links[i-1], set.Links[i]
+		if a.LeftID > b.LeftID || (a.LeftID == b.LeftID && a.RightID > b.RightID) {
+			t.Error("links not ordered")
+		}
+	}
+	// All methods discover the same links.
+	for _, m := range core.Methods {
+		other := Discover(left, right, m)
+		if len(other.Links) != len(set.Links) {
+			t.Fatalf("method %v found %d links, want %d", m, len(other.Links), len(set.Links))
+		}
+		for i := range other.Links {
+			if other.Links[i] != set.Links[i] {
+				t.Fatalf("method %v link %d = %+v, want %+v", m, i, other.Links[i], set.Links[i])
+			}
+		}
+	}
+}
+
+func TestWriteNTriples(t *testing.T) {
+	left, right := buildObjects(t)
+	set := Discover(left, right, core.PC)
+	var buf bytes.Buffer
+	if err := set.WriteNTriples(&buf, "http://ex.org/l/", "http://ex.org/r/"); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(set.Links) {
+		t.Fatalf("%d lines for %d links", len(lines), len(set.Links))
+	}
+	if !strings.Contains(out, "<http://ex.org/l/1> <http://www.opengis.net/ont/geosparql#sfEquals> <http://ex.org/r/1> .") {
+		t.Errorf("equals triple missing:\n%s", out)
+	}
+	if !strings.Contains(out, "sfTouches") {
+		t.Error("touches triple missing")
+	}
+	for _, line := range lines {
+		if !strings.HasSuffix(line, " .") {
+			t.Errorf("malformed triple: %q", line)
+		}
+	}
+}
+
+func TestPredicate(t *testing.T) {
+	if _, ok := Predicate(de9im.Disjoint); ok {
+		t.Error("disjoint must have no predicate")
+	}
+	p, ok := Predicate(de9im.CoveredBy)
+	if !ok || !strings.Contains(p, "sfWithin") {
+		t.Errorf("covered_by predicate: %q", p)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	left, right := buildObjects(t)
+	set := Discover(left, right, core.PC)
+	h := set.Histogram()
+	if h[de9im.Equals] != 1 || h[de9im.Meets] != 1 {
+		t.Errorf("histogram wrong: %v", h)
+	}
+}
+
+func TestExpand(t *testing.T) {
+	left, right := buildObjects(t)
+	set := Discover(left, right, core.PC)
+	exp := Expanded(t, set)
+	// The contains link implies covers and intersects.
+	want := []Link{
+		{0, 0, de9im.Covers},
+		{0, 0, de9im.Intersects},
+		{1, 1, de9im.CoveredBy},
+		{1, 1, de9im.Covers},
+		{1, 1, de9im.Intersects},
+		{2, 2, de9im.Intersects},
+	}
+	got := map[Link]bool{}
+	for _, l := range exp.Links {
+		got[l] = true
+	}
+	for _, w := range want {
+		if !got[w] {
+			t.Errorf("expanded set missing %+v", w)
+		}
+	}
+	if len(exp.Links) <= len(set.Links) {
+		t.Error("expansion added nothing")
+	}
+	// No duplicates.
+	seen := map[Link]bool{}
+	for _, l := range exp.Links {
+		if seen[l] {
+			t.Fatalf("duplicate link %+v", l)
+		}
+		seen[l] = true
+	}
+}
+
+func Expanded(t *testing.T, s *Set) *Set {
+	t.Helper()
+	return s.Expand()
+}

@@ -1,0 +1,138 @@
+package linkset
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/april"
+	"repro/internal/core"
+	"repro/internal/datagen"
+	"repro/internal/geom"
+)
+
+// progressiveWorkload builds hosts with nested children (links) plus
+// scattered clutter whose MBRs overlap hosts marginally (non-links).
+func progressiveWorkload(t *testing.T) (left, right []*core.Object) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	space := geom.MBR{MinX: 0, MinY: 0, MaxX: 400, MaxY: 400}
+	b := april.NewBuilder(space, 10)
+	mk := func(id int, p *geom.Polygon) *core.Object {
+		o, err := core.NewObject(id, p, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	for i := 0; i < 25; i++ {
+		host := datagen.Blob(rng, geom.Point{X: 50 + rng.Float64()*300, Y: 50 + rng.Float64()*300}, 15+rng.Float64()*15, 24+rng.Intn(60))
+		right = append(right, mk(i, host))
+	}
+	id := 0
+	for i := 0; i < 50; i++ {
+		host := right[rng.Intn(len(right))].Poly
+		left = append(left, mk(id, datagen.InsideBlob(rng, host, 0.2+rng.Float64()*0.3, 8+rng.Intn(30), 1)))
+		id++
+	}
+	for i := 0; i < 120; i++ {
+		host := right[rng.Intn(len(right))].Poly
+		left = append(left, mk(id, datagen.NearMissBlob(rng, host, 2+rng.Float64()*3, 8+rng.Intn(20), 2)))
+		id++
+	}
+	return left, right
+}
+
+func TestProgressiveMatchesDiscover(t *testing.T) {
+	left, right := progressiveWorkload(t)
+	plain := Discover(left, right, core.PC)
+	prog, curve := DiscoverProgressive(left, right, core.PC, 10)
+	if prog.Candidates != plain.Candidates {
+		t.Fatalf("candidates: %d vs %d", prog.Candidates, plain.Candidates)
+	}
+	if len(prog.Links) != len(plain.Links) {
+		t.Fatalf("links: %d vs %d", len(prog.Links), len(plain.Links))
+	}
+	for i := range prog.Links {
+		if prog.Links[i] != plain.Links[i] {
+			t.Fatalf("link %d differs: %+v vs %+v", i, prog.Links[i], plain.Links[i])
+		}
+	}
+	if len(curve) == 0 {
+		t.Fatal("empty curve")
+	}
+	last := curve[len(curve)-1]
+	if last.Processed != prog.Candidates || last.Links != len(prog.Links) {
+		t.Fatalf("final curve point %+v", last)
+	}
+	// Curve is monotone.
+	for i := 1; i < len(curve); i++ {
+		if curve[i].Links < curve[i-1].Links || curve[i].Processed < curve[i-1].Processed {
+			t.Fatal("curve not monotone")
+		}
+	}
+}
+
+// TestProgressiveFrontLoadsLinks: the overlap-ratio scheduler must find
+// links faster than uniform processing — with half the verification
+// budget it should exceed half the links by a clear margin.
+func TestProgressiveFrontLoadsLinks(t *testing.T) {
+	left, right := progressiveWorkload(t)
+	_, curve := DiscoverProgressive(left, right, core.PC, 20)
+	half := EarlyRecall(curve, 0.5)
+	if half <= 0.6 {
+		t.Errorf("early recall at 50%% budget = %.2f, want > 0.6", half)
+	}
+	full := EarlyRecall(curve, 1.0)
+	if full != 1.0 {
+		t.Errorf("full budget recall = %.2f", full)
+	}
+}
+
+func TestEarlyRecallEdgeCases(t *testing.T) {
+	if EarlyRecall(nil, 0.5) != 0 {
+		t.Error("nil curve")
+	}
+	if EarlyRecall([]CurvePoint{{Processed: 10, Links: 0}}, 0.5) != 0 {
+		t.Error("zero links")
+	}
+}
+
+func TestDiscoverProgressiveEmpty(t *testing.T) {
+	set, curve := DiscoverProgressive(nil, nil, core.PC, 5)
+	if set.Candidates != 0 || len(set.Links) != 0 {
+		t.Errorf("empty discover: %+v", set)
+	}
+	if len(curve) != 1 || curve[0] != (CurvePoint{}) {
+		t.Errorf("empty curve: %v", curve)
+	}
+}
+
+func TestPairScore(t *testing.T) {
+	space := geom.MBR{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	b := april.NewBuilder(space, 8)
+	mk := func(x0, y0, x1, y1 float64) *core.Object {
+		p := geom.NewPolygon(geom.Ring{{X: x0, Y: y0}, {X: x1, Y: y0}, {X: x1, Y: y1}, {X: x0, Y: y1}})
+		o, err := core.NewObject(0, p, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	host := mk(0, 0, 50, 50)
+	nested := mk(10, 10, 20, 20)
+	corner := mk(49, 49, 60, 60)
+	farNeighbor := mk(50.4, 0, 60, 50) // MBRs touch, rasters separable
+	// Interval evidence dominates: the nested pair (certain interior
+	// contact) outranks the corner overlap (conservative contact only),
+	// which outranks the raster-separable neighbour.
+	sNested, sCorner, sFar := pairScore(nested, host), pairScore(corner, host), pairScore(farNeighbor, host)
+	if sNested <= sCorner {
+		t.Errorf("nested (%v) must outrank corner overlap (%v)", sNested, sCorner)
+	}
+	if sCorner <= sFar {
+		t.Errorf("corner overlap (%v) must outrank raster-separable neighbour (%v)", sCorner, sFar)
+	}
+	if s := pairScore(mk(90, 90, 95, 95), host); s != 0 {
+		t.Errorf("fully disjoint score = %v", s)
+	}
+}

@@ -1,0 +1,123 @@
+// Package mbrrel classifies how the MBRs of two objects intersect and
+// derives the candidate topological relations of each case (Sec. 3.1,
+// Fig. 4 of the paper). The classification is the enhanced MBR filter: it
+// both prunes impossible relations before any geometry work and routes the
+// pair to the matching specialized intermediate filter.
+package mbrrel
+
+import (
+	"repro/internal/de9im"
+	"repro/internal/geom"
+)
+
+// Case is the MBR intersection case of Fig. 4.
+type Case uint8
+
+// MBR intersection cases.
+const (
+	// DisjointMBRs: the MBRs do not intersect; the objects are disjoint.
+	DisjointMBRs Case = iota
+	// EqualMBRs: identical rectangles (Fig. 4c).
+	EqualMBRs
+	// RInsideS: MBR(r) contained in MBR(s), not equal (Fig. 4a).
+	RInsideS
+	// RContainsS: MBR(r) contains MBR(s), not equal (Fig. 4b).
+	RContainsS
+	// CrossMBRs: each MBR spans the other in one axis (Fig. 4d); two
+	// connected objects in this arrangement certainly intersect.
+	CrossMBRs
+	// PartialMBRs: any other intersection (Fig. 4e).
+	PartialMBRs
+)
+
+func (c Case) String() string {
+	switch c {
+	case DisjointMBRs:
+		return "disjoint"
+	case EqualMBRs:
+		return "equal"
+	case RInsideS:
+		return "r_inside_s"
+	case RContainsS:
+		return "r_contains_s"
+	case CrossMBRs:
+		return "cross"
+	default:
+		return "partial"
+	}
+}
+
+// Classify determines the MBR intersection case of (r, s).
+func Classify(r, s geom.MBR) Case {
+	if !r.Intersects(s) {
+		return DisjointMBRs
+	}
+	if r.Equal(s) {
+		return EqualMBRs
+	}
+	if s.ContainsMBR(r) {
+		return RInsideS
+	}
+	if r.ContainsMBR(s) {
+		return RContainsS
+	}
+	if crosses(r, s) || crosses(s, r) {
+		return CrossMBRs
+	}
+	return PartialMBRs
+}
+
+// crosses reports whether a spans b horizontally while b spans a
+// vertically: a strictly wider on both sides, b strictly taller on both
+// sides. Any connected region filling a must then cross any connected
+// region filling b.
+func crosses(a, b geom.MBR) bool {
+	return a.MinX < b.MinX && b.MaxX < a.MaxX &&
+		b.MinY < a.MinY && a.MaxY < b.MaxY
+}
+
+// candidate relation sets per case (Fig. 4). With MBR(r) inside MBR(s),
+// r cannot equal, contain, or cover s; mirrored for the contains case;
+// with equal MBRs, strict inside/contains are impossible (a polygon
+// touching its MBR boundary cannot be strictly interior to another object
+// sharing that MBR).
+var candidates = map[Case]de9im.RelationSet{
+	DisjointMBRs: de9im.NewRelationSet(de9im.Disjoint),
+	EqualMBRs: de9im.NewRelationSet(
+		de9im.Equals, de9im.CoveredBy, de9im.Covers,
+		de9im.Meets, de9im.Intersects, de9im.Disjoint),
+	RInsideS: de9im.NewRelationSet(
+		de9im.Disjoint, de9im.Inside, de9im.CoveredBy,
+		de9im.Meets, de9im.Intersects),
+	RContainsS: de9im.NewRelationSet(
+		de9im.Disjoint, de9im.Contains, de9im.Covers,
+		de9im.Meets, de9im.Intersects),
+	CrossMBRs: de9im.NewRelationSet(de9im.Intersects),
+	PartialMBRs: de9im.NewRelationSet(
+		de9im.Disjoint, de9im.Meets, de9im.Intersects),
+}
+
+// Candidates returns the possible topological relations of a pair whose
+// MBRs intersect per case c. Fig. 4 omits disjoint for equal MBRs; it is
+// included here because two interleaved shapes can share an MBR without
+// sharing a point.
+func Candidates(c Case) de9im.RelationSet { return candidates[c] }
+
+// Definite returns the relation that certainly holds for case c, if any:
+// disjoint MBRs imply disjoint objects and crossing MBRs imply
+// intersecting objects (for connected, MBR-filling regions such as
+// polygons).
+func Definite(c Case) (de9im.Relation, bool) {
+	switch c {
+	case DisjointMBRs:
+		return de9im.Disjoint, true
+	case CrossMBRs:
+		return de9im.Intersects, true
+	default:
+		return 0, false
+	}
+}
+
+// Possible reports whether relation rel is possible under case c; used by
+// the relate_p fast path to reject predicates without touching geometry.
+func Possible(c Case, rel de9im.Relation) bool { return candidates[c].Has(rel) }

@@ -1,0 +1,126 @@
+package mbrrel
+
+import (
+	"testing"
+
+	"repro/internal/de9im"
+	"repro/internal/geom"
+)
+
+func box(x0, y0, x1, y1 float64) geom.MBR {
+	return geom.MBR{MinX: x0, MinY: y0, MaxX: x1, MaxY: y1}
+}
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		r, s geom.MBR
+		want Case
+	}{
+		{"disjoint", box(0, 0, 1, 1), box(5, 5, 6, 6), DisjointMBRs},
+		{"equal", box(0, 0, 4, 4), box(0, 0, 4, 4), EqualMBRs},
+		{"r inside s", box(1, 1, 2, 2), box(0, 0, 4, 4), RInsideS},
+		{"r inside s touching", box(0, 1, 2, 2), box(0, 0, 4, 4), RInsideS},
+		{"r contains s", box(0, 0, 4, 4), box(1, 1, 2, 2), RContainsS},
+		{"cross r wide", box(0, 2, 10, 4), box(4, 0, 6, 8), CrossMBRs},
+		{"cross r tall", box(4, 0, 6, 8), box(0, 2, 10, 4), CrossMBRs},
+		{"partial overlap", box(0, 0, 4, 4), box(2, 2, 6, 6), PartialMBRs},
+		{"touching edges", box(0, 0, 2, 2), box(2, 0, 4, 2), PartialMBRs},
+		{"corner touch", box(0, 0, 2, 2), box(2, 2, 4, 4), PartialMBRs},
+		// A T-shape arrangement is not a cross: s does not span r on both
+		// vertical sides.
+		{"t-shape", box(0, 2, 10, 4), box(4, 2, 6, 8), PartialMBRs},
+	}
+	for _, c := range cases {
+		if got := Classify(c.r, c.s); got != c.want {
+			t.Errorf("%s: Classify = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCaseString(t *testing.T) {
+	names := map[Case]string{
+		DisjointMBRs: "disjoint", EqualMBRs: "equal", RInsideS: "r_inside_s",
+		RContainsS: "r_contains_s", CrossMBRs: "cross", PartialMBRs: "partial",
+	}
+	for c, want := range names {
+		if c.String() != want {
+			t.Errorf("%d.String() = %q, want %q", c, c.String(), want)
+		}
+	}
+}
+
+func TestCandidates(t *testing.T) {
+	// Fig. 4(a): MBR(r) inside MBR(s) rules out equals, contains, covers.
+	in := Candidates(RInsideS)
+	for _, rel := range []de9im.Relation{de9im.Equals, de9im.Contains, de9im.Covers} {
+		if in.Has(rel) {
+			t.Errorf("r-inside-s must exclude %v", rel)
+		}
+	}
+	for _, rel := range []de9im.Relation{de9im.Disjoint, de9im.Inside, de9im.CoveredBy, de9im.Meets, de9im.Intersects} {
+		if !in.Has(rel) {
+			t.Errorf("r-inside-s must include %v", rel)
+		}
+	}
+	// Fig. 4(c): equal MBRs rule out strict inside/contains.
+	eq := Candidates(EqualMBRs)
+	if eq.Has(de9im.Inside) || eq.Has(de9im.Contains) {
+		t.Error("equal MBRs must exclude strict containments")
+	}
+	if !eq.Has(de9im.Equals) || !eq.Has(de9im.CoveredBy) || !eq.Has(de9im.Covers) {
+		t.Error("equal MBRs must keep equals/covered_by/covers")
+	}
+	// Fig. 4(d): cross leaves only intersects.
+	if cr := Candidates(CrossMBRs); cr.Count() != 1 || !cr.Has(de9im.Intersects) {
+		t.Error("cross must leave only intersects")
+	}
+	// Fig. 4(e): partial overlap leaves disjoint/meets/intersects.
+	pa := Candidates(PartialMBRs)
+	if pa.Count() != 3 || !pa.Has(de9im.Disjoint) || !pa.Has(de9im.Meets) || !pa.Has(de9im.Intersects) {
+		t.Error("partial candidates wrong")
+	}
+}
+
+func TestDefinite(t *testing.T) {
+	if rel, ok := Definite(DisjointMBRs); !ok || rel != de9im.Disjoint {
+		t.Error("disjoint MBRs must be definite disjoint")
+	}
+	if rel, ok := Definite(CrossMBRs); !ok || rel != de9im.Intersects {
+		t.Error("crossing MBRs must be definite intersects")
+	}
+	for _, c := range []Case{EqualMBRs, RInsideS, RContainsS, PartialMBRs} {
+		if _, ok := Definite(c); ok {
+			t.Errorf("case %v must not be definite", c)
+		}
+	}
+}
+
+func TestPossible(t *testing.T) {
+	if Possible(RInsideS, de9im.Contains) {
+		t.Error("contains impossible when MBR(r) inside MBR(s)")
+	}
+	if !Possible(RInsideS, de9im.Inside) {
+		t.Error("inside possible when MBR(r) inside MBR(s)")
+	}
+}
+
+// TestCandidatesSound verifies on geometry: for random MBR pairs, the
+// true relation of *any* polygons with those MBRs must be a candidate.
+// Here we check the necessary-condition logic structurally: every
+// candidate set includes intersects or is the singleton disjoint set,
+// and disjoint appears everywhere it is geometrically possible.
+func TestCandidatesSound(t *testing.T) {
+	for _, c := range []Case{EqualMBRs, RInsideS, RContainsS, PartialMBRs} {
+		set := Candidates(c)
+		if !set.Has(de9im.Intersects) {
+			t.Errorf("case %v must allow intersects", c)
+		}
+		if !set.Has(de9im.Disjoint) {
+			t.Errorf("case %v must allow disjoint", c)
+		}
+		if !set.Has(de9im.Meets) {
+			t.Errorf("case %v must allow meets", c)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package overlay
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/de9im"
+	"repro/internal/geom"
+)
+
+func mp(ps ...*geom.Polygon) *geom.MultiPolygon { return geom.NewMultiPolygon(ps...) }
+
+func rectP(x0, y0, x1, y1 float64) *geom.Polygon {
+	return geom.NewPolygon(geom.Ring{{X: x0, Y: y0}, {X: x1, Y: y0}, {X: x1, Y: y1}, {X: x0, Y: y1}})
+}
+
+func near(a, b float64) bool { return math.Abs(a-b) < 1e-9*(1+math.Abs(a)+math.Abs(b)) }
+
+func TestRectangleOverlays(t *testing.T) {
+	cases := []struct {
+		name                       string
+		a, b                       *geom.Polygon
+		inter, aOnly, bOnly, union float64
+	}{
+		{"disjoint", rectP(0, 0, 2, 2), rectP(5, 0, 7, 2), 0, 4, 4, 8},
+		{"identical", rectP(0, 0, 4, 4), rectP(0, 0, 4, 4), 16, 0, 0, 16},
+		{"quarter overlap", rectP(0, 0, 2, 2), rectP(1, 1, 3, 3), 1, 3, 3, 7},
+		{"nested", rectP(0, 0, 10, 10), rectP(2, 2, 4, 4), 4, 96, 0, 100},
+		{"edge touch", rectP(0, 0, 2, 2), rectP(2, 0, 4, 2), 0, 4, 4, 8},
+		{"corner touch", rectP(0, 0, 2, 2), rectP(2, 2, 4, 4), 0, 4, 4, 8},
+		{"half covered", rectP(0, 0, 4, 2), rectP(2, 0, 4, 2), 4, 4, 0, 8},
+	}
+	for _, c := range cases {
+		r := Of(mp(c.a), mp(c.b))
+		if !near(r.Intersection, c.inter) || !near(r.AOnly, c.aOnly) ||
+			!near(r.BOnly, c.bOnly) || !near(r.Union, c.union) {
+			t.Errorf("%s: got inter=%.6f aOnly=%.6f bOnly=%.6f union=%.6f, want %v %v %v %v",
+				c.name, r.Intersection, r.AOnly, r.BOnly, r.Union, c.inter, c.aOnly, c.bOnly, c.union)
+		}
+	}
+}
+
+func TestOverlayWithHole(t *testing.T) {
+	annulus := geom.NewPolygon(
+		geom.Ring{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}, {X: 0, Y: 10}},
+		geom.Ring{{X: 3, Y: 3}, {X: 7, Y: 3}, {X: 7, Y: 7}, {X: 3, Y: 7}},
+	)
+	// b inside the hole: no overlap.
+	inHole := rectP(4, 4, 6, 6)
+	r := Of(mp(annulus), mp(inHole))
+	if !near(r.Intersection, 0) {
+		t.Errorf("in-hole overlap = %v", r.Intersection)
+	}
+	if !near(r.A, 84) {
+		t.Errorf("annulus area via sweep = %v, want 84", r.A)
+	}
+	// b covering the hole and part of the solid region.
+	straddle := rectP(2, 2, 8, 8)
+	r = Of(mp(annulus), mp(straddle))
+	// straddle is 36; the hole (16) does not count.
+	if !near(r.Intersection, 20) {
+		t.Errorf("straddle overlap = %v, want 20", r.Intersection)
+	}
+}
+
+func TestOverlayMultiPolygon(t *testing.T) {
+	a := mp(rectP(0, 0, 2, 2), rectP(10, 0, 12, 2))
+	b := mp(rectP(1, 0, 11, 2))
+	r := Of(a, b)
+	// b overlaps each component in a 1x2 strip.
+	if !near(r.Intersection, 2+2) {
+		t.Errorf("intersection = %v, want 4", r.Intersection)
+	}
+	if !near(r.A, 8) || !near(r.B, 20) {
+		t.Errorf("inputs: A=%v B=%v", r.A, r.B)
+	}
+	if !near(r.Union, 8+20-4) {
+		t.Errorf("union = %v", r.Union)
+	}
+}
+
+// TestSweepAreaMatchesShoelace: the sweep's per-input areas must agree
+// with the shoelace formula on random blobs — a strong self-check of the
+// slab construction.
+func TestSweepAreaMatchesShoelace(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 60; trial++ {
+		a := datagen.Blob(rng, geom.Point{X: 20 + rng.Float64()*20, Y: 20 + rng.Float64()*20}, 4+rng.Float64()*12, 8+rng.Intn(120))
+		b := datagen.Blob(rng, geom.Point{X: 20 + rng.Float64()*20, Y: 20 + rng.Float64()*20}, 4+rng.Float64()*12, 8+rng.Intn(120))
+		r := Of(mp(a), mp(b))
+		if relErr(r.A, a.Area()) > 1e-6 {
+			t.Fatalf("trial %d: sweep A=%v shoelace=%v", trial, r.A, a.Area())
+		}
+		if relErr(r.B, b.Area()) > 1e-6 {
+			t.Fatalf("trial %d: sweep B=%v shoelace=%v", trial, r.B, b.Area())
+		}
+		// Inclusion-exclusion consistency.
+		if relErr(r.Union+r.Intersection, r.A+r.B) > 1e-6 {
+			t.Fatalf("trial %d: inclusion-exclusion broken: %+v", trial, r)
+		}
+		if r.Intersection < -1e-9 || r.Intersection > math.Min(r.A, r.B)+1e-6 {
+			t.Fatalf("trial %d: intersection out of range: %+v", trial, r)
+		}
+	}
+}
+
+func relErr(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if m := math.Max(math.Abs(a), math.Abs(b)); m > 1 {
+		return d / m
+	}
+	return d
+}
+
+// TestOverlayCrossValidatesDE9IM: the paper's area entries and the
+// overlay must agree — interiors intersect iff the intersection area is
+// positive, and one-sided residues match the IE/EI entries. This checks
+// two independently implemented engines against each other.
+func TestOverlayCrossValidatesDE9IM(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	const areaEps = 1e-7
+	for trial := 0; trial < 150; trial++ {
+		a := datagen.Blob(rng, geom.Point{X: 25 + rng.Float64()*14, Y: 25 + rng.Float64()*14}, 3+rng.Float64()*10, 8+rng.Intn(60))
+		b := datagen.Blob(rng, geom.Point{X: 25 + rng.Float64()*14, Y: 25 + rng.Float64()*14}, 3+rng.Float64()*10, 8+rng.Intn(60))
+		ma, mb := mp(a), mp(b)
+		m := de9im.Relate(ma, mb)
+		r := Of(ma, mb)
+		if got, want := m[de9im.II].Intersects(), r.Intersection > areaEps; got != want {
+			t.Fatalf("trial %d: II=%v but intersection area=%.3g (matrix %s)",
+				trial, got, r.Intersection, m)
+		}
+		if got, want := m[de9im.IE].Intersects(), r.AOnly > areaEps; got != want {
+			t.Fatalf("trial %d: IE=%v but A-only area=%.3g (matrix %s)",
+				trial, got, r.AOnly, m)
+		}
+		if got, want := m[de9im.EI].Intersects(), r.BOnly > areaEps; got != want {
+			t.Fatalf("trial %d: EI=%v but B-only area=%.3g (matrix %s)",
+				trial, got, r.BOnly, m)
+		}
+	}
+}
+
+func TestSimilarityMeasures(t *testing.T) {
+	a, b := mp(rectP(0, 0, 2, 2)), mp(rectP(1, 0, 3, 2))
+	if j := JaccardSimilarity(a, b); !near(j, 2.0/6.0) {
+		t.Errorf("jaccard = %v", j)
+	}
+	if j := JaccardSimilarity(a, a); !near(j, 1) {
+		t.Errorf("self jaccard = %v", j)
+	}
+	if j := JaccardSimilarity(mp(), mp()); j != 0 {
+		t.Errorf("empty jaccard = %v", j)
+	}
+	if f := CoverageFraction(a, b); !near(f, 0.5) {
+		t.Errorf("coverage = %v", f)
+	}
+	if f := CoverageFraction(mp(), b); f != 0 {
+		t.Errorf("empty coverage = %v", f)
+	}
+	if v := PolygonIntersectionArea(rectP(0, 0, 2, 2), rectP(1, 1, 4, 4)); !near(v, 1) {
+		t.Errorf("polygon intersection area = %v", v)
+	}
+}
+
+func TestOverlayEmpty(t *testing.T) {
+	r := Of(mp(), mp())
+	if r.Intersection != 0 || r.Union != 0 || r.A != 0 || r.B != 0 {
+		t.Errorf("empty overlay: %+v", r)
+	}
+	one := Of(mp(rectP(0, 0, 2, 3)), mp())
+	if !near(one.A, 6) || one.Intersection != 0 || !near(one.Union, 6) {
+		t.Errorf("one-sided overlay: %+v", one)
+	}
+}

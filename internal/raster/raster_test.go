@@ -1,0 +1,237 @@
+package raster
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func unitSpace() geom.MBR { return geom.MBR{MinX: 0, MinY: 0, MaxX: 16, MaxY: 16} }
+
+func TestGridBasics(t *testing.T) {
+	g := NewGrid(unitSpace(), 4) // 16x16 grid, cell size 1x1
+	if g.Side() != 16 || g.Order() != 4 {
+		t.Fatalf("side=%d order=%d", g.Side(), g.Order())
+	}
+	w, h := g.CellSize()
+	if w != 1 || h != 1 {
+		t.Fatalf("cell size %v x %v", w, h)
+	}
+	if g.Col(3.5) != 3 || g.Row(15.99) != 15 {
+		t.Errorf("Col/Row wrong: %d %d", g.Col(3.5), g.Row(15.99))
+	}
+	// Clamping.
+	if g.Col(-5) != 0 || g.Col(99) != 15 {
+		t.Error("clamping failed")
+	}
+	cb := g.CellMBR(2, 3)
+	if cb != (geom.MBR{MinX: 2, MinY: 3, MaxX: 3, MaxY: 4}) {
+		t.Errorf("CellMBR = %v", cb)
+	}
+	if g.CellCenter(2, 3) != (geom.Point{X: 2.5, Y: 3.5}) {
+		t.Errorf("CellCenter = %v", g.CellCenter(2, 3))
+	}
+	if g.Space() != unitSpace() {
+		t.Error("Space accessor wrong")
+	}
+}
+
+func TestGridPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewGrid(unitSpace(), 0) },
+		func() { NewGrid(unitSpace(), 42) },
+		func() { NewGrid(geom.EmptyMBR(), 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCellStateString(t *testing.T) {
+	if Empty.String() != "empty" || Partial.String() != "partial" || Full.String() != "full" {
+		t.Error("state names wrong")
+	}
+}
+
+func rect(x0, y0, x1, y1 float64) *geom.Polygon {
+	return geom.NewPolygon(geom.Ring{{X: x0, Y: y0}, {X: x1, Y: y0}, {X: x1, Y: y1}, {X: x0, Y: y1}})
+}
+
+// TestRasterizeAlignedSquare: a grid-aligned 4x4 square. Interior cells
+// are the 2x2 inner block (boundary cells and their outside neighbours are
+// partial due to border snapping).
+func TestRasterizeAlignedSquare(t *testing.T) {
+	g := NewGrid(unitSpace(), 4)
+	p := rect(4, 4, 8, 8)
+	ras, err := Rasterize(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for col := 5; col < 7; col++ {
+		for row := 5; row < 7; row++ {
+			if s := ras.At(col, row); s != Full {
+				t.Errorf("cell (%d,%d) = %v, want full", col, row, s)
+			}
+		}
+	}
+	// Cells crossed by the boundary: columns/rows 4 and 7 within the square,
+	// plus the exactly-touching outside neighbours 3 and 8.
+	for _, c := range []int{3, 4, 7, 8} {
+		if s := ras.At(c, 4); s != Partial {
+			t.Errorf("boundary cell (%d,4) = %v, want partial", c, s)
+		}
+	}
+	// Far-away cells are empty.
+	if ras.At(0, 0) != Empty || ras.At(12, 12) != Empty {
+		t.Error("distant cells should be empty")
+	}
+	full, partial := ras.Counts()
+	if full != 4 {
+		t.Errorf("full count = %d, want 4", full)
+	}
+	// Boundary band: the square's border touches cells 3..8 in each
+	// direction minus the full block: (6*6 window) - 4 full = 32 partial.
+	if partial != 32 {
+		t.Errorf("partial count = %d, want 32", partial)
+	}
+}
+
+// TestRasterizeMisalignedSquare: a square strictly inside cell borders.
+func TestRasterizeMisalignedSquare(t *testing.T) {
+	g := NewGrid(unitSpace(), 4)
+	p := rect(4.5, 4.5, 7.5, 7.5)
+	ras, err := Rasterize(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, partial := ras.Counts()
+	if full != 4 { // cells (5..6, 5..6)
+		t.Errorf("full = %d, want 4", full)
+	}
+	if partial != 12 { // ring of boundary cells (4..7)^2 minus 4 full
+		t.Errorf("partial = %d, want 12", partial)
+	}
+}
+
+func randBlob(rng *rand.Rand, cx, cy, radius float64, n int) geom.Ring {
+	angles := make([]float64, n)
+	step := 2 * math.Pi / float64(n)
+	for i := range angles {
+		angles[i] = float64(i)*step + rng.Float64()*step*0.8
+	}
+	ring := make(geom.Ring, n)
+	for i, a := range angles {
+		r := radius * (0.4 + 0.6*rng.Float64())
+		ring[i] = geom.Point{X: cx + r*math.Cos(a), Y: cy + r*math.Sin(a)}
+	}
+	return ring
+}
+
+// TestRasterizeConservative is the core soundness property: every FULL
+// cell lies entirely inside the polygon, and every point of the polygon's
+// boundary lies in a PARTIAL cell.
+func TestRasterizeConservative(t *testing.T) {
+	g := NewGrid(unitSpace(), 6) // 64x64, cell 0.25
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 40; trial++ {
+		p := geom.NewPolygon(randBlob(rng, 8, 8, 5, 6+rng.Intn(40)))
+		ras, err := Rasterize(p, g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ras.Each(func(col, row int, s CellState) {
+			if s != Full {
+				return
+			}
+			cb := g.CellMBR(col, row)
+			for _, pt := range []geom.Point{
+				{X: cb.MinX, Y: cb.MinY}, {X: cb.MaxX, Y: cb.MinY},
+				{X: cb.MaxX, Y: cb.MaxY}, {X: cb.MinX, Y: cb.MaxY},
+				cb.Center(),
+			} {
+				if geom.LocateInPolygon(pt, p) == geom.Outside {
+					t.Fatalf("trial %d: full cell (%d,%d) has outside point %v", trial, col, row, pt)
+				}
+			}
+		})
+		// Boundary samples must land in partial cells.
+		p.Edges(func(a, b geom.Point) {
+			for k := 0; k <= 8; k++ {
+				pt := geom.Lerp(a, b, float64(k)/8)
+				if s := ras.At(g.Col(pt.X), g.Row(pt.Y)); s != Partial {
+					t.Fatalf("trial %d: boundary point %v in %v cell", trial, pt, s)
+				}
+			}
+		})
+		// Interior samples must land in non-empty cells.
+		ip := geom.PointOnSurface(p)
+		if s := ras.At(g.Col(ip.X), g.Row(ip.Y)); s == Empty {
+			t.Fatalf("trial %d: interior point %v in empty cell", trial, ip)
+		}
+	}
+}
+
+// TestRasterizePolygonWithHole checks that hole interiors are not Full.
+func TestRasterizePolygonWithHole(t *testing.T) {
+	g := NewGrid(unitSpace(), 5) // 32x32, cell 0.5
+	p := geom.NewPolygon(
+		geom.Ring{{X: 2, Y: 2}, {X: 14, Y: 2}, {X: 14, Y: 14}, {X: 2, Y: 14}},
+		geom.Ring{{X: 6, Y: 6}, {X: 10, Y: 6}, {X: 10, Y: 10}, {X: 6, Y: 10}},
+	)
+	ras, err := Rasterize(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deep inside the hole: empty.
+	if s := ras.At(g.Col(8), g.Row(8)); s != Empty {
+		t.Errorf("hole center = %v, want empty", s)
+	}
+	// Solid part: full.
+	if s := ras.At(g.Col(4), g.Row(4)); s != Full {
+		t.Errorf("solid part = %v, want full", s)
+	}
+	// Hole ring: partial.
+	if s := ras.At(g.Col(6), g.Row(8)); s != Partial {
+		t.Errorf("hole boundary = %v, want partial", s)
+	}
+}
+
+func TestRasterizeTinyPolygonWithinOneCell(t *testing.T) {
+	g := NewGrid(unitSpace(), 4)
+	p := rect(5.1, 5.1, 5.4, 5.4)
+	ras, err := Rasterize(p, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, partial := ras.Counts()
+	if full != 0 || partial != 1 {
+		t.Errorf("tiny polygon: full=%d partial=%d, want 0, 1", full, partial)
+	}
+	if ras.At(5, 5) != Partial {
+		t.Error("the containing cell must be partial")
+	}
+}
+
+func TestWindowTooLarge(t *testing.T) {
+	space := geom.MBR{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1}
+	g := NewGrid(space, 16)
+	p := rect(0.01, 0.01, 0.99, 0.99) // nearly the whole 2^16 grid
+	_, err := Rasterize(p, g)
+	if err == nil {
+		t.Fatal("expected ErrWindowTooLarge")
+	}
+	if _, ok := err.(ErrWindowTooLarge); !ok {
+		t.Fatalf("got %T: %v", err, err)
+	}
+	if err.Error() == "" {
+		t.Error("error message empty")
+	}
+}

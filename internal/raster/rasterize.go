@@ -1,0 +1,139 @@
+package raster
+
+import (
+	"math"
+
+	"repro/internal/geom"
+)
+
+// maxWindowCells bounds the per-object raster window (64M cells ≈ 64 MB of
+// state). Real datasets stay far below this; the generators are configured
+// so the largest objects fit comfortably.
+const maxWindowCells = 64 << 20
+
+// Rasterize classifies every grid cell in the polygon's MBR window.
+//
+// Phase 1 marks every cell touched by a boundary edge as Partial by
+// walking the edge through the grid one row band at a time: within a band
+// (one cell tall) the edge spans a contiguous column range, and every cell
+// in that range is touched. Coordinates that land exactly on cell borders
+// mark both neighbouring cells, so cells that merely touch the boundary
+// are conservatively Partial — this is what lets the interval filters
+// detect 'meets' pairs.
+//
+// Phase 2 classifies the remaining cells row by row: a maximal run of
+// unmarked cells is uniformly inside or outside (the boundary cannot pass
+// between two unmarked neighbours without marking one), so one
+// point-in-polygon probe per run suffices.
+func Rasterize(p *geom.Polygon, g Grid) (*Raster, error) {
+	b := p.Bounds()
+	// Expand the window by one cell: a boundary lying exactly on the MBR
+	// border also touches the neighbouring cells, which must become
+	// Partial for the conservative list to cover all touched cells.
+	colMin, colMax := g.clamp(g.Col(b.MinX)-1), g.clamp(g.Col(b.MaxX)+1)
+	rowMin, rowMax := g.clamp(g.Row(b.MinY)-1), g.clamp(g.Row(b.MaxY)+1)
+	w, h := colMax-colMin+1, rowMax-rowMin+1
+	if cells := uint64(w) * uint64(h); cells > maxWindowCells {
+		return nil, ErrWindowTooLarge{Cells: cells}
+	}
+	ras := &Raster{ColMin: colMin, RowMin: rowMin, W: w, H: h, states: make([]CellState, w*h)}
+
+	// Border tolerance: a coordinate within snap of a cell border marks
+	// both sides.
+	snapX, snapY := g.cellW*1e-9, g.cellH*1e-9
+
+	markBand := func(row int, xlo, xhi float64) {
+		if row < rowMin || row > rowMax {
+			return
+		}
+		clo := g.Col(xlo + snapX)
+		if g.Col(xlo-snapX) < clo {
+			clo = g.Col(xlo - snapX)
+		}
+		chi := g.Col(xhi - snapX)
+		if g.Col(xhi+snapX) > chi {
+			chi = g.Col(xhi + snapX)
+		}
+		if clo < colMin {
+			clo = colMin
+		}
+		if chi > colMax {
+			chi = colMax
+		}
+		base := (row - rowMin) * w
+		for c := clo; c <= chi; c++ {
+			ras.states[base+c-colMin] = Partial
+		}
+	}
+
+	p.Edges(func(a, b2 geom.Point) {
+		yLo, yHi := math.Min(a.Y, b2.Y), math.Max(a.Y, b2.Y)
+		rLo := g.Row(yLo + snapY)
+		if g.Row(yLo-snapY) < rLo {
+			rLo = g.Row(yLo - snapY)
+		}
+		rHi := g.Row(yHi - snapY)
+		if g.Row(yHi+snapY) > rHi {
+			rHi = g.Row(yHi + snapY)
+		}
+		for row := rLo; row <= rHi; row++ {
+			band := g.CellMBR(colMin, row) // y-range of this band
+			x0, x1, ok := clipSegmentToBand(a, b2, band.MinY-snapY, band.MaxY+snapY)
+			if ok {
+				markBand(row, x0, x1)
+			}
+		}
+	})
+
+	// Phase 2: run classification.
+	loc := geom.NewPolygonLocator(p)
+	for row := rowMin; row <= rowMax; row++ {
+		base := (row - rowMin) * w
+		for c := colMin; c <= colMax; {
+			if ras.states[base+c-colMin] == Partial {
+				c++
+				continue
+			}
+			// Start of an unmarked run.
+			start := c
+			for c <= colMax && ras.states[base+c-colMin] != Partial {
+				c++
+			}
+			if loc.Locate(g.CellCenter(start, row)) == geom.Inside {
+				for k := start; k < c; k++ {
+					ras.states[base+k-colMin] = Full
+				}
+			}
+		}
+	}
+	return ras, nil
+}
+
+// clipSegmentToBand returns the x-extent of segment (a, b) within the
+// horizontal band [yLo, yHi], or ok=false when the segment misses it.
+func clipSegmentToBand(a, b geom.Point, yLo, yHi float64) (x0, x1 float64, ok bool) {
+	ay, by := a.Y, b.Y
+	if ay > by {
+		a, b = b, a
+		ay, by = by, ay
+	}
+	if by < yLo || ay > yHi {
+		return 0, 0, false
+	}
+	t0, t1 := 0.0, 1.0
+	dy := by - ay
+	if dy > 0 {
+		if ay < yLo {
+			t0 = (yLo - ay) / dy
+		}
+		if by > yHi {
+			t1 = (yHi - ay) / dy
+		}
+	}
+	xa := a.X + t0*(b.X-a.X)
+	xb := a.X + t1*(b.X-a.X)
+	if xa > xb {
+		xa, xb = xb, xa
+	}
+	return xa, xb, true
+}

@@ -1,0 +1,166 @@
+// Package store simulates the disk-resident geometry storage of a
+// spatial database: exact polygon geometries live in serialized form and
+// are decoded on demand through a bounded LRU cache, with byte-accurate
+// I/O accounting. The paper's Sec. 4.3 observes that the P+C pipeline
+// "avoids loading full object geometries" for most comparisons — this
+// package turns that claim into measured bytes (see the harness's
+// data-access experiment).
+package store
+
+import (
+	"container/list"
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/geom"
+)
+
+// IOStats counts storage accesses.
+type IOStats struct {
+	// Loads is the number of geometry fetches that missed the cache and
+	// had to be decoded from storage.
+	Loads int
+	// Hits is the number of fetches served by the cache.
+	Hits int
+	// BytesRead is the total serialized bytes decoded from storage.
+	BytesRead int64
+}
+
+// Store is a read-only geometry store with an LRU decode cache.
+type Store struct {
+	blobs    [][]byte
+	cache    map[int]*list.Element
+	order    *list.List // front = most recently used
+	capacity int
+	stats    IOStats
+}
+
+type cacheEntry struct {
+	id   int
+	poly *geom.Polygon
+}
+
+// New creates a store holding the given polygons in serialized form.
+// cacheSize bounds the number of decoded geometries kept in memory;
+// 0 disables caching entirely.
+func New(polys []*geom.Polygon, cacheSize int) *Store {
+	s := &Store{
+		blobs:    make([][]byte, len(polys)),
+		cache:    make(map[int]*list.Element),
+		order:    list.New(),
+		capacity: cacheSize,
+	}
+	for i, p := range polys {
+		s.blobs[i] = encodePolygon(p)
+	}
+	return s
+}
+
+// Len returns the number of stored geometries.
+func (s *Store) Len() int { return len(s.blobs) }
+
+// StoredBytes returns the total serialized size.
+func (s *Store) StoredBytes() int64 {
+	var n int64
+	for _, b := range s.blobs {
+		n += int64(len(b))
+	}
+	return n
+}
+
+// Stats returns the access counters.
+func (s *Store) Stats() IOStats { return s.stats }
+
+// ResetStats clears the access counters (the cache is kept).
+func (s *Store) ResetStats() { s.stats = IOStats{} }
+
+// Geometry fetches and decodes polygon id, through the cache.
+func (s *Store) Geometry(id int) (*geom.Polygon, error) {
+	if id < 0 || id >= len(s.blobs) {
+		return nil, fmt.Errorf("store: id %d out of range [0,%d)", id, len(s.blobs))
+	}
+	if el, ok := s.cache[id]; ok {
+		s.stats.Hits++
+		s.order.MoveToFront(el)
+		return el.Value.(*cacheEntry).poly, nil
+	}
+	s.stats.Loads++
+	s.stats.BytesRead += int64(len(s.blobs[id]))
+	poly, err := decodePolygon(s.blobs[id])
+	if err != nil {
+		return nil, fmt.Errorf("store: id %d: %w", id, err)
+	}
+	if s.capacity > 0 {
+		s.cache[id] = s.order.PushFront(&cacheEntry{id: id, poly: poly})
+		for s.order.Len() > s.capacity {
+			back := s.order.Back()
+			delete(s.cache, back.Value.(*cacheEntry).id)
+			s.order.Remove(back)
+		}
+	}
+	return poly, nil
+}
+
+// encodePolygon serializes a polygon as ring count, then per ring a
+// vertex count and flat little-endian float64 coordinates.
+func encodePolygon(p *geom.Polygon) []byte {
+	size := 4
+	rings := 1 + len(p.Holes)
+	size += rings * 4
+	size += 16 * p.NumVertices()
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(rings))
+	appendRing := func(r geom.Ring) {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r)))
+		for _, pt := range r {
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(pt.X))
+			buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(pt.Y))
+		}
+	}
+	appendRing(p.Shell)
+	for _, h := range p.Holes {
+		appendRing(h)
+	}
+	return buf
+}
+
+func decodePolygon(buf []byte) (*geom.Polygon, error) {
+	if len(buf) < 4 {
+		return nil, fmt.Errorf("truncated header")
+	}
+	rings := binary.LittleEndian.Uint32(buf)
+	off := 4
+	readRing := func() (geom.Ring, error) {
+		if off+4 > len(buf) {
+			return nil, fmt.Errorf("truncated ring header")
+		}
+		n := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if off+16*n > len(buf) {
+			return nil, fmt.Errorf("truncated ring data")
+		}
+		r := make(geom.Ring, n)
+		for i := 0; i < n; i++ {
+			x := math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			y := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:]))
+			r[i] = geom.Point{X: x, Y: y}
+			off += 16
+		}
+		return r, nil
+	}
+	if rings == 0 {
+		return nil, fmt.Errorf("polygon with no rings")
+	}
+	shell, err := readRing()
+	if err != nil {
+		return nil, err
+	}
+	holes := make([]geom.Ring, rings-1)
+	for i := range holes {
+		if holes[i], err = readRing(); err != nil {
+			return nil, err
+		}
+	}
+	return geom.NewPolygon(shell, holes...), nil
+}

@@ -1,0 +1,124 @@
+package store
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/geom"
+)
+
+func polys(t *testing.T, n int) []*geom.Polygon {
+	t.Helper()
+	rng := rand.New(rand.NewSource(1))
+	out := make([]*geom.Polygon, n)
+	for i := range out {
+		if i%4 == 0 {
+			out[i] = datagen.BlobWithHole(rng, geom.Point{X: 50, Y: 50}, 10, 24+rng.Intn(40))
+		} else {
+			out[i] = datagen.Blob(rng, geom.Point{X: 50, Y: 50}, 10, 8+rng.Intn(60))
+		}
+	}
+	return out
+}
+
+func TestRoundTrip(t *testing.T) {
+	ps := polys(t, 20)
+	s := New(ps, 4)
+	for i, want := range ps {
+		got, err := s.Geometry(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumVertices() != want.NumVertices() || len(got.Holes) != len(want.Holes) {
+			t.Fatalf("polygon %d structure changed", i)
+		}
+		for j := range got.Shell {
+			if got.Shell[j] != want.Shell[j] {
+				t.Fatalf("polygon %d vertex %d not bit-exact", i, j)
+			}
+		}
+	}
+}
+
+func TestCacheAccounting(t *testing.T) {
+	ps := polys(t, 10)
+	s := New(ps, 3)
+	if s.Len() != 10 || s.StoredBytes() == 0 {
+		t.Fatal("store empty")
+	}
+	// First accesses: all misses.
+	for i := 0; i < 3; i++ {
+		if _, err := s.Geometry(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Loads != 3 || st.Hits != 0 {
+		t.Fatalf("after cold reads: %+v", st)
+	}
+	// Re-reading cached entries: hits, no bytes.
+	bytesBefore := st.BytesRead
+	for i := 0; i < 3; i++ {
+		if _, err := s.Geometry(i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st = s.Stats()
+	if st.Hits != 3 || st.Loads != 3 || st.BytesRead != bytesBefore {
+		t.Fatalf("after warm reads: %+v", st)
+	}
+	// Evict by loading beyond capacity, then re-read an evicted entry.
+	if _, err := s.Geometry(5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Geometry(0); err != nil { // 0 was LRU -> evicted
+		t.Fatal(err)
+	}
+	st = s.Stats()
+	if st.Loads != 5 {
+		t.Fatalf("eviction not observed: %+v", st)
+	}
+	s.ResetStats()
+	if s.Stats() != (IOStats{}) {
+		t.Fatal("ResetStats failed")
+	}
+}
+
+func TestNoCache(t *testing.T) {
+	ps := polys(t, 4)
+	s := New(ps, 0)
+	for k := 0; k < 3; k++ {
+		if _, err := s.Geometry(1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Loads != 3 || st.Hits != 0 {
+		t.Fatalf("cacheless store: %+v", st)
+	}
+}
+
+func TestOutOfRange(t *testing.T) {
+	s := New(polys(t, 2), 2)
+	if _, err := s.Geometry(-1); err == nil {
+		t.Error("negative id should fail")
+	}
+	if _, err := s.Geometry(2); err == nil {
+		t.Error("out of range id should fail")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for _, bad := range [][]byte{
+		nil,
+		{1, 0, 0},                   // truncated header
+		{0, 0, 0, 0},                // zero rings
+		{1, 0, 0, 0, 9},             // truncated ring header
+		{1, 0, 0, 0, 9, 0, 0, 0, 1}, // truncated ring data
+	} {
+		if _, err := decodePolygon(bad); err == nil {
+			t.Errorf("decode of %v should fail", bad)
+		}
+	}
+}

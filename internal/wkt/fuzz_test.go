@@ -1,0 +1,67 @@
+package wkt
+
+import "testing"
+
+// FuzzParsePolygon checks the WKT reader never panics and that anything
+// it accepts survives a marshal/parse round trip.
+func FuzzParsePolygon(f *testing.F) {
+	seeds := []string{
+		"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0))",
+		"POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (2 2, 4 2, 4 4, 2 4, 2 2))",
+		"polygon((1 1,2 1,2 2))",
+		"POLYGON ((0 0, 1e3 0, 1e3 1e3))",
+		"POLYGON",
+		"POLYGON (())",
+		"POLYGON ((0 0, 1 1))",
+		"MULTIPOLYGON (((0 0, 1 0, 1 1)))",
+		"POINT (1 2)",
+		"POLYGON ((-1.5 -2.5, 3 -2.5, 0 7))",
+		"POLYGON ((0 0, 4 0, 4 4, 0 4, 0 0)) trailing",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		p, err := ParsePolygon(s)
+		if err != nil {
+			return
+		}
+		if p.NumVertices() < 3 {
+			t.Fatalf("accepted polygon with %d vertices from %q", p.NumVertices(), s)
+		}
+		round, err := ParsePolygon(MarshalPolygon(p))
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", s, err)
+		}
+		if round.NumVertices() != p.NumVertices() || len(round.Holes) != len(p.Holes) {
+			t.Fatalf("round trip of %q changed structure", s)
+		}
+	})
+}
+
+// FuzzParseMultiPolygon checks the multipolygon reader likewise.
+func FuzzParseMultiPolygon(f *testing.F) {
+	seeds := []string{
+		"MULTIPOLYGON EMPTY",
+		"MULTIPOLYGON (((0 0, 1 0, 1 1)))",
+		"MULTIPOLYGON (((0 0, 1 0, 1 1)), ((5 5, 7 5, 7 7, 5 7)))",
+		"MULTIPOLYGON (((0 0, 9 0, 9 9, 0 9), (1 1, 2 1, 2 2)))",
+		"MULTIPOLYGON ((",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseMultiPolygon(s)
+		if err != nil {
+			return
+		}
+		round, err := ParseMultiPolygon(MarshalMultiPolygon(m))
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", s, err)
+		}
+		if len(round.Polys) != len(m.Polys) || round.NumVertices() != m.NumVertices() {
+			t.Fatalf("round trip of %q changed structure", s)
+		}
+	})
+}

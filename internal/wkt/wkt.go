@@ -1,0 +1,274 @@
+// Package wkt reads and writes the Well-Known Text representation of the
+// geometry types used by the library: POINT, POLYGON and MULTIPOLYGON.
+package wkt
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+)
+
+// MarshalPoint renders a point, e.g. "POINT (1 2)".
+func MarshalPoint(p geom.Point) string {
+	return fmt.Sprintf("POINT (%s %s)", num(p.X), num(p.Y))
+}
+
+// MarshalPolygon renders a polygon with its holes. The closing vertex is
+// emitted explicitly, as WKT requires.
+func MarshalPolygon(p *geom.Polygon) string {
+	var b strings.Builder
+	b.WriteString("POLYGON ")
+	writePolygonBody(&b, p)
+	return b.String()
+}
+
+// MarshalMultiPolygon renders a multipolygon.
+func MarshalMultiPolygon(m *geom.MultiPolygon) string {
+	if len(m.Polys) == 0 {
+		return "MULTIPOLYGON EMPTY"
+	}
+	var b strings.Builder
+	b.WriteString("MULTIPOLYGON (")
+	for i, p := range m.Polys {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		writePolygonBody(&b, p)
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+func writePolygonBody(b *strings.Builder, p *geom.Polygon) {
+	b.WriteString("(")
+	writeRing(b, p.Shell)
+	for _, h := range p.Holes {
+		b.WriteString(", ")
+		writeRing(b, h)
+	}
+	b.WriteString(")")
+}
+
+func writeRing(b *strings.Builder, r geom.Ring) {
+	b.WriteString("(")
+	for i, pt := range r {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(num(pt.X))
+		b.WriteString(" ")
+		b.WriteString(num(pt.Y))
+	}
+	if len(r) > 0 {
+		b.WriteString(", ")
+		b.WriteString(num(r[0].X))
+		b.WriteString(" ")
+		b.WriteString(num(r[0].Y))
+	}
+	b.WriteString(")")
+}
+
+func num(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+// parser is a minimal recursive-descent WKT reader.
+type parser struct {
+	s   string
+	pos int
+}
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.s) && (p.s[p.pos] == ' ' || p.s[p.pos] == '\t' || p.s[p.pos] == '\n' || p.s[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.pos >= len(p.s) || p.s[p.pos] != c {
+		return fmt.Errorf("wkt: expected %q at offset %d", string(c), p.pos)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) peek() byte {
+	p.skipSpace()
+	if p.pos >= len(p.s) {
+		return 0
+	}
+	return p.s[p.pos]
+}
+
+func (p *parser) keyword() string {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		if (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	return strings.ToUpper(p.s[start:p.pos])
+}
+
+func (p *parser) number() (float64, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.s) {
+		c := p.s[p.pos]
+		if (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' || c == 'e' || c == 'E' {
+			p.pos++
+		} else {
+			break
+		}
+	}
+	if start == p.pos {
+		return 0, fmt.Errorf("wkt: expected number at offset %d", p.pos)
+	}
+	return strconv.ParseFloat(p.s[start:p.pos], 64)
+}
+
+func (p *parser) point() (geom.Point, error) {
+	x, err := p.number()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	y, err := p.number()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	return geom.Point{X: x, Y: y}, nil
+}
+
+func (p *parser) ring() (geom.Ring, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var r geom.Ring
+	for {
+		pt, err := p.point()
+		if err != nil {
+			return nil, err
+		}
+		r = append(r, pt)
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	// Drop the explicit closing vertex if present.
+	if len(r) >= 2 && r[0].Eq(r[len(r)-1]) {
+		r = r[:len(r)-1]
+	}
+	if len(r) < 3 {
+		return nil, fmt.Errorf("wkt: ring has fewer than 3 distinct vertices")
+	}
+	return r, nil
+}
+
+func (p *parser) polygonBody() (*geom.Polygon, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	shell, err := p.ring()
+	if err != nil {
+		return nil, err
+	}
+	var holes []geom.Ring
+	for p.peek() == ',' {
+		p.pos++
+		h, err := p.ring()
+		if err != nil {
+			return nil, err
+		}
+		holes = append(holes, h)
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return geom.NewPolygon(shell, holes...), nil
+}
+
+// ParsePolygon reads a POLYGON text.
+func ParsePolygon(s string) (*geom.Polygon, error) {
+	p := &parser{s: s}
+	if kw := p.keyword(); kw != "POLYGON" {
+		return nil, fmt.Errorf("wkt: expected POLYGON, got %q", kw)
+	}
+	poly, err := p.polygonBody()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.s) {
+		return nil, fmt.Errorf("wkt: trailing input at offset %d", p.pos)
+	}
+	return poly, nil
+}
+
+// ParseMultiPolygon reads a MULTIPOLYGON text (EMPTY is allowed).
+func ParseMultiPolygon(s string) (*geom.MultiPolygon, error) {
+	p := &parser{s: s}
+	if kw := p.keyword(); kw != "MULTIPOLYGON" {
+		return nil, fmt.Errorf("wkt: expected MULTIPOLYGON, got %q", kw)
+	}
+	if p.keywordAhead("EMPTY") {
+		return geom.NewMultiPolygon(), nil
+	}
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var polys []*geom.Polygon
+	for {
+		poly, err := p.polygonBody()
+		if err != nil {
+			return nil, err
+		}
+		polys = append(polys, poly)
+		if p.peek() == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return geom.NewMultiPolygon(polys...), nil
+}
+
+func (p *parser) keywordAhead(kw string) bool {
+	save := p.pos
+	if p.keyword() == kw {
+		return true
+	}
+	p.pos = save
+	return false
+}
+
+// ParsePoint reads a POINT text.
+func ParsePoint(s string) (geom.Point, error) {
+	p := &parser{s: s}
+	if kw := p.keyword(); kw != "POINT" {
+		return geom.Point{}, fmt.Errorf("wkt: expected POINT, got %q", kw)
+	}
+	if err := p.expect('('); err != nil {
+		return geom.Point{}, err
+	}
+	pt, err := p.point()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	if err := p.expect(')'); err != nil {
+		return geom.Point{}, err
+	}
+	return pt, nil
+}

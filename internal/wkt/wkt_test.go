@@ -1,0 +1,135 @@
+package wkt
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+func TestPointRoundTrip(t *testing.T) {
+	p := geom.Point{X: 1.5, Y: -2.25}
+	s := MarshalPoint(p)
+	if s != "POINT (1.5 -2.25)" {
+		t.Errorf("MarshalPoint = %q", s)
+	}
+	got, err := ParsePoint(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Eq(p) {
+		t.Errorf("round trip = %v", got)
+	}
+}
+
+func TestPolygonRoundTrip(t *testing.T) {
+	p := geom.NewPolygon(
+		geom.Ring{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}, {X: 0, Y: 10}},
+		geom.Ring{{X: 2, Y: 2}, {X: 4, Y: 2}, {X: 4, Y: 4}, {X: 2, Y: 4}},
+	)
+	s := MarshalPolygon(p)
+	got, err := ParsePolygon(s)
+	if err != nil {
+		t.Fatalf("%v (input %q)", err, s)
+	}
+	if got.NumVertices() != p.NumVertices() || len(got.Holes) != 1 {
+		t.Errorf("round trip structure: %d vertices, %d holes", got.NumVertices(), len(got.Holes))
+	}
+	if got.Area() != p.Area() {
+		t.Errorf("area %v != %v", got.Area(), p.Area())
+	}
+}
+
+func TestPolygonRandomRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(30)
+		ring := make(geom.Ring, 0, n)
+		// Star-shaped construction keeps rings simple.
+		for i := 0; i < n; i++ {
+			a := float64(i) / float64(n) * 6.283185307
+			r := 1 + rng.Float64()*4
+			ring = append(ring, geom.Point{X: 50 + r*math.Cos(a), Y: 50 + r*math.Sin(a)})
+		}
+		p := geom.NewPolygon(ring)
+		got, err := ParsePolygon(MarshalPolygon(p))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumVertices() != p.NumVertices() {
+			t.Fatalf("trial %d: vertex count changed", trial)
+		}
+		for i := range got.Shell {
+			if !got.Shell[i].Eq(p.Shell[i]) {
+				t.Fatalf("trial %d: vertex %d mismatch", trial, i)
+			}
+		}
+	}
+}
+
+func TestMultiPolygonRoundTrip(t *testing.T) {
+	m := geom.NewMultiPolygon(
+		geom.NewPolygon(geom.Ring{{X: 0, Y: 0}, {X: 1, Y: 0}, {X: 1, Y: 1}}),
+		geom.NewPolygon(geom.Ring{{X: 5, Y: 5}, {X: 7, Y: 5}, {X: 7, Y: 7}, {X: 5, Y: 7}},
+			geom.Ring{{X: 5.5, Y: 5.5}, {X: 6, Y: 5.5}, {X: 6, Y: 6}}),
+	)
+	got, err := ParseMultiPolygon(MarshalMultiPolygon(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Polys) != 2 || len(got.Polys[1].Holes) != 1 {
+		t.Fatalf("structure lost: %d polys", len(got.Polys))
+	}
+	if got.NumVertices() != m.NumVertices() {
+		t.Error("vertex count changed")
+	}
+}
+
+func TestMultiPolygonEmpty(t *testing.T) {
+	m := geom.NewMultiPolygon()
+	s := MarshalMultiPolygon(m)
+	if s != "MULTIPOLYGON EMPTY" {
+		t.Errorf("empty = %q", s)
+	}
+	got, err := ParseMultiPolygon(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Polys) != 0 {
+		t.Error("empty should parse to zero polys")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"LINESTRING (0 0, 1 1)",
+		"POLYGON",
+		"POLYGON (",
+		"POLYGON (())",
+		"POLYGON ((0 0, 1 1))",            // too few vertices
+		"POLYGON ((0 0, 1 0, 1 1)) junk",  // trailing input
+		"POLYGON ((0 0, 1 0, x y))",       // bad number
+		"MULTIPOLYGON (((0 0, 1 0, 1 1))", // unbalanced
+	}
+	for _, s := range bad {
+		if _, err := ParsePolygon(s); err == nil {
+			if _, err2 := ParseMultiPolygon(s); err2 == nil {
+				t.Errorf("input %q should fail", s)
+			}
+		}
+	}
+	if _, err := ParsePoint("POINT 1 2"); err == nil {
+		t.Error("POINT without parens should fail")
+	}
+	if _, err := ParsePoint("POLYGON ((0 0, 1 0, 1 1))"); err == nil {
+		t.Error("wrong keyword for point should fail")
+	}
+}
+
+func TestCaseInsensitiveKeyword(t *testing.T) {
+	if _, err := ParsePolygon("polygon ((0 0, 4 0, 4 4, 0 4, 0 0))"); err != nil {
+		t.Errorf("lowercase keyword: %v", err)
+	}
+}
