@@ -1,0 +1,25 @@
+# Developer targets; `make check` is the pre-commit gate.
+GO ?= go
+
+.PHONY: build test race vet bench check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# The packages with concurrent hot paths: the parallel sweep and the
+# metrics substrate.
+race:
+	$(GO) test -race ./internal/harness/ ./internal/obs/
+
+vet:
+	$(GO) vet ./...
+
+# Regression telemetry for the instrumented pipeline (see README
+# "Observability"): the observed path must stay within 5% of plain.
+bench:
+	$(GO) test -run xxx -bench BenchmarkObservedOverhead -benchmem .
+
+check: build vet test race

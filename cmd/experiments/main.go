@@ -15,7 +15,9 @@
 //	experiments -exp all      # everything above
 //
 // -scale shrinks or grows the dataset cardinalities, -seed changes the
-// generated world, -order the global grid granularity.
+// generated world, -order the global grid granularity. -metrics dumps an
+// aggregate telemetry snapshot of the method sweeps on exit; -pprof
+// serves /metrics, expvar and net/http/pprof for profiling long runs.
 package main
 
 import (
@@ -27,24 +29,47 @@ import (
 	"repro/internal/datagen"
 	"repro/internal/harness"
 	"repro/internal/linkset"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table2|table3|fig7a|fig7b|table4|fig8|fig9|table5|access|progressive|ablation|all")
-		seed  = flag.Int64("seed", 2026, "generator seed")
-		scale = flag.Float64("scale", 1.0, "dataset cardinality multiplier")
-		order = flag.Uint("order", datagen.DefaultOrder, "global grid order (2^order cells per side)")
+		exp     = flag.String("exp", "all", "experiment: table2|table3|fig7a|fig7b|table4|fig8|fig9|table5|access|progressive|ablation|all")
+		seed    = flag.Int64("seed", 2026, "generator seed")
+		scale   = flag.Float64("scale", 1.0, "dataset cardinality multiplier")
+		order   = flag.Uint("order", datagen.DefaultOrder, "global grid order (2^order cells per side)")
+		metrics = flag.Bool("metrics", false, "dump a telemetry snapshot of the sweeps on exit")
+		pprof   = flag.String("pprof", "", "serve /metrics, expvar and net/http/pprof on this address")
 	)
 	flag.Parse()
 
-	if err := run(*exp, *seed, *scale, *order); err != nil {
+	var reg *obs.Registry
+	if *metrics {
+		reg = obs.NewRegistry()
+	}
+	if *pprof != "" {
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		addr, err := obs.ServeDebug(*pprof, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serving metrics and pprof on http://%s/debug/pprof/\n", addr)
+	}
+	if err := run(*exp, *seed, *scale, *order, reg); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+	if *metrics {
+		obs.RegisterRuntimeMetrics(reg)
+		fmt.Println("\n== metrics snapshot ==")
+		reg.Snapshot().WriteTable(os.Stdout)
+	}
 }
 
-func run(exp string, seed int64, scale float64, order uint) error {
+func run(exp string, seed int64, scale float64, order uint, reg *obs.Registry) error {
 	fmt.Printf("generating suite (seed=%d scale=%.2f grid=2^%d)...\n", seed, scale, order)
 	env, err := harness.NewEnv(seed, scale, order)
 	if err != nil {
@@ -74,6 +99,15 @@ func run(exp string, seed int64, scale float64, order uint) error {
 		rows, err := env.Fig7()
 		if err != nil {
 			return err
+		}
+		if reg != nil {
+			// Aggregate sweep telemetry across combos, per method: the
+			// regression baseline every perf PR diffs against.
+			for _, row := range rows {
+				for _, st := range row.Stats {
+					st.Publish(reg, "fig7")
+				}
+			}
 		}
 		if all || exp == "fig7a" {
 			section("Fig. 7(a): find-relation throughput")

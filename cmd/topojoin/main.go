@@ -7,12 +7,15 @@
 //	topojoin -left data/OLE.stj -right data/OPE.stj               # find relation
 //	topojoin -left data/OLE.stj -right data/OPE.stj -pred inside  # relate_p
 //	topojoin ... -method ST2 -v                                    # print pairs
+//	topojoin ... -metrics                                          # dump telemetry on exit
+//	topojoin ... -pprof localhost:6060                             # live pprof + /metrics
 package main
 
 import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
@@ -20,25 +23,62 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/de9im"
 	"repro/internal/join"
+	"repro/internal/obs"
 )
 
 func main() {
 	var (
-		left   = flag.String("left", "", "left dataset file")
-		right  = flag.String("right", "", "right dataset file")
-		pred   = flag.String("pred", "", "relate predicate (equals|meets|inside|covered_by|contains|covers|intersects|disjoint); empty = find relation")
-		method = flag.String("method", "P+C", "pipeline: ST2|OP2|APRIL|P+C")
-		verb   = flag.Bool("v", false, "print every result pair")
+		left    = flag.String("left", "", "left dataset file")
+		right   = flag.String("right", "", "right dataset file")
+		pred    = flag.String("pred", "", "relate predicate (equals|meets|inside|covered_by|contains|covers|intersects|disjoint); empty = find relation")
+		method  = flag.String("method", "P+C", "pipeline: ST2|OP2|APRIL|P+C")
+		verb    = flag.Bool("v", false, "print every result pair")
+		metrics = flag.Bool("metrics", false, "instrument the run and dump a metrics snapshot on exit")
+		pprof   = flag.String("pprof", "", "serve /metrics, expvar and net/http/pprof on this address (e.g. localhost:6060)")
 	)
 	flag.Parse()
 	if *left == "" || *right == "" {
 		fmt.Fprintln(os.Stderr, "topojoin: -left and -right are required")
 		os.Exit(2)
 	}
-	if err := run(*left, *right, *pred, *method, *verb); err != nil {
+	opts := options{
+		left:    *left,
+		right:   *right,
+		pred:    *pred,
+		method:  *method,
+		verbose: *verb,
+	}
+	if *metrics {
+		opts.reg = obs.NewRegistry()
+	}
+	if *pprof != "" {
+		reg := opts.reg
+		if reg == nil {
+			reg = obs.NewRegistry()
+		}
+		addr, err := obs.ServeDebug(*pprof, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topojoin:", err)
+			os.Exit(1)
+		}
+		opts.reg = reg
+		fmt.Fprintf(os.Stderr, "serving metrics and pprof on http://%s/debug/pprof/\n", addr)
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "topojoin:", err)
 		os.Exit(1)
 	}
+}
+
+// options configures one join run; reg non-nil enables instrumentation
+// and a snapshot dump (tests pass their own registry to inspect it).
+type options struct {
+	left, right string
+	pred        string
+	method      string
+	verbose     bool
+	reg         *obs.Registry
+	out         io.Writer // defaults to os.Stdout
 }
 
 func parseMethod(s string) (core.Method, error) {
@@ -68,57 +108,97 @@ func loadDataset(path string) (*dataset.Dataset, error) {
 	return dataset.Read(f)
 }
 
-func run(leftPath, rightPath, predName, methodName string, verbose bool) error {
-	m, err := parseMethod(methodName)
+func run(o options) error {
+	if o.out == nil {
+		o.out = os.Stdout
+	}
+	m, err := parseMethod(o.method)
 	if err != nil {
 		return err
 	}
-	ld, err := loadDataset(leftPath)
+	ld, err := loadDataset(o.left)
 	if err != nil {
 		return err
 	}
-	rd, err := loadDataset(rightPath)
+	rd, err := loadDataset(o.right)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%s: %d objects, %s: %d objects\n", ld.Name, ld.Len(), rd.Name, rd.Len())
+	fmt.Fprintf(o.out, "%s: %d objects, %s: %d objects\n", ld.Name, ld.Len(), rd.Name, rd.Len())
 
-	idPairs := join.Pairs(ld.MBRs(), rd.MBRs())
-	fmt.Printf("MBR join: %d candidate pairs\n", len(idPairs))
+	var idPairs [][2]int32
+	if o.reg != nil {
+		var jst join.JoinStats
+		idPairs, jst = join.PairsObserved(ld.MBRs(), rd.MBRs())
+		jst.Publish(o.reg, "join")
+	} else {
+		idPairs = join.Pairs(ld.MBRs(), rd.MBRs())
+	}
+	fmt.Fprintf(o.out, "MBR join: %d candidate pairs\n", len(idPairs))
 
-	out := bufio.NewWriter(os.Stdout)
+	out := bufio.NewWriter(o.out)
 	defer out.Flush()
 
-	if predName == "" {
-		var hist [de9im.NumRelations]int
-		refined := 0
-		start := time.Now()
-		for _, pr := range idPairs {
-			r, s := ld.Objects[pr[0]], rd.Objects[pr[1]]
-			res := core.FindRelation(m, r, s)
-			hist[res.Relation]++
-			if res.Refined {
-				refined++
-			}
-			if verbose {
-				fmt.Fprintf(out, "%d\t%d\t%v\n", r.ID, s.ID, res.Relation)
-			}
+	if o.pred == "" {
+		if err := runFind(o, m, ld, rd, idPairs, out); err != nil {
+			return err
 		}
-		elapsed := time.Since(start)
-		fmt.Printf("method %v: %v (%.0f pairs/s), %d refined (%.1f%%)\n",
-			m, elapsed, float64(len(idPairs))/elapsed.Seconds(),
-			refined, 100*float64(refined)/float64(max(1, len(idPairs))))
-		for r := de9im.Relation(0); int(r) < de9im.NumRelations; r++ {
-			if hist[r] > 0 {
-				fmt.Printf("  %-11v %d\n", r, hist[r])
-			}
+	} else {
+		if err := runPred(o, m, ld, rd, idPairs, out); err != nil {
+			return err
 		}
-		return nil
 	}
+	if o.reg != nil {
+		obs.RegisterRuntimeMetrics(o.reg)
+		out.Flush()
+		fmt.Fprintln(o.out, "\n== metrics snapshot ==")
+		return o.reg.Snapshot().WriteTable(o.out)
+	}
+	return nil
+}
 
-	pred, err := parseRelation(predName)
+func runFind(o options, m core.Method, ld, rd *dataset.Dataset, idPairs [][2]int32, out *bufio.Writer) error {
+	var sink core.PipelineSink // stays nil without -metrics: plain path
+	var pm *core.PipelineMetrics
+	if o.reg != nil {
+		pm = core.NewPipelineMetrics(o.reg, "pipeline")
+		sink = pm
+	}
+	var hist [de9im.NumRelations]int
+	refined := 0
+	start := time.Now()
+	for _, pr := range idPairs {
+		r, s := ld.Objects[pr[0]], rd.Objects[pr[1]]
+		res := core.FindRelationObserved(m, r, s, sink)
+		hist[res.Relation]++
+		if res.Refined {
+			refined++
+		}
+		if o.verbose {
+			fmt.Fprintf(out, "%d\t%d\t%v\n", r.ID, s.ID, res.Relation)
+		}
+	}
+	elapsed := time.Since(start)
+	fmt.Fprintf(out, "method %v: %v (%.0f pairs/s), %d refined (%.1f%%)\n",
+		m, elapsed, float64(len(idPairs))/elapsed.Seconds(),
+		refined, 100*float64(refined)/float64(max(1, len(idPairs))))
+	for r := de9im.Relation(0); int(r) < de9im.NumRelations; r++ {
+		if hist[r] > 0 {
+			fmt.Fprintf(out, "  %-11v %d\n", r, hist[r])
+		}
+	}
+	return nil
+}
+
+func runPred(o options, m core.Method, ld, rd *dataset.Dataset, idPairs [][2]int32, out *bufio.Writer) error {
+	pred, err := parseRelation(o.pred)
 	if err != nil {
 		return err
+	}
+	var holdCtr, refineCtr *obs.Counter
+	if o.reg != nil {
+		holdCtr = o.reg.Counter(obs.Name("relate_holds_total", "pred", pred.String()))
+		refineCtr = o.reg.Counter(obs.Name("relate_refined_total", "pred", pred.String()))
 	}
 	holds, refined := 0, 0
 	start := time.Now()
@@ -127,16 +207,22 @@ func run(leftPath, rightPath, predName, methodName string, verbose bool) error {
 		res := core.RelatePred(m, r, s, pred)
 		if res.Holds {
 			holds++
-			if verbose {
+			if holdCtr != nil {
+				holdCtr.Inc()
+			}
+			if o.verbose {
 				fmt.Fprintf(out, "%d\t%d\n", r.ID, s.ID)
 			}
 		}
 		if res.Refined {
 			refined++
+			if refineCtr != nil {
+				refineCtr.Inc()
+			}
 		}
 	}
 	elapsed := time.Since(start)
-	fmt.Printf("relate_%v with %v: %d of %d pairs hold, %d refined, %v (%.0f pairs/s)\n",
+	fmt.Fprintf(out, "relate_%v with %v: %d of %d pairs hold, %d refined, %v (%.0f pairs/s)\n",
 		pred, m, holds, len(idPairs), refined, elapsed,
 		float64(len(idPairs))/elapsed.Seconds())
 	return nil

@@ -3,11 +3,16 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"repro/internal/april"
+	"repro/internal/core"
 	"repro/internal/datagen"
 	"repro/internal/dataset"
+	"repro/internal/harness"
+	"repro/internal/join"
+	"repro/internal/obs"
 )
 
 func writeDatasets(t *testing.T) (string, string) {
@@ -38,7 +43,7 @@ func writeDatasets(t *testing.T) (string, string) {
 func TestRunFindRelation(t *testing.T) {
 	left, right := writeDatasets(t)
 	for _, method := range []string{"ST2", "P+C"} {
-		if err := run(left, right, "", method, false); err != nil {
+		if err := run(options{left: left, right: right, method: method}); err != nil {
 			t.Fatalf("method %s: %v", method, err)
 		}
 	}
@@ -47,24 +52,97 @@ func TestRunFindRelation(t *testing.T) {
 func TestRunPredicate(t *testing.T) {
 	left, right := writeDatasets(t)
 	for _, pred := range []string{"inside", "meets", "disjoint"} {
-		if err := run(left, right, pred, "P+C", false); err != nil {
+		if err := run(options{left: left, right: right, pred: pred, method: "P+C"}); err != nil {
 			t.Fatalf("pred %s: %v", pred, err)
 		}
 	}
 }
 
+// TestRunMetricsSnapshot covers the -metrics path end to end: the
+// snapshot must contain per-stage verdict counters that sum exactly to
+// the candidate-pair total, and the refined count must match
+// MethodStats.Undetermined from a harness sweep of the identical
+// workload — the two accountings are now one.
+func TestRunMetricsSnapshot(t *testing.T) {
+	left, right := writeDatasets(t)
+	reg := obs.NewRegistry()
+	var sb strings.Builder
+	if err := run(options{left: left, right: right, method: "P+C", reg: reg, out: &sb}); err != nil {
+		t.Fatal(err)
+	}
+
+	pairsTotal := reg.Counter("pipeline_pairs_total").Value()
+	if pairsTotal <= 0 {
+		t.Fatal("pipeline_pairs_total not populated")
+	}
+	var verdictSum int64
+	for _, stage := range []string{"mbr", "if", "refine"} {
+		verdictSum += reg.Counter(obs.Name("pipeline_verdict_total", "stage", stage)).Value()
+	}
+	if verdictSum != pairsTotal {
+		t.Errorf("verdict counters sum to %d, want pair total %d", verdictSum, pairsTotal)
+	}
+	if got := reg.Counter("join_pairs_total").Value(); got != pairsTotal {
+		t.Errorf("join produced %d pairs but pipeline saw %d", got, pairsTotal)
+	}
+
+	// Replay the identical workload through the harness: the registry's
+	// refined count and MethodStats.Undetermined must agree exactly.
+	ld, err := loadDataset(left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := loadDataset(right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idPairs := join.Pairs(ld.MBRs(), rd.MBRs())
+	hp := make([]harness.Pair, len(idPairs))
+	for i, pr := range idPairs {
+		hp[i] = harness.Pair{R: ld.Objects[pr[0]], S: rd.Objects[pr[1]]}
+	}
+	st := harness.RunFindRelation(core.PC, hp)
+	if got := reg.Counter(obs.Name("pipeline_verdict_total", "stage", "refine")).Value(); got != int64(st.Undetermined) {
+		t.Errorf("registry refined count %d != MethodStats.Undetermined %d", got, st.Undetermined)
+	}
+
+	out := sb.String()
+	for _, want := range []string{"== metrics snapshot ==", "pipeline_pairs_total", "pipeline_verdict_total", "join_pairs_total", "go_goroutines"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("snapshot dump missing %q", want)
+		}
+	}
+}
+
+// TestRunPredicateMetrics: the relate_p path publishes hold/refine
+// counters under the predicate label.
+func TestRunPredicateMetrics(t *testing.T) {
+	left, right := writeDatasets(t)
+	reg := obs.NewRegistry()
+	var sb strings.Builder
+	if err := run(options{left: left, right: right, pred: "intersects", method: "P+C", reg: reg, out: &sb}); err != nil {
+		t.Fatal(err)
+	}
+	if reg.Counter(obs.Name("relate_holds_total", "pred", "intersects")).Value() <= 0 {
+		t.Error("relate_holds_total not populated")
+	}
+	if reg.Counter("join_pairs_total").Value() <= 0 {
+		t.Error("join counters not populated on the predicate path")
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	left, right := writeDatasets(t)
-	if err := run(left, right, "", "NOPE", false); err == nil {
+	if err := run(options{left: left, right: right, method: "NOPE"}); err == nil {
 		t.Error("unknown method should fail")
 	}
-	if err := run(left, right, "sideways", "P+C", false); err == nil {
+	if err := run(options{left: left, right: right, pred: "sideways", method: "P+C"}); err == nil {
 		t.Error("unknown predicate should fail")
 	}
-	if err := run("missing.stj", right, "", "P+C", false); err == nil {
+	if err := run(options{left: "missing.stj", right: right, method: "P+C"}); err == nil {
 		t.Error("missing left dataset should fail")
 	}
-	if err := run(left, "missing.stj", "", "P+C", false); err == nil {
+	if err := run(options{left: left, right: "missing.stj", method: "P+C"}); err == nil {
 		t.Error("missing right dataset should fail")
 	}
 }

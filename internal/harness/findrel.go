@@ -5,18 +5,28 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/de9im"
+	"repro/internal/obs"
 )
 
 // MethodStats aggregates one find-relation sweep of a method over a pair
-// workload.
+// workload. It is built on the observed pipeline path: each pair's
+// filter and refinement stages are timed separately at the source, so
+// FilterTime no longer mis-attributes the filter work of refined pairs
+// to RefineTime (the accounting Fig. 8b depends on).
 type MethodStats struct {
 	Method       core.Method
 	Pairs        int
+	MBRSettled   int // pairs settled by the MBR filter alone
+	IFSettled    int // pairs settled by the intermediate filter
 	Undetermined int // pairs that needed DE-9IM refinement (Fig. 7b)
 	Elapsed      time.Duration
-	FilterTime   time.Duration // MBR + intermediate filter time
-	RefineTime   time.Duration // DE-9IM time
-	Relations    [de9im.NumRelations]int
+	// FilterTime and RefineTime are sums of per-pair stage durations; in
+	// the parallel sweep they aggregate CPU time across workers and so
+	// exceed Elapsed. Elapsed additionally covers loop overhead, so
+	// FilterTime+RefineTime <= Elapsed per worker.
+	FilterTime time.Duration // MBR + intermediate filter time
+	RefineTime time.Duration // DE-9IM time
+	Relations  [de9im.NumRelations]int
 }
 
 // Throughput returns processed pairs per second (Fig. 7a's metric).
@@ -35,25 +45,68 @@ func (s MethodStats) UndeterminedPct() float64 {
 	return 100 * float64(s.Undetermined) / float64(s.Pairs)
 }
 
-// RunFindRelation sweeps method m over the pairs, timing the filter and
-// refinement stages separately (Fig. 8b reports them split).
+// merge accumulates another partial sweep (e.g. one worker's share) into
+// s. Elapsed is deliberately not merged: wall clock is the caller's.
+func (s *MethodStats) merge(o MethodStats) {
+	s.MBRSettled += o.MBRSettled
+	s.IFSettled += o.IFSettled
+	s.Undetermined += o.Undetermined
+	s.FilterTime += o.FilterTime
+	s.RefineTime += o.RefineTime
+	for i, n := range o.Relations {
+		s.Relations[i] += n
+	}
+}
+
+// Publish adds the sweep's counters to reg under prefix, labeled with
+// the method: verdict counts, relation tallies, and stage nanoseconds.
+func (s MethodStats) Publish(reg *obs.Registry, prefix string) {
+	method := s.Method.String()
+	reg.Counter(obs.Name(prefix+"_pairs_total", "method", method)).Add(int64(s.Pairs))
+	reg.Counter(obs.Name(prefix+"_verdict_total", "method", method, "stage", core.VerdictMBR.String())).Add(int64(s.MBRSettled))
+	reg.Counter(obs.Name(prefix+"_verdict_total", "method", method, "stage", core.VerdictIF.String())).Add(int64(s.IFSettled))
+	reg.Counter(obs.Name(prefix+"_verdict_total", "method", method, "stage", core.VerdictRefine.String())).Add(int64(s.Undetermined))
+	reg.Counter(obs.Name(prefix+"_filter_ns_total", "method", method)).Add(int64(s.FilterTime))
+	reg.Counter(obs.Name(prefix+"_refine_ns_total", "method", method)).Add(int64(s.RefineTime))
+	for rel, n := range s.Relations {
+		if n != 0 {
+			reg.Counter(obs.Name(prefix+"_relation_total", "method", method, "relation", de9im.Relation(rel).String())).Add(int64(n))
+		}
+	}
+}
+
+// statsSink accumulates observed pipeline events into a MethodStats.
+// It is not safe for concurrent use: the parallel sweep gives each
+// worker its own and merges afterwards.
+type statsSink struct {
+	st *MethodStats
+}
+
+func (k statsSink) ObservePair(_ core.Method, res core.Result, v core.Verdict, filter, refine time.Duration) {
+	switch v {
+	case core.VerdictMBR:
+		k.st.MBRSettled++
+	case core.VerdictIF:
+		k.st.IFSettled++
+	default:
+		k.st.Undetermined++
+	}
+	k.st.Relations[res.Relation]++
+	k.st.FilterTime += filter
+	k.st.RefineTime += refine
+}
+
+// RunFindRelation sweeps method m over the pairs through the observed
+// pipeline, timing the filter and refinement stages separately at the
+// pair level (Fig. 8b reports them split).
 func RunFindRelation(m core.Method, pairs []Pair) MethodStats {
 	st := MethodStats{Method: m, Pairs: len(pairs)}
+	sink := statsSink{st: &st}
 	start := time.Now()
-	var refine time.Duration
 	for _, p := range pairs {
-		t0 := time.Now()
-		res := core.FindRelation(m, p.R, p.S)
-		d := time.Since(t0)
-		if res.Refined {
-			st.Undetermined++
-			refine += d // refinement dominates the per-pair time
-		}
-		st.Relations[res.Relation]++
+		core.FindRelationObserved(m, p.R, p.S, sink)
 	}
 	st.Elapsed = time.Since(start)
-	st.RefineTime = refine
-	st.FilterTime = st.Elapsed - refine
 	return st
 }
 

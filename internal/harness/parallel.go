@@ -14,6 +14,11 @@ import (
 // (Tsitsigkos et al., SIGSPATIAL 2019). Pairs are claimed in chunks from
 // an atomic cursor so stragglers (high-complexity refinements) do not
 // imbalance the workers. workers <= 0 selects GOMAXPROCS.
+//
+// Each worker keeps a private MethodStats fed by its own pipeline sink;
+// the partials are merged after the pool drains, so the verdict split
+// and the stage timers survive parallelism. FilterTime and RefineTime
+// are therefore aggregate CPU time across workers, not wall clock.
 func RunFindRelationParallel(m core.Method, pairs []Pair, workers int) MethodStats {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -25,7 +30,6 @@ func RunFindRelationParallel(m core.Method, pairs []Pair, workers int) MethodSta
 	const chunk = 16
 
 	var cursor atomic.Int64
-	var undetermined atomic.Int64
 	partial := make([]MethodStats, workers)
 
 	start := time.Now()
@@ -34,6 +38,7 @@ func RunFindRelationParallel(m core.Method, pairs []Pair, workers int) MethodSta
 		wg.Add(1)
 		go func(self *MethodStats) {
 			defer wg.Done()
+			sink := statsSink{st: self}
 			for {
 				lo := int(cursor.Add(chunk)) - chunk
 				if lo >= len(pairs) {
@@ -44,22 +49,15 @@ func RunFindRelationParallel(m core.Method, pairs []Pair, workers int) MethodSta
 					hi = len(pairs)
 				}
 				for _, p := range pairs[lo:hi] {
-					res := core.FindRelation(m, p.R, p.S)
-					if res.Refined {
-						undetermined.Add(1)
-					}
-					self.Relations[res.Relation]++
+					core.FindRelationObserved(m, p.R, p.S, sink)
 				}
 			}
 		}(&partial[w])
 	}
 	wg.Wait()
 	st.Elapsed = time.Since(start)
-	st.Undetermined = int(undetermined.Load())
 	for _, p := range partial {
-		for i, n := range p.Relations {
-			st.Relations[i] += n
-		}
+		st.merge(p)
 	}
 	return st
 }

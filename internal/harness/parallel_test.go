@@ -25,6 +25,31 @@ func TestParallelMatchesSequential(t *testing.T) {
 		if par.Pairs != seq.Pairs {
 			t.Fatalf("workers=%d: pair count mismatch", workers)
 		}
+		if par.MBRSettled != seq.MBRSettled || par.IFSettled != seq.IFSettled {
+			t.Fatalf("workers=%d: verdict split differs: mbr %d/%d if %d/%d",
+				workers, par.MBRSettled, seq.MBRSettled, par.IFSettled, seq.IFSettled)
+		}
+	}
+}
+
+// TestParallelStageTimers: the parallel sweep must populate the stage
+// timers (they were zero before the obs rebuild) with the same
+// invariants as the serial path.
+func TestParallelStageTimers(t *testing.T) {
+	pairs, err := env(t).CandidatePairs(ComplexityCombo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par := RunFindRelationParallel(core.PC, pairs, 4)
+	if par.FilterTime <= 0 {
+		t.Errorf("parallel FilterTime = %v, must be populated", par.FilterTime)
+	}
+	if par.Undetermined > 0 && par.RefineTime <= 0 {
+		t.Errorf("parallel RefineTime = %v with %d refinements", par.RefineTime, par.Undetermined)
+	}
+	if par.MBRSettled+par.IFSettled+par.Undetermined != par.Pairs {
+		t.Errorf("verdicts %d+%d+%d do not sum to %d pairs",
+			par.MBRSettled, par.IFSettled, par.Undetermined, par.Pairs)
 	}
 }
 

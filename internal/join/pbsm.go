@@ -27,6 +27,18 @@ func NewPBSM(grid int) *PBSM {
 
 // Join reports every intersecting pair (a ∈ as, b ∈ bs) exactly once.
 func (p *PBSM) Join(as, bs []Entry, fn func(a, b Entry)) {
+	p.join(as, bs, fn, nil)
+}
+
+// JoinObserved is Join with work counters: partitions swept, box
+// comparisons inside the sweeps, and reported (deduplicated) pairs.
+func (p *PBSM) JoinObserved(as, bs []Entry, fn func(a, b Entry)) JoinStats {
+	var st JoinStats
+	p.join(as, bs, fn, &st)
+	return st
+}
+
+func (p *PBSM) join(as, bs []Entry, fn func(a, b Entry), st *JoinStats) {
 	space := geom.EmptyMBR()
 	for _, e := range as {
 		space = space.Expand(e.Box)
@@ -85,6 +97,9 @@ func (p *PBSM) Join(as, bs []Entry, fn func(a, b Entry)) {
 			if len(pa[idx]) == 0 || len(pb[idx]) == 0 {
 				continue
 			}
+			if st != nil {
+				st.NodeVisits++
+			}
 			sweep(pa[idx], pb[idx], func(a, b Entry) {
 				// Reference point: report only in the cell holding the
 				// min corner of the intersection rectangle.
@@ -92,15 +107,18 @@ func (p *PBSM) Join(as, bs []Entry, fn func(a, b Entry)) {
 				iy := math.Max(a.Box.MinY, b.Box.MinY)
 				rx, ry := cellIdx(ix, iy)
 				if rx == cx && ry == cy {
+					if st != nil {
+						st.Pairs++
+					}
 					fn(a, b)
 				}
-			})
+			}, st)
 		}
 	}
 }
 
 // sweep is a forward plane-sweep join over x between two entry lists.
-func sweep(as, bs []Entry, fn func(a, b Entry)) {
+func sweep(as, bs []Entry, fn func(a, b Entry), st *JoinStats) {
 	sa := make([]Entry, len(as))
 	copy(sa, as)
 	sb := make([]Entry, len(bs))
@@ -113,6 +131,9 @@ func sweep(as, bs []Entry, fn func(a, b Entry)) {
 		if sa[i].Box.MinX <= sb[j].Box.MinX {
 			a := sa[i]
 			for k := j; k < len(sb) && sb[k].Box.MinX <= a.Box.MaxX; k++ {
+				if st != nil {
+					st.Compares++
+				}
 				if a.Box.Intersects(sb[k].Box) {
 					fn(a, sb[k])
 				}
@@ -121,6 +142,9 @@ func sweep(as, bs []Entry, fn func(a, b Entry)) {
 		} else {
 			b := sb[j]
 			for k := i; k < len(sa) && sa[k].Box.MinX <= b.Box.MaxX; k++ {
+				if st != nil {
+					st.Compares++
+				}
 				if b.Box.Intersects(sa[k].Box) {
 					fn(sa[k], b)
 				}

@@ -136,29 +136,47 @@ func (t *RTree) query(n *node, q geom.MBR, fn func(Entry)) {
 // Join reports every pair (a ∈ t, b ∈ o) with intersecting boxes via a
 // synchronized depth-first traversal of both trees.
 func (t *RTree) Join(o *RTree, fn func(a, b Entry)) {
-	joinNodes(t.root, o.root, fn)
+	joinNodes(t.root, o.root, fn, nil)
 }
 
-func joinNodes(a, b *node, fn func(x, y Entry)) {
+// JoinObserved is Join with work counters: node-pair visits, box
+// comparisons, and reported pairs (the candidate-pair count every
+// downstream pipeline metric is normalized against).
+func (t *RTree) JoinObserved(o *RTree, fn func(a, b Entry)) JoinStats {
+	var st JoinStats
+	joinNodes(t.root, o.root, fn, &st)
+	return st
+}
+
+func joinNodes(a, b *node, fn func(x, y Entry), st *JoinStats) {
+	if st != nil {
+		st.NodeVisits++
+	}
 	if !a.box.Intersects(b.box) {
 		return
 	}
 	switch {
 	case a.entries != nil && b.entries != nil:
+		if st != nil {
+			st.Compares += int64(len(a.entries)) * int64(len(b.entries))
+		}
 		for _, ea := range a.entries {
 			for _, eb := range b.entries {
 				if ea.Box.Intersects(eb.Box) {
+					if st != nil {
+						st.Pairs++
+					}
 					fn(ea, eb)
 				}
 			}
 		}
 	case a.entries != nil:
 		for _, cb := range b.children {
-			joinNodes(a, cb, fn)
+			joinNodes(a, cb, fn, st)
 		}
 	case b.entries != nil:
 		for _, ca := range a.children {
-			joinNodes(ca, b, fn)
+			joinNodes(ca, b, fn, st)
 		}
 	default:
 		for _, ca := range a.children {
@@ -166,7 +184,7 @@ func joinNodes(a, b *node, fn func(x, y Entry)) {
 				continue
 			}
 			for _, cb := range b.children {
-				joinNodes(ca, cb, fn)
+				joinNodes(ca, cb, fn, st)
 			}
 		}
 	}

@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+)
+
+// splitName separates a metric name into its base and an optional label
+// body: `x_total{stage="refine"}` -> ("x_total", `stage="refine"`).
+func splitName(name string) (base, labels string) {
+	if i := strings.IndexByte(name, '{'); i >= 0 && strings.HasSuffix(name, "}") {
+		return name[:i], name[i+1 : len(name)-1]
+	}
+	return name, ""
+}
+
+// joinLabels merges an existing label body with one extra label.
+func joinLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Metrics sharing a base name emit one TYPE line.
+func (s SnapshotData) WritePrometheus(w io.Writer) error {
+	typed := make(map[string]bool)
+	typeLine := func(base, kind string) {
+		if !typed[base] {
+			fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+			typed[base] = true
+		}
+	}
+	emit := func(name string, v int64, kind string) {
+		base, labels := splitName(name)
+		typeLine(base, kind)
+		if labels == "" {
+			fmt.Fprintf(w, "%s %d\n", base, v)
+		} else {
+			fmt.Fprintf(w, "%s{%s} %d\n", base, labels, v)
+		}
+	}
+	for _, c := range s.Counters {
+		emit(c.Name, c.Value, "counter")
+	}
+	for _, g := range s.Gauges {
+		emit(g.Name, g.Value, "gauge")
+	}
+	for _, h := range s.Histograms {
+		base, labels := splitName(h.Name)
+		typeLine(base, "histogram")
+		var cum int64
+		for i, n := range h.Hist.Counts {
+			cum += n
+			le := "+Inf"
+			if i < len(h.Hist.Bounds) {
+				le = fmt.Sprintf("%g", h.Hist.Bounds[i])
+			}
+			fmt.Fprintf(w, "%s_bucket{%s} %d\n", base, joinLabels(labels, fmt.Sprintf("le=%q", le)), cum)
+		}
+		if labels == "" {
+			fmt.Fprintf(w, "%s_sum %g\n", base, h.Hist.Sum)
+			fmt.Fprintf(w, "%s_count %d\n", base, h.Hist.Count)
+		} else {
+			fmt.Fprintf(w, "%s_sum{%s} %g\n", base, labels, h.Hist.Sum)
+			fmt.Fprintf(w, "%s_count{%s} %d\n", base, labels, h.Hist.Count)
+		}
+	}
+	return nil
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s SnapshotData) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteTable renders the snapshot as a human-readable aligned table;
+// histogram rows report count, total and the mean/p50/p99 latencies.
+func (s SnapshotData) WriteTable(w io.Writer) error {
+	t := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, c := range s.Counters {
+		fmt.Fprintf(t, "counter\t%s\t%d\n", c.Name, c.Value)
+	}
+	for _, g := range s.Gauges {
+		fmt.Fprintf(t, "gauge\t%s\t%d\n", g.Name, g.Value)
+	}
+	for _, h := range s.Histograms {
+		sec := func(v float64) string {
+			return time.Duration(v * float64(time.Second)).Round(time.Microsecond).String()
+		}
+		fmt.Fprintf(t, "histogram\t%s\tcount=%d total=%s mean=%s p50=%s p99=%s\n",
+			h.Name, h.Hist.Count, sec(h.Hist.Sum), sec(h.Hist.Mean()),
+			sec(h.Hist.Quantile(0.50)), sec(h.Hist.Quantile(0.99)))
+	}
+	return t.Flush()
+}

@@ -14,6 +14,7 @@ import (
 	"math"
 
 	"repro/internal/geom"
+	"repro/internal/obs"
 )
 
 // IOStats counts storage accesses.
@@ -34,6 +35,13 @@ type Store struct {
 	order    *list.List // front = most recently used
 	capacity int
 	stats    IOStats
+
+	// Registry counters, nil until Instrument: one pointer check per
+	// access when observability is off.
+	obsHits   *obs.Counter
+	obsLoads  *obs.Counter
+	obsBytes  *obs.Counter
+	obsCached *obs.Gauge
 }
 
 type cacheEntry struct {
@@ -72,6 +80,18 @@ func (s *Store) StoredBytes() int64 {
 // Stats returns the access counters.
 func (s *Store) Stats() IOStats { return s.stats }
 
+// Instrument mirrors the store's access counters into reg under prefix
+// (e.g. "store" -> store_cache_hits_total, store_cache_misses_total,
+// store_read_bytes_total, store_cached_objects). Counters accumulate
+// from the moment of the call; ResetStats does not clear them.
+func (s *Store) Instrument(reg *obs.Registry, prefix string) {
+	s.obsHits = reg.Counter(prefix + "_cache_hits_total")
+	s.obsLoads = reg.Counter(prefix + "_cache_misses_total")
+	s.obsBytes = reg.Counter(prefix + "_read_bytes_total")
+	s.obsCached = reg.Gauge(prefix + "_cached_objects")
+	s.obsCached.Set(int64(s.order.Len()))
+}
+
 // ResetStats clears the access counters (the cache is kept).
 func (s *Store) ResetStats() { s.stats = IOStats{} }
 
@@ -82,11 +102,18 @@ func (s *Store) Geometry(id int) (*geom.Polygon, error) {
 	}
 	if el, ok := s.cache[id]; ok {
 		s.stats.Hits++
+		if s.obsHits != nil {
+			s.obsHits.Inc()
+		}
 		s.order.MoveToFront(el)
 		return el.Value.(*cacheEntry).poly, nil
 	}
 	s.stats.Loads++
 	s.stats.BytesRead += int64(len(s.blobs[id]))
+	if s.obsLoads != nil {
+		s.obsLoads.Inc()
+		s.obsBytes.Add(int64(len(s.blobs[id])))
+	}
 	poly, err := decodePolygon(s.blobs[id])
 	if err != nil {
 		return nil, fmt.Errorf("store: id %d: %w", id, err)
@@ -97,6 +124,9 @@ func (s *Store) Geometry(id int) (*geom.Polygon, error) {
 			back := s.order.Back()
 			delete(s.cache, back.Value.(*cacheEntry).id)
 			s.order.Remove(back)
+		}
+		if s.obsCached != nil {
+			s.obsCached.Set(int64(s.order.Len()))
 		}
 	}
 	return poly, nil
