@@ -1,7 +1,7 @@
 # Developer targets; `make check` is the pre-commit gate.
 GO ?= go
 
-.PHONY: build test race vet bench check
+.PHONY: build test race vet bench check serve
 
 build:
 	$(GO) build ./...
@@ -9,10 +9,10 @@ build:
 test:
 	$(GO) test ./...
 
-# The packages with concurrent hot paths: the parallel sweep and the
-# metrics substrate.
+# The packages with concurrent hot paths: the parallel sweep, the
+# metrics substrate, and the query service (admission + batching).
 race:
-	$(GO) test -race ./internal/harness/ ./internal/obs/
+	$(GO) test -race ./internal/harness/ ./internal/obs/ ./internal/server/
 
 vet:
 	$(GO) vet ./...
@@ -21,5 +21,10 @@ vet:
 # "Observability"): the observed path must stay within 5% of plain.
 bench:
 	$(GO) test -run xxx -bench BenchmarkObservedOverhead -benchmem .
+
+# Run the topology query service over a small generated workload
+# (see README "Serving").
+serve:
+	$(GO) run ./cmd/topojoind -gen OLE,OPE -scale 0.1
 
 check: build vet test race

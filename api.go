@@ -17,6 +17,8 @@
 package spatialtopo
 
 import (
+	"context"
+
 	"repro/internal/april"
 	"repro/internal/core"
 	"repro/internal/de9im"
@@ -138,6 +140,22 @@ func CandidatePairs(left, right []*Object) [][2]int32 {
 		rb[i] = o.MBR
 	}
 	return join.Pairs(lb, rb)
+}
+
+// CandidatePairsContext is CandidatePairs with cooperative cancellation:
+// the partition sweep checks ctx periodically and returns ctx's error
+// (with the pairs found so far) once it is done. Long-running services
+// use it to bound join candidate generation by a request deadline.
+func CandidatePairsContext(ctx context.Context, left, right []*Object) ([][2]int32, error) {
+	lb := make([]MBR, len(left))
+	for i, o := range left {
+		lb[i] = o.MBR
+	}
+	rb := make([]MBR, len(right))
+	for i, o := range right {
+		rb[i] = o.MBR
+	}
+	return join.PairsContext(ctx, lb, rb)
 }
 
 // Mask is a DE-9IM pattern such as "T*F**F***" ('T' non-empty, 'F' empty,

@@ -1,6 +1,9 @@
 package spatialtopo
 
-import "testing"
+import (
+	"context"
+	"testing"
+)
 
 func space() MBR { return MBR{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100} }
 
@@ -81,6 +84,32 @@ func TestCandidatePairsFacade(t *testing.T) {
 				t.Errorf("method %v: %v, want %v", m, got, want)
 			}
 		}
+	}
+}
+
+func TestCandidatePairsContextFacade(t *testing.T) {
+	b := NewBuilder(space(), 10)
+	mk := func(id int, x0, y0, x1, y1 float64) *Object {
+		o, err := NewObject(id, sqPoly(x0, y0, x1, y1), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o
+	}
+	left := []*Object{mk(0, 0, 0, 10, 10), mk(1, 50, 50, 60, 60)}
+	right := []*Object{mk(0, 5, 5, 15, 15), mk(1, 90, 90, 99, 99)}
+
+	pairs, err := CandidatePairsContext(context.Background(), left, right)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0] != [2]int32{0, 0} {
+		t.Fatalf("pairs = %v", pairs)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CandidatePairsContext(ctx, left, right); err == nil {
+		t.Fatal("cancelled context must surface an error")
 	}
 }
 

@@ -21,6 +21,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -51,11 +52,12 @@ func main() {
 		if reg == nil {
 			reg = obs.NewRegistry()
 		}
-		addr, err := obs.ServeDebug(*pprof, reg)
+		addr, stop, err := obs.ServeDebug(*pprof, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
+		defer stop(context.Background())
 		fmt.Fprintf(os.Stderr, "serving metrics and pprof on http://%s/debug/pprof/\n", addr)
 	}
 	if err := run(*exp, *seed, *scale, *order, reg); err != nil {

@@ -13,6 +13,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -56,11 +57,12 @@ func main() {
 		if reg == nil {
 			reg = obs.NewRegistry()
 		}
-		addr, err := obs.ServeDebug(*pprof, reg)
+		addr, stop, err := obs.ServeDebug(*pprof, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "topojoin:", err)
 			os.Exit(1)
 		}
+		defer stop(context.Background())
 		opts.reg = reg
 		fmt.Fprintf(os.Stderr, "serving metrics and pprof on http://%s/debug/pprof/\n", addr)
 	}

@@ -1,0 +1,177 @@
+// Command topojoind is the resident topology query service: it loads
+// named datasets, builds their APRIL approximations and STR R-tree
+// indexes once, and serves relate probes and dataset-pair joins over an
+// HTTP JSON API with bounded concurrency, per-request deadlines and
+// graceful drain. The batch CLIs rebuild everything per run; topojoind
+// amortizes preprocessing across the life of the process.
+//
+//	topojoind -data data/                         # serve preprocessed datasets
+//	topojoind -gen OLE,OPE -scale 0.2             # serve generated synthetic sets
+//	topojoind -addr :9090 -max-inflight 32 -timeout 5s -grace 15s
+//
+// Endpoints: /v1/healthz, /v1/datasets, /v1/relate, /v1/join, plus the
+// observability surface (/metrics, /metrics.json, /debug/pprof/) on the
+// same listener. SIGINT/SIGTERM starts a graceful drain: new requests
+// get 503, in-flight requests finish (or are cancelled when -grace
+// expires), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "localhost:8080", "listen address")
+		data        = flag.String("data", "", "directory of datasets to serve (.stj, .wkt, .geojson)")
+		gen         = flag.String("gen", "", "comma-separated synthetic suite sets to generate and serve (e.g. OLE,OPE)")
+		seed        = flag.Int64("seed", 2026, "generator seed for -gen")
+		scale       = flag.Float64("scale", 0.2, "cardinality multiplier for -gen")
+		order       = flag.Uint("order", datagen.DefaultOrder, "global grid order (2^order cells per side)")
+		space       = flag.String("space", "", "data space minX,minY,maxX,maxY (default: synthetic suite space)")
+		maxInFlight = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 4×GOMAXPROCS)")
+		maxQueue    = flag.Int("max-queue", 0, "max queries waiting for a slot (0 = max-inflight)")
+		queueWait   = flag.Duration("queue-wait", 100*time.Millisecond, "max time a query waits for a slot before 429")
+		timeout     = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+		maxTimeout  = flag.Duration("max-timeout", time.Minute, "ceiling on client-requested deadlines")
+		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown drain period")
+		workers     = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *data == "" && *gen == "" {
+		fmt.Fprintln(os.Stderr, "topojoind: one of -data or -gen is required")
+		os.Exit(2)
+	}
+	if err := run(*addr, *data, *gen, *seed, *scale, *order, *space, server.Config{
+		MaxInFlight:    *maxInFlight,
+		MaxQueue:       *maxQueue,
+		QueueWait:      *queueWait,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		JoinWorkers:    *workers,
+	}, *grace, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "topojoind:", err)
+		os.Exit(1)
+	}
+}
+
+// buildRegistry assembles the dataset registry from -gen sets and/or a
+// -data directory.
+func buildRegistry(data, gen string, seed int64, scale float64, order uint, spaceSpec string) (*server.Registry, error) {
+	space := datagen.Space()
+	if spaceSpec != "" {
+		var err error
+		if space, err = parseSpace(spaceSpec); err != nil {
+			return nil, err
+		}
+	}
+	reg := server.NewRegistry(space, order)
+	if gen != "" {
+		suite := datagen.NewSuite(seed, scale)
+		for _, name := range strings.Split(gen, ",") {
+			name = strings.TrimSpace(name)
+			polys, ok := suite.Sets[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown synthetic set %q (have %s)",
+					name, strings.Join(datagen.DatasetNames, ","))
+			}
+			start := time.Now()
+			if _, err := reg.Add(name, datagen.EntityTypes[name], polys); err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "generated %s: %d objects, indexed in %v\n",
+				name, len(polys), time.Since(start).Round(time.Millisecond))
+		}
+	}
+	if data != "" {
+		names, err := reg.LoadDir(data)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(os.Stderr, "loaded %d datasets from %s: %s\n",
+			len(names), data, strings.Join(names, ", "))
+	}
+	if reg.Len() == 0 {
+		return nil, errors.New("no datasets registered")
+	}
+	return reg, nil
+}
+
+func parseSpace(s string) (geom.MBR, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geom.MBR{}, fmt.Errorf("space: want minX,minY,maxX,maxY, got %q", s)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geom.MBR{}, fmt.Errorf("space: %w", err)
+		}
+		v[i] = f
+	}
+	return geom.MBR{MinX: v[0], MinY: v[1], MaxX: v[2], MaxY: v[3]}, nil
+}
+
+// run serves until SIGINT/SIGTERM, then drains within grace. ready, when
+// non-nil, receives the bound address once the listener is up (tests).
+func run(addr, data, gen string, seed int64, scale float64, order uint, spaceSpec string, cfg server.Config, grace time.Duration, ready chan<- string) error {
+	reg, err := buildRegistry(data, gen, seed, scale, order, spaceSpec)
+	if err != nil {
+		return err
+	}
+	cfg.Metrics = obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(cfg.Metrics)
+	svc := server.New(reg, cfg)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	fmt.Fprintf(os.Stderr, "topojoind: serving %d datasets on http://%s (grace %v)\n",
+		reg.Len(), ln.Addr(), grace)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // restore default signal handling: a second signal kills hard
+	fmt.Fprintln(os.Stderr, "topojoind: draining...")
+
+	gctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	drainErr := svc.Shutdown(gctx)
+	if err := httpSrv.Shutdown(gctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("shutdown: %w", drainErr)
+	}
+	fmt.Fprintln(os.Stderr, "topojoind: drained cleanly")
+	return nil
+}

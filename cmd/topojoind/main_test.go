@@ -1,0 +1,122 @@
+package main
+
+import (
+	"context"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/server"
+)
+
+func TestParseSpace(t *testing.T) {
+	got, err := parseSpace("0, 0, 512, 256")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := geom.MBR{MinX: 0, MinY: 0, MaxX: 512, MaxY: 256}
+	if got != want {
+		t.Fatalf("parseSpace = %+v, want %+v", got, want)
+	}
+	for _, bad := range []string{"", "1,2,3", "1,2,3,4,5", "a,b,c,d"} {
+		if _, err := parseSpace(bad); err == nil {
+			t.Errorf("parseSpace(%q) should fail", bad)
+		}
+	}
+}
+
+func TestBuildRegistry(t *testing.T) {
+	reg, err := buildRegistry("", "OLE, OPE", 5, 0.03, datagen.DefaultOrder, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("registry has %d datasets, want 2", reg.Len())
+	}
+	if _, err := buildRegistry("", "NOPE", 5, 0.03, datagen.DefaultOrder, ""); err == nil {
+		t.Error("unknown synthetic set should fail")
+	}
+	if _, err := buildRegistry("", "", 5, 0.03, datagen.DefaultOrder, ""); err == nil {
+		t.Error("no datasets should fail")
+	}
+	if _, err := buildRegistry("", "OLE", 5, 0.03, datagen.DefaultOrder, "bad"); err == nil {
+		t.Error("bad space spec should fail")
+	}
+}
+
+func TestBuildRegistryFromDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "probe.wkt"),
+		[]byte("POLYGON ((10 10, 20 10, 20 20, 10 20))\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	reg, err := buildRegistry(dir, "", 5, 0.03, datagen.DefaultOrder, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := reg.Get("probe"); !ok {
+		t.Fatal("wkt dataset not registered")
+	}
+}
+
+// TestRunServesAndDrainsOnSIGTERM boots the daemon end to end: bind an
+// ephemeral port, answer queries through the Go client, then deliver a
+// real SIGTERM and require a clean drain.
+func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
+	ready := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run("127.0.0.1:0", "", "OLE,OPE", 5, 0.03, datagen.DefaultOrder, "",
+			server.Config{}, 5*time.Second, ready)
+	}()
+
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-done:
+		t.Fatalf("daemon exited before ready: %v", err)
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon never became ready")
+	}
+
+	ctx := context.Background()
+	c := server.NewClient("http://" + addr)
+	h, err := c.Health(ctx)
+	if err != nil || h.Status != "ok" || h.Datasets != 2 {
+		t.Fatalf("health = %+v, %v", h, err)
+	}
+	jr, err := c.Join(ctx, server.JoinRequest{Left: "OLE", Right: "OPE"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jr.Candidates == 0 || jr.Evaluated != jr.Candidates {
+		t.Fatalf("join = %+v", jr)
+	}
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("drain after SIGTERM: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+
+	if _, err := c.Health(ctx); err == nil {
+		t.Error("listener still answering after shutdown")
+	}
+}
+
+func TestRunBadListenAddr(t *testing.T) {
+	if err := run("256.0.0.1:bad", "", "OLE", 5, 0.03, datagen.DefaultOrder, "",
+		server.Config{}, time.Second, nil); err == nil {
+		t.Error("unusable listen address should fail")
+	}
+}

@@ -1,0 +1,97 @@
+package geojson
+
+import "testing"
+
+// FuzzParseGeometry checks the geometry reader never panics and that
+// anything it accepts survives a marshal/parse round trip.
+func FuzzParseGeometry(f *testing.F) {
+	seeds := []string{
+		`{"type":"Polygon","coordinates":[[[0,0],[4,0],[4,4],[0,4],[0,0]]]}`,
+		`{"type":"Polygon","coordinates":[[[0,0],[10,0],[10,10],[0,10],[0,0]],[[2,2],[4,2],[4,4],[2,4],[2,2]]]}`,
+		`{"type":"MultiPolygon","coordinates":[[[[0,0],[1,0],[1,1],[0,0]]],[[[5,5],[7,5],[7,7],[5,5]]]]}`,
+		`{"type":"Polygon","coordinates":[]}`,
+		`{"type":"Polygon","coordinates":[[[0,0],[1,1]]]}`,
+		`{"type":"Polygon","coordinates":[[[0,0,9],[1,0,9],[1,1,9]]]}`,
+		`{"type":"Point","coordinates":[1,2]}`,
+		`{"type":"Polygon"}`,
+		`{"type":"Polygon","coordinates":[[["a",0],[1,0],[1,1]]]}`,
+		`{"coordinates":[[[0,0],[1,0],[1,1]]]}`,
+		`{"type":"MultiPolygon","coordinates":[[]]}`,
+		`not json`,
+		`{}`,
+		`[]`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		m, err := ParseGeometry([]byte(s))
+		if err != nil {
+			return
+		}
+		for _, p := range m.Polys {
+			if p.NumVertices() < 3 {
+				t.Fatalf("accepted polygon with %d vertices from %q", p.NumVertices(), s)
+			}
+		}
+		enc, err := MarshalGeometry(m)
+		if err != nil {
+			t.Fatalf("marshal of accepted geometry %q failed: %v", s, err)
+		}
+		round, err := ParseGeometry(enc)
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", s, err)
+		}
+		if len(round.Polys) != len(m.Polys) || round.NumVertices() != m.NumVertices() {
+			t.Fatalf("round trip of %q changed structure", s)
+		}
+	})
+}
+
+// FuzzParseFeatureCollection checks the collection reader likewise; it
+// is the path server request bodies and dataset files come in through.
+func FuzzParseFeatureCollection(f *testing.F) {
+	seeds := []string{
+		`{"type":"FeatureCollection","features":[]}`,
+		`{"type":"FeatureCollection","features":[{"type":"Feature","geometry":{"type":"Polygon","coordinates":[[[0,0],[4,0],[4,4],[0,0]]]},"properties":{"name":"a"}}]}`,
+		`{"type":"FeatureCollection","features":[{"type":"Feature","geometry":null}]}`,
+		`{"type":"Feature","geometry":{"type":"MultiPolygon","coordinates":[[[[0,0],[1,0],[1,1],[0,0]]]]},"properties":{"n":1}}`,
+		`{"type":"Polygon","coordinates":[[[0,0],[4,0],[4,4],[0,0]]]}`,
+		`{"type":"FeatureCollection","features":[{"type":"Feature"}]}`,
+		`{"type":"FeatureCollection","features":{}}`,
+		`{"type":"GeometryCollection","geometries":[]}`,
+		`{"type":"FeatureCollection","features":[{"geometry":{"type":"Polygon","coordinates":[[[1e308,1e308],[-1e308,0],[0,-1e308]]]}}]}`,
+		``,
+		`{"type":`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		fs, err := ParseFeatureCollection([]byte(s))
+		if err != nil {
+			return
+		}
+		for i, ft := range fs {
+			if ft.Geometry == nil {
+				t.Fatalf("accepted feature %d without geometry from %q", i, s)
+			}
+		}
+		enc, err := MarshalFeatureCollection(fs)
+		if err != nil {
+			t.Fatalf("marshal of accepted collection %q failed: %v", s, err)
+		}
+		round, err := ParseFeatureCollection(enc)
+		if err != nil {
+			t.Fatalf("round trip of %q failed: %v", s, err)
+		}
+		if len(round) != len(fs) {
+			t.Fatalf("round trip of %q changed feature count %d -> %d", s, len(fs), len(round))
+		}
+		for i := range fs {
+			if round[i].Geometry.NumVertices() != fs[i].Geometry.NumVertices() {
+				t.Fatalf("round trip of %q changed feature %d structure", s, i)
+			}
+		}
+	})
+}

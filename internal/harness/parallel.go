@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -20,6 +21,19 @@ import (
 // and the stage timers survive parallelism. FilterTime and RefineTime
 // are therefore aggregate CPU time across workers, not wall clock.
 func RunFindRelationParallel(m core.Method, pairs []Pair, workers int) MethodStats {
+	st, _ := RunFindRelationParallelCtx(context.Background(), m, pairs, workers, nil)
+	return st
+}
+
+// RunFindRelationParallelCtx is RunFindRelationParallel with per-request
+// cancellation and an optional per-pair visitor, the entry point used by
+// deadline-bound callers (the query service). Workers re-check ctx at
+// every chunk claim, so a cancelled sweep stops within one chunk per
+// worker; the returned error is ctx's and the stats cover only the pairs
+// actually evaluated (Pairs is reduced accordingly). visit, when
+// non-nil, is called concurrently from the workers with the pair index
+// and its result; it must be safe for concurrent use.
+func RunFindRelationParallelCtx(ctx context.Context, m core.Method, pairs []Pair, workers int, visit func(i int, res core.Result)) (MethodStats, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -30,6 +44,7 @@ func RunFindRelationParallel(m core.Method, pairs []Pair, workers int) MethodSta
 	const chunk = 16
 
 	var cursor atomic.Int64
+	var skipped atomic.Int64
 	partial := make([]MethodStats, workers)
 
 	start := time.Now()
@@ -48,16 +63,24 @@ func RunFindRelationParallel(m core.Method, pairs []Pair, workers int) MethodSta
 				if hi > len(pairs) {
 					hi = len(pairs)
 				}
-				for _, p := range pairs[lo:hi] {
-					core.FindRelationObserved(m, p.R, p.S, sink)
+				if ctx.Err() != nil {
+					skipped.Add(int64(hi - lo))
+					continue // keep claiming to drain the cursor fast
+				}
+				for i, p := range pairs[lo:hi] {
+					res := core.FindRelationObserved(m, p.R, p.S, sink)
+					if visit != nil {
+						visit(lo+i, res)
+					}
 				}
 			}
 		}(&partial[w])
 	}
 	wg.Wait()
 	st.Elapsed = time.Since(start)
+	st.Pairs -= int(skipped.Load())
 	for _, p := range partial {
 		st.merge(p)
 	}
-	return st
+	return st, ctx.Err()
 }

@@ -1,7 +1,10 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"runtime"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/core"
@@ -67,6 +70,62 @@ func TestParallelSpeedup(t *testing.T) {
 	par := RunFindRelationParallel(core.OP2, pairs, 0)
 	if par.Elapsed >= seq.Elapsed {
 		t.Errorf("no speedup: sequential %v, parallel %v", seq.Elapsed, par.Elapsed)
+	}
+}
+
+// TestParallelCtxVisit: the visitor sees every pair exactly once and the
+// visited results agree with the serial sweep.
+func TestParallelCtxVisit(t *testing.T) {
+	pairs, err := env(t).CandidatePairs(ComplexityCombo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	visited := make([]int32, len(pairs))
+	st, err := RunFindRelationParallelCtx(context.Background(), core.PC, pairs, 4,
+		func(i int, res core.Result) { atomic.AddInt32(&visited[i], 1) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Pairs != len(pairs) {
+		t.Fatalf("Pairs = %d, want %d", st.Pairs, len(pairs))
+	}
+	for i, n := range visited {
+		if n != 1 {
+			t.Fatalf("pair %d visited %d times", i, n)
+		}
+	}
+}
+
+// TestParallelCtxCancelled: a cancelled sweep must stop early, return the
+// context error, and report only the pairs it actually evaluated.
+func TestParallelCtxCancelled(t *testing.T) {
+	pairs, err := env(t).CandidatePairs(ComplexityCombo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var seen atomic.Int64
+	st, err := RunFindRelationParallelCtx(ctx, core.PC, pairs, 2,
+		func(i int, res core.Result) {
+			if seen.Add(1) == 4 {
+				cancel()
+			}
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want Canceled", err)
+	}
+	if st.Pairs >= len(pairs) {
+		t.Fatalf("cancelled sweep evaluated all %d pairs", st.Pairs)
+	}
+	if got := st.MBRSettled + st.IFSettled + st.Undetermined; got != st.Pairs {
+		t.Fatalf("verdicts %d do not sum to evaluated pairs %d", got, st.Pairs)
+	}
+
+	pre, cancel2 := context.WithCancel(context.Background())
+	cancel2()
+	st, err = RunFindRelationParallelCtx(pre, core.PC, pairs, 4, nil)
+	if !errors.Is(err, context.Canceled) || st.Pairs != 0 {
+		t.Fatalf("pre-cancelled sweep: pairs=%d err=%v", st.Pairs, err)
 	}
 }
 

@@ -27,18 +27,18 @@ func NewPBSM(grid int) *PBSM {
 
 // Join reports every intersecting pair (a ∈ as, b ∈ bs) exactly once.
 func (p *PBSM) Join(as, bs []Entry, fn func(a, b Entry)) {
-	p.join(as, bs, fn, nil)
+	p.joinCtx(as, bs, fn, nil, nil)
 }
 
 // JoinObserved is Join with work counters: partitions swept, box
 // comparisons inside the sweeps, and reported (deduplicated) pairs.
 func (p *PBSM) JoinObserved(as, bs []Entry, fn func(a, b Entry)) JoinStats {
 	var st JoinStats
-	p.join(as, bs, fn, &st)
+	p.joinCtx(as, bs, fn, &st, nil)
 	return st
 }
 
-func (p *PBSM) join(as, bs []Entry, fn func(a, b Entry), st *JoinStats) {
+func (p *PBSM) joinCtx(as, bs []Entry, fn func(a, b Entry), st *JoinStats, tk *ticker) error {
 	space := geom.EmptyMBR()
 	for _, e := range as {
 		space = space.Expand(e.Box)
@@ -47,7 +47,7 @@ func (p *PBSM) join(as, bs []Entry, fn func(a, b Entry), st *JoinStats) {
 		space = space.Expand(e.Box)
 	}
 	if space.IsEmpty() {
-		return
+		return nil
 	}
 	cw := space.Width() / float64(p.grid)
 	ch := space.Height() / float64(p.grid)
@@ -100,7 +100,7 @@ func (p *PBSM) join(as, bs []Entry, fn func(a, b Entry), st *JoinStats) {
 			if st != nil {
 				st.NodeVisits++
 			}
-			sweep(pa[idx], pb[idx], func(a, b Entry) {
+			err := sweep(pa[idx], pb[idx], func(a, b Entry) {
 				// Reference point: report only in the cell holding the
 				// min corner of the intersection rectangle.
 				ix := math.Max(a.Box.MinX, b.Box.MinX)
@@ -112,13 +112,17 @@ func (p *PBSM) join(as, bs []Entry, fn func(a, b Entry), st *JoinStats) {
 					}
 					fn(a, b)
 				}
-			}, st)
+			}, st, tk)
+			if err != nil {
+				return err
+			}
 		}
 	}
+	return nil
 }
 
 // sweep is a forward plane-sweep join over x between two entry lists.
-func sweep(as, bs []Entry, fn func(a, b Entry), st *JoinStats) {
+func sweep(as, bs []Entry, fn func(a, b Entry), st *JoinStats, tk *ticker) error {
 	sa := make([]Entry, len(as))
 	copy(sa, as)
 	sb := make([]Entry, len(bs))
@@ -128,6 +132,9 @@ func sweep(as, bs []Entry, fn func(a, b Entry), st *JoinStats) {
 
 	i, j := 0, 0
 	for i < len(sa) && j < len(sb) {
+		if err := tk.err(); err != nil {
+			return err
+		}
 		if sa[i].Box.MinX <= sb[j].Box.MinX {
 			a := sa[i]
 			for k := j; k < len(sb) && sb[k].Box.MinX <= a.Box.MaxX; k++ {
@@ -152,6 +159,7 @@ func sweep(as, bs []Entry, fn func(a, b Entry), st *JoinStats) {
 			j++
 		}
 	}
+	return nil
 }
 
 // Pairs collects the join result of two MBR slices using the R-tree join;

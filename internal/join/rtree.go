@@ -136,7 +136,7 @@ func (t *RTree) query(n *node, q geom.MBR, fn func(Entry)) {
 // Join reports every pair (a ∈ t, b ∈ o) with intersecting boxes via a
 // synchronized depth-first traversal of both trees.
 func (t *RTree) Join(o *RTree, fn func(a, b Entry)) {
-	joinNodes(t.root, o.root, fn, nil)
+	joinNodesCtx(t.root, o.root, fn, nil, nil)
 }
 
 // JoinObserved is Join with work counters: node-pair visits, box
@@ -144,16 +144,19 @@ func (t *RTree) Join(o *RTree, fn func(a, b Entry)) {
 // downstream pipeline metric is normalized against).
 func (t *RTree) JoinObserved(o *RTree, fn func(a, b Entry)) JoinStats {
 	var st JoinStats
-	joinNodes(t.root, o.root, fn, &st)
+	joinNodesCtx(t.root, o.root, fn, &st, nil)
 	return st
 }
 
-func joinNodes(a, b *node, fn func(x, y Entry), st *JoinStats) {
+func joinNodesCtx(a, b *node, fn func(x, y Entry), st *JoinStats, tk *ticker) error {
+	if err := tk.err(); err != nil {
+		return err
+	}
 	if st != nil {
 		st.NodeVisits++
 	}
 	if !a.box.Intersects(b.box) {
-		return
+		return nil
 	}
 	switch {
 	case a.entries != nil && b.entries != nil:
@@ -172,11 +175,15 @@ func joinNodes(a, b *node, fn func(x, y Entry), st *JoinStats) {
 		}
 	case a.entries != nil:
 		for _, cb := range b.children {
-			joinNodes(a, cb, fn, st)
+			if err := joinNodesCtx(a, cb, fn, st, tk); err != nil {
+				return err
+			}
 		}
 	case b.entries != nil:
 		for _, ca := range a.children {
-			joinNodes(ca, b, fn, st)
+			if err := joinNodesCtx(ca, b, fn, st, tk); err != nil {
+				return err
+			}
 		}
 	default:
 		for _, ca := range a.children {
@@ -184,8 +191,11 @@ func joinNodes(a, b *node, fn func(x, y Entry), st *JoinStats) {
 				continue
 			}
 			for _, cb := range b.children {
-				joinNodes(ca, cb, fn, st)
+				if err := joinNodesCtx(ca, cb, fn, st, tk); err != nil {
+					return err
+				}
 			}
 		}
 	}
+	return nil
 }

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"expvar"
 	"net"
 	"net/http"
@@ -34,14 +35,17 @@ func Handler(r *Registry) http.Handler {
 }
 
 // ServeDebug binds addr and serves Handler(r) in a background goroutine,
-// returning the bound address (useful with ":0") or a listen error. The
-// server lives until the process exits — it is a debug endpoint for
-// profiling long-running joins, not a managed service.
-func ServeDebug(addr string, r *Registry) (string, error) {
+// returning the bound address (useful with ":0") and a shutdown function
+// that stops the listener and drains in-flight scrapes; callers own the
+// server's lifetime instead of leaking it until process exit. The
+// shutdown function honors its context's deadline (http.Server.Shutdown
+// semantics) and is safe to call more than once.
+func ServeDebug(addr string, r *Registry) (string, func(context.Context) error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
-		return "", err
+		return "", nil, err
 	}
-	go http.Serve(ln, Handler(r))
-	return ln.Addr().String(), nil
+	srv := &http.Server{Handler: Handler(r)}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Shutdown, nil
 }

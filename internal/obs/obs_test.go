@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -247,10 +248,11 @@ func TestRuntimeMetrics(t *testing.T) {
 func TestServeDebug(t *testing.T) {
 	r := NewRegistry()
 	r.Counter("served_total").Add(11)
-	addr, err := ServeDebug("127.0.0.1:0", r)
+	addr, stop, err := ServeDebug("127.0.0.1:0", r)
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer stop(context.Background())
 	get := func(path string) string {
 		resp, err := http.Get("http://" + addr + path)
 		if err != nil {
@@ -275,6 +277,27 @@ func TestServeDebug(t *testing.T) {
 	if body := get("/debug/vars"); !strings.Contains(body, "cmdline") {
 		t.Error("/debug/vars not serving expvar")
 	}
+}
+
+// TestServeDebugShutdown: the returned stop function must actually close
+// the listener so the port is released and further requests fail.
+func TestServeDebugShutdown(t *testing.T) {
+	r := NewRegistry()
+	addr, stop, err := ServeDebug("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err != nil {
+		t.Fatalf("GET before shutdown: %v", err)
+	}
+	if err := stop(context.Background()); err != nil {
+		t.Fatalf("stop: %v", err)
+	}
+	if _, err := http.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still serving after shutdown")
+	}
+	// Idempotent: a second stop reports ErrServerClosed, never panics.
+	stop(context.Background())
 }
 
 func TestDefaultRegistry(t *testing.T) {

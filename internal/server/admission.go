@@ -1,0 +1,79 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// errOverload is returned by acquire when the server is saturated: every
+// slot is busy and either the wait queue is full or the queue wait
+// elapsed. Handlers map it to 429 with Retry-After.
+var errOverload = errors.New("server: overloaded")
+
+// admission is the bounded-concurrency gate in front of the query
+// endpoints: at most maxInFlight requests hold a slot, at most maxQueue
+// more wait up to queueWait for one, and everything beyond that is
+// rejected immediately. Bounding both dimensions keeps goroutines and
+// queueing delay bounded under overload instead of letting the listener
+// accept unbounded work.
+type admission struct {
+	slots     chan struct{} // capacity = max in-flight
+	queue     chan struct{} // capacity = max queued waiters
+	queueWait time.Duration
+
+	inflight *obs.Gauge
+	queued   *obs.Gauge
+}
+
+func newAdmission(maxInFlight, maxQueue int, queueWait time.Duration, inflight, queued *obs.Gauge) *admission {
+	return &admission{
+		slots:     make(chan struct{}, maxInFlight),
+		queue:     make(chan struct{}, maxQueue),
+		queueWait: queueWait,
+		inflight:  inflight,
+		queued:    queued,
+	}
+}
+
+// acquire claims a slot, waiting in the bounded queue if none is free.
+// It returns a release function on success, errOverload on saturation,
+// or the context's error if the request deadline expires or the client
+// disconnects while queued.
+func (a *admission) acquire(ctx context.Context) (release func(), err error) {
+	release = func() {
+		<-a.slots
+		a.inflight.Add(-1)
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return release, nil
+	default:
+	}
+	// Slots are busy: try to enter the wait queue.
+	select {
+	case a.queue <- struct{}{}:
+	default:
+		return nil, errOverload
+	}
+	a.queued.Add(1)
+	defer func() {
+		<-a.queue
+		a.queued.Add(-1)
+	}()
+
+	timer := time.NewTimer(a.queueWait)
+	defer timer.Stop()
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Add(1)
+		return release, nil
+	case <-timer.C:
+		return nil, errOverload
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}

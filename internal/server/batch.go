@@ -1,0 +1,244 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/de9im"
+	"repro/internal/join"
+	"repro/internal/obs"
+)
+
+// probeMode selects what a relate probe evaluates per candidate.
+type probeMode uint8
+
+const (
+	modeFind probeMode = iota // most specific relation (Algorithm 1)
+	modePred                  // relate_p predicate
+	modeMask                  // arbitrary DE-9IM mask
+)
+
+// probeJob is one relate probe in flight through the batcher. The
+// dispatcher always delivers exactly one probeResult on done (buffered),
+// even after the job's context expires, so neither side can leak.
+type probeJob struct {
+	ctx   context.Context
+	entry *Entry
+	probe *core.Object
+
+	mode   probeMode
+	method core.Method
+	pred   de9im.Relation
+	mask   de9im.Mask
+	limit  int
+
+	mu        sync.Mutex
+	matches   []RelateMatch
+	truncated bool
+	evaluated atomic.Int64
+	refined   atomic.Int64
+
+	candidates int
+	batchSize  int
+	done       chan error
+}
+
+func (j *probeJob) addMatch(m RelateMatch) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.matches) >= j.limit {
+		j.truncated = true
+		return
+	}
+	j.matches = append(j.matches, m)
+}
+
+// batcher micro-batches concurrent relate probes: jobs arriving within
+// batchWindow of each other (up to maxBatch) are grouped, jobs against
+// the same dataset are flattened into one (probe × candidate) task list,
+// and the whole group is swept by a single chunk-stealing worker pool —
+// so N concurrent probes cost one pool pass, not N goroutine fan-outs.
+// A lone request pays at most batchWindow of extra latency; under load
+// the channel is never empty and the window barely waits.
+type batcher struct {
+	jobs     chan *probeJob
+	window   time.Duration
+	maxBatch int
+	workers  int
+
+	batches   *obs.Counter
+	batchSize *obs.Histogram
+}
+
+func newBatcher(window time.Duration, maxBatch, workers int, met *obs.Registry) *batcher {
+	return &batcher{
+		jobs:     make(chan *probeJob, maxBatch),
+		window:   window,
+		maxBatch: maxBatch,
+		workers:  workers,
+		batches:  met.Counter("server_relate_batches_total"),
+		batchSize: met.Histogram("server_relate_batch_size",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+	}
+}
+
+// run is the dispatcher loop; it exits when ctx is cancelled, failing
+// any jobs still queued so their handlers unblock immediately.
+func (b *batcher) run(ctx context.Context) {
+	for {
+		var first *probeJob
+		select {
+		case <-ctx.Done():
+			b.drainFailed(ctx)
+			return
+		case first = <-b.jobs:
+		}
+		batch := []*probeJob{first}
+		timer := time.NewTimer(b.window)
+	collect:
+		for len(batch) < b.maxBatch {
+			select {
+			case j := <-b.jobs:
+				batch = append(batch, j)
+			case <-timer.C:
+				break collect
+			case <-ctx.Done():
+				break collect
+			}
+		}
+		timer.Stop()
+		b.process(batch)
+	}
+}
+
+func (b *batcher) drainFailed(ctx context.Context) {
+	for {
+		select {
+		case j := <-b.jobs:
+			j.done <- context.Cause(ctx)
+		default:
+			return
+		}
+	}
+}
+
+// process groups the batch by dataset and sweeps each group with one
+// shared worker pool over the flattened (probe, candidate) tasks.
+func (b *batcher) process(batch []*probeJob) {
+	b.batches.Inc()
+	groups := make(map[*Entry][]*probeJob)
+	for _, j := range batch {
+		groups[j.entry] = append(groups[j.entry], j)
+	}
+	for _, jobs := range groups {
+		b.batchSize.Observe(float64(len(jobs)))
+		b.processGroup(jobs)
+	}
+}
+
+// task is one probe-candidate evaluation.
+type task struct {
+	job *probeJob
+	obj *core.Object
+}
+
+func (b *batcher) processGroup(jobs []*probeJob) {
+	var tasks []task
+	for _, j := range jobs {
+		j.batchSize = len(jobs)
+		objs := j.entry.Dataset.Objects
+		err := j.entry.Tree.QueryContext(j.ctx, j.probe.MBR, func(e join.Entry) {
+			tasks = append(tasks, task{job: j, obj: objs[e.ID]})
+			j.candidates++
+		})
+		if err != nil {
+			j.done <- err
+			j.candidates = -1 // sentinel: already answered
+			continue
+		}
+	}
+	live := jobs[:0]
+	for _, j := range jobs {
+		if j.candidates >= 0 {
+			live = append(live, j)
+		}
+	}
+	if len(tasks) > 0 {
+		b.sweep(tasks)
+	}
+	for _, j := range live {
+		j.done <- j.ctx.Err()
+	}
+}
+
+// sweep runs the task list on a chunk-stealing worker pool, the same
+// shape as the harness's parallel find-relation sweep.
+func (b *batcher) sweep(tasks []task) {
+	workers := b.workers
+	if workers > len(tasks) {
+		workers = len(tasks)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	const chunk = 16
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(chunk)) - chunk
+				if lo >= len(tasks) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(tasks) {
+					hi = len(tasks)
+				}
+				for _, t := range tasks[lo:hi] {
+					if t.job.ctx.Err() != nil {
+						continue // expired probe: skip its remaining work
+					}
+					evalTask(t)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func evalTask(t task) {
+	j := t.job
+	switch j.mode {
+	case modePred:
+		rr := core.RelatePred(j.method, j.probe, t.obj, j.pred)
+		if rr.Refined {
+			j.refined.Add(1)
+		}
+		if rr.Holds {
+			j.addMatch(RelateMatch{ID: t.obj.ID, Relation: j.pred.String()})
+		}
+	case modeMask:
+		rr := core.RelateMask(j.method, j.probe, t.obj, j.mask)
+		if rr.Refined {
+			j.refined.Add(1)
+		}
+		if rr.Holds {
+			j.addMatch(RelateMatch{ID: t.obj.ID})
+		}
+	default: // modeFind
+		res := core.FindRelation(j.method, j.probe, t.obj)
+		if res.Refined {
+			j.refined.Add(1)
+		}
+		if res.Relation != de9im.Disjoint {
+			j.addMatch(RelateMatch{ID: t.obj.ID, Relation: res.Relation.String()})
+		}
+	}
+	j.evaluated.Add(1)
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client is a small Go client for the topology query service. The zero
+// HTTP client is replaced with http.DefaultClient; contexts carry
+// cancellation and deadlines end to end (the server sees client
+// disconnects and stops working).
+type Client struct {
+	BaseURL    string
+	HTTPClient *http.Client
+}
+
+// NewClient creates a client for a service at baseURL, e.g.
+// "http://localhost:8080".
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: baseURL, HTTPClient: http.DefaultClient}
+}
+
+// APIError is a non-2xx service response.
+type APIError struct {
+	StatusCode int
+	Message    string
+	// RetryAfter is the server's backoff hint on 429, zero otherwise.
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("server: %d: %s", e.StatusCode, e.Message)
+}
+
+// IsOverload reports whether the service shed the request (429): the
+// caller should back off RetryAfter and retry.
+func (e *APIError) IsOverload() bool { return e.StatusCode == http.StatusTooManyRequests }
+
+// IsDeadline reports whether the request's deadline expired server-side.
+func (e *APIError) IsDeadline() bool { return e.StatusCode == http.StatusGatewayTimeout }
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return err
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return err
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		var eb errorBody
+		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
+			apiErr.Message = eb.Error
+		} else {
+			apiErr.Message = string(data)
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if sec, err := strconv.Atoi(ra); err == nil {
+				apiErr.RetryAfter = time.Duration(sec) * time.Second
+			}
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Health fetches /v1/healthz.
+func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
+	var out HealthResponse
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out)
+	return out, err
+}
+
+// Datasets lists the registered datasets.
+func (c *Client) Datasets(ctx context.Context) ([]DatasetInfo, error) {
+	var out []DatasetInfo
+	err := c.do(ctx, http.MethodGet, "/v1/datasets", nil, &out)
+	return out, err
+}
+
+// Relate probes a geometry against an indexed dataset.
+func (c *Client) Relate(ctx context.Context, req RelateRequest) (*RelateResponse, error) {
+	var out RelateResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/relate", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Join evaluates a dataset-pair topology join.
+func (c *Client) Join(ctx context.Context, req JoinRequest) (*JoinResponse, error) {
+	var out JoinResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/join", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}

@@ -1,0 +1,240 @@
+// Package server is the resident query service over the topology-join
+// pipeline: a dataset registry that loads named datasets and builds
+// their APRIL approximations and STR R-tree indexes once, an HTTP JSON
+// API serving relate probes and dataset-pair joins from those indexes,
+// bounded-concurrency admission control, per-request deadlines plumbed
+// down to the parallel sweeps, micro-batching of concurrent probes, and
+// graceful drain. The batch CLIs rebuild everything per invocation; the
+// server amortizes preprocessing across millions of requests, which is
+// where filter-and-refine joins actually pay off (cf. Kipf et al.,
+// "Adaptive Geospatial Joins for Modern Hardware").
+package server
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/april"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/geojson"
+	"repro/internal/geom"
+	"repro/internal/join"
+	"repro/internal/wkt"
+)
+
+// Entry is one registered dataset with its immutable, once-built
+// indexes: the preprocessed objects (MBR + APRIL approximation) and the
+// STR R-tree over their MBRs. Entries are never mutated after
+// registration, so request handlers read them without locks.
+type Entry struct {
+	Dataset *dataset.Dataset
+	Tree    *join.RTree
+	// BuildTime is how long preprocessing + index build took; it is the
+	// cost the server amortizes across requests.
+	BuildTime time.Duration
+}
+
+// Registry holds the named datasets a server instance answers queries
+// from. All datasets and every probe geometry share one global grid
+// (the paper's setup; approximations from different grids are not
+// comparable), so the registry owns the april.Builder.
+type Registry struct {
+	builder *april.Builder
+
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// NewRegistry creates a registry whose datasets and probes share a
+// 2^order × 2^order grid over the given data space. Geometry outside
+// the space cannot be approximated and is rejected at load/probe time.
+func NewRegistry(space geom.MBR, order uint) *Registry {
+	return &Registry{
+		builder: april.NewBuilder(space, order),
+		entries: make(map[string]*Entry),
+	}
+}
+
+// Builder exposes the shared approximation builder.
+func (g *Registry) Builder() *april.Builder { return g.builder }
+
+// Add preprocesses polygons into a named dataset and builds its R-tree.
+// Objects too large for the base grid fall back to the adaptive coarser
+// orders rather than failing the whole dataset.
+func (g *Registry) Add(name, entity string, polys []*geom.Polygon) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("server: dataset name must not be empty")
+	}
+	start := time.Now()
+	ds := &dataset.Dataset{Name: name, Entity: entity, Objects: make([]*core.Object, 0, len(polys))}
+	for i, p := range polys {
+		o, err := core.NewObjectAdaptive(i, p, g.builder)
+		if err != nil {
+			return nil, fmt.Errorf("server: dataset %s: %w", name, err)
+		}
+		ds.Objects = append(ds.Objects, o)
+	}
+	entries := make([]join.Entry, len(ds.Objects))
+	for i, o := range ds.Objects {
+		entries[i] = join.Entry{Box: o.MBR, ID: int32(i)}
+	}
+	e := &Entry{Dataset: ds, Tree: join.BuildRTree(entries), BuildTime: time.Since(start)}
+
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.entries[name]; dup {
+		return nil, fmt.Errorf("server: dataset %s already registered", name)
+	}
+	g.entries[name] = e
+	return e, nil
+}
+
+// AddDataset registers a preprocessed dataset. Approximations are
+// rebuilt on the registry's grid: a .stj file written under another
+// grid would otherwise silently break every filter.
+func (g *Registry) AddDataset(ds *dataset.Dataset) (*Entry, error) {
+	polys := make([]*geom.Polygon, len(ds.Objects))
+	for i, o := range ds.Objects {
+		polys[i] = o.Poly
+	}
+	return g.Add(ds.Name, ds.Entity, polys)
+}
+
+// LoadFile registers the dataset in path, dispatching on extension:
+// .stj (the binary dataset format), .wkt (one POLYGON per line) or
+// .geojson/.json (a FeatureCollection; multipolygon members become
+// separate objects). The dataset is named after the file basename for
+// .wkt/.geojson, or keeps its embedded name for .stj.
+func (g *Registry) LoadFile(path string) (*Entry, error) {
+	base := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".stj":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		ds, err := dataset.Read(f)
+		if err != nil {
+			return nil, fmt.Errorf("server: %s: %w", path, err)
+		}
+		return g.AddDataset(ds)
+	case ".wkt":
+		polys, err := readWKTFile(path)
+		if err != nil {
+			return nil, err
+		}
+		return g.Add(base, base, polys)
+	case ".geojson", ".json":
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		features, err := geojson.ParseFeatureCollection(data)
+		if err != nil {
+			return nil, fmt.Errorf("server: %s: %w", path, err)
+		}
+		var polys []*geom.Polygon
+		for _, f := range features {
+			polys = append(polys, f.Geometry.Polys...)
+		}
+		return g.Add(base, base, polys)
+	default:
+		return nil, fmt.Errorf("server: %s: unsupported extension %q", path, ext)
+	}
+}
+
+// LoadDir registers every loadable file in dir and returns the
+// registered names in sorted order.
+func (g *Registry) LoadDir(dir string) ([]string, error) {
+	files, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, f := range files {
+		if f.IsDir() {
+			continue
+		}
+		switch strings.ToLower(filepath.Ext(f.Name())) {
+		case ".stj", ".wkt", ".geojson", ".json":
+		default:
+			continue
+		}
+		e, err := g.LoadFile(filepath.Join(dir, f.Name()))
+		if err != nil {
+			return nil, err
+		}
+		names = append(names, e.Dataset.Name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func readWKTFile(path string) ([]*geom.Polygon, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var polys []*geom.Polygon
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		p, err := wkt.ParsePolygon(line)
+		if err != nil {
+			return nil, fmt.Errorf("server: %s:%d: %w", path, i+1, err)
+		}
+		polys = append(polys, p)
+	}
+	return polys, nil
+}
+
+// Get returns the entry registered under name.
+func (g *Registry) Get(name string) (*Entry, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.entries[name]
+	return e, ok
+}
+
+// Len returns the number of registered datasets.
+func (g *Registry) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.entries)
+}
+
+// List describes every registered dataset, sorted by name.
+func (g *Registry) List() []DatasetInfo {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]DatasetInfo, 0, len(g.entries))
+	for name, e := range g.entries {
+		sz := e.Dataset.Sizes()
+		out = append(out, DatasetInfo{
+			Name:        name,
+			Entity:      e.Dataset.Entity,
+			Objects:     e.Dataset.Len(),
+			Vertices:    sz.Vertices,
+			ApproxBytes: sz.Approx,
+			BuildMS:     float64(e.BuildTime) / float64(time.Millisecond),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Probe preprocesses a request geometry on the registry's grid so it
+// can run through the filters against any registered dataset. Probe
+// objects use ID -1: they exist for one request only.
+func (g *Registry) Probe(p *geom.Polygon) (*core.Object, error) {
+	return core.NewObjectAdaptive(-1, p, g.builder)
+}

@@ -1,0 +1,190 @@
+package server
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/datagen"
+	"repro/internal/geojson"
+	"repro/internal/geom"
+	"repro/internal/wkt"
+)
+
+// The shared test fixture: a small synthetic suite preprocessed once.
+var (
+	fixOnce  sync.Once
+	fixSuite *datagen.Suite
+)
+
+func testSuite() *datagen.Suite {
+	fixOnce.Do(func() { fixSuite = datagen.NewSuite(7, 0.03) })
+	return fixSuite
+}
+
+func testRegistry(t *testing.T, sets ...string) *Registry {
+	t.Helper()
+	suite := testSuite()
+	reg := NewRegistry(suite.Space, datagen.DefaultOrder)
+	for _, name := range sets {
+		if _, err := reg.Add(name, datagen.EntityTypes[name], suite.Sets[name]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return reg
+}
+
+func TestRegistryAddAndList(t *testing.T) {
+	reg := testRegistry(t, "OLE", "OPE")
+	if reg.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", reg.Len())
+	}
+	infos := reg.List()
+	if len(infos) != 2 || infos[0].Name != "OLE" || infos[1].Name != "OPE" {
+		t.Fatalf("List = %+v", infos)
+	}
+	for _, info := range infos {
+		if info.Objects == 0 || info.Vertices == 0 || info.ApproxBytes == 0 {
+			t.Errorf("%s: empty stats %+v", info.Name, info)
+		}
+	}
+	e, ok := reg.Get("OLE")
+	if !ok || e.Tree.Len() != e.Dataset.Len() {
+		t.Fatalf("OLE entry: ok=%v tree=%d objects=%d", ok, e.Tree.Len(), e.Dataset.Len())
+	}
+	if _, err := reg.Add("OLE", "", nil); err == nil {
+		t.Fatal("duplicate Add must fail")
+	}
+	if _, err := reg.Add("", "", nil); err == nil {
+		t.Fatal("empty name must fail")
+	}
+}
+
+func TestRegistryLoadFormats(t *testing.T) {
+	suite := testSuite()
+	dir := t.TempDir()
+	polys := suite.Sets["TC"]
+
+	// .stj: the binary preprocessed format.
+	reg0 := testRegistry(t, "TC")
+	e0, _ := reg0.Get("TC")
+	f, err := os.Create(filepath.Join(dir, "counties.stj"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e0.Dataset.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	// .wkt: one polygon per line.
+	var lines []byte
+	for _, p := range polys {
+		lines = append(lines, wkt.MarshalPolygon(p)...)
+		lines = append(lines, '\n')
+	}
+	if err := os.WriteFile(filepath.Join(dir, "wktset.wkt"), lines, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// .geojson: a FeatureCollection.
+	features := make([]geojson.Feature, len(polys))
+	for i, p := range polys {
+		features[i] = geojson.Feature{Geometry: geom.NewMultiPolygon(p)}
+	}
+	gj, err := geojson.MarshalFeatureCollection(features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "gjset.geojson"), gj, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	reg := NewRegistry(suite.Space, datagen.DefaultOrder)
+	names, err := reg.LoadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The .stj keeps its embedded name; the others take the basename.
+	want := []string{"TC", "gjset", "wktset"}
+	if len(names) != len(want) {
+		t.Fatalf("LoadDir names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("LoadDir names = %v, want %v", names, want)
+		}
+	}
+	for _, n := range want {
+		e, ok := reg.Get(n)
+		if !ok || e.Dataset.Len() != len(polys) {
+			t.Fatalf("%s: %d objects, want %d", n, e.Dataset.Len(), len(polys))
+		}
+	}
+
+	if _, err := reg.LoadFile(filepath.Join(dir, "nope.csv")); err == nil {
+		t.Fatal("unsupported extension must fail")
+	}
+}
+
+// Loading a .stj written under a different grid must still serve sound
+// answers: approximations are rebuilt on the registry's grid.
+func TestRegistryRebuildsForeignGrid(t *testing.T) {
+	suite := testSuite()
+	polys := suite.Sets["TC"]
+
+	// Preprocess on a deliberately different (coarser, offset) grid.
+	foreign := NewRegistry(geom.MBR{MinX: -10, MinY: -10, MaxX: 2048, MaxY: 2048}, 8)
+	fe, err := foreign.Add("TC", "counties", polys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tc.stj")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fe.Dataset.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	reg := NewRegistry(suite.Space, datagen.DefaultOrder)
+	e, err := reg.LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same objects, but approximations from the registry's grid: the
+	// native registration must agree interval-for-interval.
+	native := testRegistry(t, "TC")
+	ne, _ := native.Get("TC")
+	for i, o := range e.Dataset.Objects {
+		np, nc := ne.Dataset.Objects[i].Approx.NumIntervals()
+		p, c := o.Approx.NumIntervals()
+		if p != np || c != nc {
+			t.Fatalf("object %d: approx %d/%d after reload, want %d/%d (not rebuilt?)", i, p, c, np, nc)
+		}
+	}
+}
+
+func TestProbe(t *testing.T) {
+	reg := testRegistry(t, "TC")
+	probe, err := reg.Probe(mustPoly(t, "POLYGON ((100 100, 200 100, 200 200, 100 200))"))
+	if err != nil || probe == nil {
+		t.Fatalf("in-space probe: %v", err)
+	}
+	if probe.ID != -1 {
+		t.Fatalf("probe ID = %d, want -1", probe.ID)
+	}
+}
+
+func mustPoly(t *testing.T, s string) *geom.Polygon {
+	t.Helper()
+	p, err := wkt.ParsePolygon(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}

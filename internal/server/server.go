@@ -1,0 +1,644 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/de9im"
+	"repro/internal/geojson"
+	"repro/internal/geom"
+	"repro/internal/harness"
+	"repro/internal/join"
+	"repro/internal/obs"
+	"repro/internal/wkt"
+)
+
+// Config tunes the service; zero values select the documented defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently executing query requests
+	// (default 4 × GOMAXPROCS: queries are CPU-bound, a small multiple
+	// keeps the cores busy while one request waits in a batch window).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for a slot (default MaxInFlight);
+	// beyond it requests are rejected immediately with 429.
+	MaxQueue int
+	// QueueWait is how long a queued request waits for a slot before
+	// 429 (default 100ms — shedding beats queueing at saturation).
+	QueueWait time.Duration
+	// DefaultTimeout applies when a request carries no timeout_ms
+	// (default 10s); MaxTimeout clamps what a request may ask for
+	// (default 60s).
+	DefaultTimeout time.Duration
+	MaxTimeout     time.Duration
+	// JoinWorkers sizes the worker pools of the join sweep and the
+	// relate batch sweep (default GOMAXPROCS).
+	JoinWorkers int
+	// BatchWindow and MaxBatch shape relate micro-batching: probes
+	// arriving within BatchWindow (default 250µs) are grouped up to
+	// MaxBatch (default 64) and share one sweep.
+	BatchWindow time.Duration
+	MaxBatch    int
+	// DefaultLimit and MaxLimit bound the matches/pairs a response may
+	// carry (defaults 1000 and 100000).
+	DefaultLimit int
+	MaxLimit     int
+	// Metrics receives all instrumentation (default: a fresh registry).
+	Metrics *obs.Registry
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 4 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = c.MaxInFlight
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 10 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 60 * time.Second
+	}
+	if c.JoinWorkers <= 0 {
+		c.JoinWorkers = runtime.GOMAXPROCS(0)
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 250 * time.Microsecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.DefaultLimit <= 0 {
+		c.DefaultLimit = 1000
+	}
+	if c.MaxLimit <= 0 {
+		c.MaxLimit = 100000
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.NewRegistry()
+	}
+	return c
+}
+
+// Server is the topology query service: once-built indexes from a
+// Registry behind an HTTP JSON API with admission control, per-request
+// deadlines, relate micro-batching and graceful drain.
+type Server struct {
+	cfg  Config
+	data *Registry
+	met  *obs.Registry
+	mux  *http.ServeMux
+	adm  *admission
+	bat  *batcher
+
+	// rootCtx is cancelled when the drain grace expires (or Close runs):
+	// it force-cancels every in-flight request context and stops the
+	// batcher dispatcher.
+	rootCtx    context.Context
+	rootCancel context.CancelCauseFunc
+
+	wg       sync.WaitGroup // in-flight requests
+	draining atomic.Bool
+
+	rejected *obs.Counter
+	timeouts *obs.Counter
+
+	// testHook, when non-nil, runs inside every admitted request before
+	// the real work — lifecycle tests use it to hold slots at a gate.
+	testHook func(ctx context.Context) error
+}
+
+// New assembles a server over the registry's datasets.
+func New(data *Registry, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	met := cfg.Metrics
+	s := &Server{
+		cfg:      cfg,
+		data:     data,
+		met:      met,
+		mux:      http.NewServeMux(),
+		rejected: met.Counter("server_rejected_total{reason=\"overload\"}"),
+		timeouts: met.Counter("server_rejected_total{reason=\"deadline\"}"),
+	}
+	s.rootCtx, s.rootCancel = context.WithCancelCause(context.Background())
+	s.adm = newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait,
+		met.Gauge("server_inflight"), met.Gauge("server_queue_depth"))
+	s.bat = newBatcher(cfg.BatchWindow, cfg.MaxBatch, cfg.JoinWorkers, met)
+	go s.bat.run(s.rootCtx)
+
+	s.mux.HandleFunc("GET /v1/healthz", s.route("healthz", false, s.handleHealthz))
+	s.mux.HandleFunc("GET /v1/datasets", s.route("datasets", false, s.handleDatasets))
+	s.mux.HandleFunc("POST /v1/relate", s.route("relate", true, s.handleRelate))
+	s.mux.HandleFunc("POST /v1/join", s.route("join", true, s.handleJoin))
+	// The PR-1 debug surface rides on the same server: metrics scrapes
+	// and live profiles come from the serving process itself.
+	debug := obs.Handler(met)
+	s.mux.Handle("/metrics", debug)
+	s.mux.Handle("/metrics.json", debug)
+	s.mux.Handle("/debug/", debug)
+	return s
+}
+
+// Handler returns the service's HTTP handler (mount it on any server).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics returns the instrumentation registry.
+func (s *Server) Metrics() *obs.Registry { return s.met }
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Shutdown drains the service: new requests get 503 immediately,
+// in-flight requests run to completion, and when ctx expires before
+// they finish their contexts are force-cancelled (the sweeps are
+// context-aware, so they unwind promptly) and ctx's error is returned.
+// The caller separately shuts down the http.Server carrying the
+// handler; Shutdown only manages the service's own work.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.rootCancel(errors.New("server: shut down"))
+		return nil
+	case <-ctx.Done():
+		s.rootCancel(fmt.Errorf("server: drain grace expired: %w", ctx.Err()))
+		<-done // sweeps unwind on cancellation; wait for handlers to exit
+		return ctx.Err()
+	}
+}
+
+// Close force-stops without draining (tests and error paths).
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.rootCancel(errors.New("server: closed"))
+	s.wg.Wait()
+}
+
+// httpError carries a status code through a handler's error return.
+type httpError struct {
+	code int
+	msg  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+func errf(code int, format string, args ...any) error {
+	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// handlerFunc is the shape of every endpoint: decode from r, return a
+// JSON-encodable payload or an error the middleware maps to a status.
+type handlerFunc func(ctx context.Context, r *http.Request) (any, error)
+
+// route wraps an endpoint with the service middleware: drain check,
+// in-flight tracking, admission (for query endpoints), per-endpoint
+// request counters and latency histograms, and error → status mapping.
+func (s *Server) route(name string, admit bool, h handlerFunc) http.HandlerFunc {
+	lat := s.met.Histogram(obs.Name("server_request_seconds", "route", name), obs.DurationBuckets)
+	codeCtr := func(code int) *obs.Counter {
+		return s.met.Counter(obs.Name("server_requests_total", "route", name, "code", fmt.Sprint(code)))
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		span := obs.StartSpan(lat)
+		if s.draining.Load() {
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+			codeCtr(http.StatusServiceUnavailable).Inc()
+			span.End()
+			return
+		}
+		s.wg.Add(1)
+		defer s.wg.Done()
+
+		// Tie the request to the drain lifecycle: when the grace period
+		// expires, rootCtx cancels every in-flight request context.
+		ctx, cancel := context.WithCancel(r.Context())
+		defer cancel()
+		stop := context.AfterFunc(s.rootCtx, cancel)
+		defer stop()
+
+		if admit {
+			release, err := s.adm.acquire(ctx)
+			if err != nil {
+				code := s.admissionCode(err)
+				writeError(w, code, err.Error())
+				codeCtr(code).Inc()
+				span.End()
+				return
+			}
+			defer release()
+		}
+
+		payload, err := h(ctx, r)
+		code := http.StatusOK
+		if err != nil {
+			code = s.errorCode(err)
+			writeError(w, code, err.Error())
+		} else {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(payload)
+		}
+		codeCtr(code).Inc()
+		span.End()
+	}
+}
+
+func (s *Server) admissionCode(err error) int {
+	switch {
+	case errors.Is(err, errOverload):
+		s.rejected.Inc()
+		return http.StatusTooManyRequests
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Inc()
+		return http.StatusGatewayTimeout
+	default:
+		return http.StatusServiceUnavailable
+	}
+}
+
+func (s *Server) errorCode(err error) int {
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		return he.code
+	case errors.Is(err, context.DeadlineExceeded):
+		s.timeouts.Inc()
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// Client went away or drain grace expired mid-request.
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	if code == http.StatusTooManyRequests {
+		// Queue wait already absorbed sub-second bursts; tell clients to
+		// back off for a beat instead of hammering.
+		w.Header().Set("Retry-After", "1")
+	}
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(errorBody{Error: msg})
+}
+
+// requestCtx applies the request's deadline: timeoutMS if given
+// (clamped to MaxTimeout), the server default otherwise.
+func (s *Server) requestCtx(ctx context.Context, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(ctx, d)
+}
+
+func (s *Server) handleHealthz(ctx context.Context, r *http.Request) (any, error) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
+	return HealthResponse{
+		Status:   status,
+		Datasets: s.data.Len(),
+		InFlight: s.met.Gauge("server_inflight").Value(),
+		Queued:   s.met.Gauge("server_queue_depth").Value(),
+	}, nil
+}
+
+func (s *Server) handleDatasets(ctx context.Context, r *http.Request) (any, error) {
+	return s.data.List(), nil
+}
+
+func decodeBody(r *http.Request, into any) error {
+	body, err := io.ReadAll(http.MaxBytesReader(nil, r.Body, 16<<20))
+	if err != nil {
+		return errf(http.StatusBadRequest, "reading body: %v", err)
+	}
+	if err := json.Unmarshal(body, into); err != nil {
+		return errf(http.StatusBadRequest, "decoding request: %v", err)
+	}
+	return nil
+}
+
+func parseMethod(name string) (core.Method, error) {
+	if name == "" {
+		return core.PC, nil
+	}
+	for _, m := range core.Methods {
+		if m.String() == name {
+			return m, nil
+		}
+	}
+	return 0, errf(http.StatusBadRequest, "unknown method %q", name)
+}
+
+func parseRelation(name string) (de9im.Relation, error) {
+	for rel := de9im.Relation(0); int(rel) < de9im.NumRelations; rel++ {
+		if rel.String() == name {
+			return rel, nil
+		}
+	}
+	return 0, errf(http.StatusBadRequest, "unknown predicate %q", name)
+}
+
+// probeGeometry extracts the probe polygon from a relate request.
+func probeGeometry(req *RelateRequest) (*geom.Polygon, error) {
+	switch {
+	case req.WKT != "" && len(req.GeoJSON) > 0:
+		return nil, errf(http.StatusBadRequest, "give wkt or geojson, not both")
+	case req.WKT != "":
+		p, err := wkt.ParsePolygon(req.WKT)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "wkt: %v", err)
+		}
+		return p, nil
+	case len(req.GeoJSON) > 0:
+		fs, err := geojson.ParseFeatureCollection(req.GeoJSON)
+		if err != nil {
+			return nil, errf(http.StatusBadRequest, "geojson: %v", err)
+		}
+		if len(fs) != 1 || len(fs[0].Geometry.Polys) != 1 {
+			return nil, errf(http.StatusBadRequest, "probe must be a single polygon")
+		}
+		return fs[0].Geometry.Polys[0], nil
+	default:
+		return nil, errf(http.StatusBadRequest, "missing probe geometry (wkt or geojson)")
+	}
+}
+
+func (s *Server) clampLimit(limit int) int {
+	if limit <= 0 {
+		return s.cfg.DefaultLimit
+	}
+	if limit > s.cfg.MaxLimit {
+		return s.cfg.MaxLimit
+	}
+	return limit
+}
+
+func (s *Server) handleRelate(ctx context.Context, r *http.Request) (any, error) {
+	var req RelateRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	entry, ok := s.data.Get(req.Dataset)
+	if !ok {
+		return nil, errf(http.StatusNotFound, "unknown dataset %q", req.Dataset)
+	}
+	method, err := parseMethod(req.Method)
+	if err != nil {
+		return nil, err
+	}
+	job := &probeJob{
+		entry:  entry,
+		method: method,
+		limit:  s.clampLimit(req.Limit),
+		done:   make(chan error, 1),
+	}
+	switch {
+	case req.Predicate != "" && req.Mask != "":
+		return nil, errf(http.StatusBadRequest, "give predicate or mask, not both")
+	case req.Predicate != "":
+		if job.pred, err = parseRelation(req.Predicate); err != nil {
+			return nil, err
+		}
+		job.mode = modePred
+	case req.Mask != "":
+		if job.mask, err = de9im.ParseMask(req.Mask); err != nil {
+			return nil, errf(http.StatusBadRequest, "mask: %v", err)
+		}
+		job.mode = modeMask
+	}
+	poly, err := probeGeometry(&req)
+	if err != nil {
+		return nil, err
+	}
+	if job.probe, err = s.data.Probe(poly); err != nil {
+		return nil, errf(http.StatusBadRequest, "probe geometry: %v", err)
+	}
+
+	rctx, cancel := s.requestCtx(ctx, req.TimeoutMS)
+	defer cancel()
+	job.ctx = rctx
+
+	if s.testHook != nil {
+		if err := s.testHook(rctx); err != nil {
+			return nil, err
+		}
+	}
+
+	start := time.Now()
+	select {
+	case s.bat.jobs <- job:
+	case <-rctx.Done():
+		return nil, rctx.Err()
+	}
+	select {
+	case err := <-job.done:
+		if err != nil {
+			return nil, err
+		}
+	case <-rctx.Done():
+		return nil, rctx.Err()
+	}
+	matches := job.matches
+	if matches == nil {
+		matches = []RelateMatch{}
+	}
+	return RelateResponse{
+		Dataset:    req.Dataset,
+		Candidates: job.candidates,
+		Evaluated:  int(job.evaluated.Load()),
+		Refined:    int(job.refined.Load()),
+		Matches:    matches,
+		Truncated:  job.truncated,
+		BatchSize:  job.batchSize,
+		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+	}, nil
+}
+
+func (s *Server) handleJoin(ctx context.Context, r *http.Request) (any, error) {
+	var req JoinRequest
+	if err := decodeBody(r, &req); err != nil {
+		return nil, err
+	}
+	left, ok := s.data.Get(req.Left)
+	if !ok {
+		return nil, errf(http.StatusNotFound, "unknown dataset %q", req.Left)
+	}
+	right, ok := s.data.Get(req.Right)
+	if !ok {
+		return nil, errf(http.StatusNotFound, "unknown dataset %q", req.Right)
+	}
+	method, err := parseMethod(req.Method)
+	if err != nil {
+		return nil, err
+	}
+	if req.Predicate != "" && req.Mask != "" {
+		return nil, errf(http.StatusBadRequest, "give predicate or mask, not both")
+	}
+	limit := s.clampLimit(req.Limit)
+
+	rctx, cancel := s.requestCtx(ctx, req.TimeoutMS)
+	defer cancel()
+
+	if s.testHook != nil {
+		if err := s.testHook(rctx); err != nil {
+			return nil, err
+		}
+	}
+
+	start := time.Now()
+	// Candidate generation: synchronized R-tree traversal over the two
+	// once-built indexes, abandoned mid-tree when the deadline expires.
+	lo, ro := left.Dataset.Objects, right.Dataset.Objects
+	var pairs []harness.Pair
+	err = left.Tree.JoinContext(rctx, right.Tree, func(a, b join.Entry) {
+		pairs = append(pairs, harness.Pair{R: lo[a.ID], S: ro[b.ID]})
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	resp := JoinResponse{Left: req.Left, Right: req.Right, Candidates: len(pairs)}
+	var mu sync.Mutex
+	addPair := func(p JoinPair) {
+		mu.Lock()
+		defer mu.Unlock()
+		if len(resp.Pairs) >= limit {
+			resp.Truncated = true
+			return
+		}
+		resp.Pairs = append(resp.Pairs, p)
+	}
+
+	switch {
+	case req.Predicate != "":
+		pred, perr := parseRelation(req.Predicate)
+		if perr != nil {
+			return nil, perr
+		}
+		err = s.sweepPairs(rctx, pairs, func(p harness.Pair) {
+			rr := core.RelatePred(method, p.R, p.S, pred)
+			mu.Lock()
+			resp.Evaluated++
+			if rr.Refined {
+				resp.Refined++
+			}
+			if rr.Holds {
+				resp.Holds++
+			}
+			mu.Unlock()
+			if rr.Holds {
+				addPair(JoinPair{LeftID: p.R.ID, RightID: p.S.ID, Relation: pred.String()})
+			}
+		})
+	case req.Mask != "":
+		mask, merr := de9im.ParseMask(req.Mask)
+		if merr != nil {
+			return nil, errf(http.StatusBadRequest, "mask: %v", merr)
+		}
+		err = s.sweepPairs(rctx, pairs, func(p harness.Pair) {
+			rr := core.RelateMask(method, p.R, p.S, mask)
+			mu.Lock()
+			resp.Evaluated++
+			if rr.Refined {
+				resp.Refined++
+			}
+			if rr.Holds {
+				resp.Holds++
+			}
+			mu.Unlock()
+			if rr.Holds {
+				addPair(JoinPair{LeftID: p.R.ID, RightID: p.S.ID})
+			}
+		})
+	default:
+		// Find-relation join: the harness's chunk-stealing parallel
+		// sweep, deadline-aware, publishing its stats into the registry.
+		var st harness.MethodStats
+		st, err = harness.RunFindRelationParallelCtx(rctx, method, pairs, s.cfg.JoinWorkers,
+			func(i int, res core.Result) {
+				if res.Relation != de9im.Disjoint {
+					addPair(JoinPair{
+						LeftID:   pairs[i].R.ID,
+						RightID:  pairs[i].S.ID,
+						Relation: res.Relation.String(),
+					})
+				}
+			})
+		resp.Evaluated = st.Pairs
+		resp.Refined = st.Undetermined
+		resp.Relations = make(map[string]int)
+		for rel, n := range st.Relations {
+			if n > 0 {
+				resp.Relations[de9im.Relation(rel).String()] = n
+			}
+		}
+		st.Publish(s.met, "server_join")
+	}
+	if err != nil {
+		return nil, err
+	}
+	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return resp, nil
+}
+
+// sweepPairs evaluates fn over the pairs with the shared worker-pool
+// shape, stopping at chunk granularity when ctx is done.
+func (s *Server) sweepPairs(ctx context.Context, pairs []harness.Pair, fn func(harness.Pair)) error {
+	workers := s.cfg.JoinWorkers
+	if workers > len(pairs) {
+		workers = len(pairs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	const chunk = 16
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(chunk)) - chunk
+				if lo >= len(pairs) {
+					return
+				}
+				hi := lo + chunk
+				if hi > len(pairs) {
+					hi = len(pairs)
+				}
+				if ctx.Err() != nil {
+					continue
+				}
+				for _, p := range pairs[lo:hi] {
+					fn(p)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
+}

@@ -1,0 +1,122 @@
+package server
+
+import "encoding/json"
+
+// Wire types of the HTTP JSON API, shared by the handlers and the Go
+// client. All durations cross the wire as integer milliseconds so
+// non-Go clients need no duration parsing.
+
+// RelateRequest probes one geometry against an indexed dataset:
+// find-relation mode by default, relate_p with Predicate, or an
+// arbitrary DE-9IM mask query with Mask (Predicate and Mask are
+// mutually exclusive). Exactly one of WKT or GeoJSON supplies the probe
+// geometry.
+type RelateRequest struct {
+	// Dataset names the registered dataset to probe against.
+	Dataset string `json:"dataset"`
+	// WKT is the probe geometry as a WKT POLYGON.
+	WKT string `json:"wkt,omitempty"`
+	// GeoJSON is the probe geometry as a GeoJSON Polygon (or a
+	// single-member MultiPolygon / Feature wrapping one).
+	GeoJSON json.RawMessage `json:"geojson,omitempty"`
+	// Predicate asks relate_p: return only objects for which the named
+	// relation (equals|meets|inside|covered_by|contains|covers|
+	// intersects|disjoint) holds, probe as the left operand.
+	Predicate string `json:"predicate,omitempty"`
+	// Mask asks the three-argument ST_Relate form with a 9-character
+	// DE-9IM pattern such as "T*F**F***".
+	Mask string `json:"mask,omitempty"`
+	// Method selects the pipeline (ST2|OP2|APRIL|P+C); default P+C.
+	Method string `json:"method,omitempty"`
+	// Limit caps the returned matches (default and ceiling are server
+	// configuration); Truncated reports when the cap was hit.
+	Limit int `json:"limit,omitempty"`
+	// TimeoutMS is the per-request deadline in milliseconds; 0 selects
+	// the server default, values above the server maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// RelateMatch is one dataset object matched by a relate probe.
+type RelateMatch struct {
+	ID int `json:"id"`
+	// Relation is the most specific relation (find mode) or the name of
+	// the satisfied predicate; empty in mask mode.
+	Relation string `json:"relation,omitempty"`
+}
+
+// RelateResponse reports one relate probe.
+type RelateResponse struct {
+	Dataset string `json:"dataset"`
+	// Candidates is how many index entries survived the MBR filter.
+	Candidates int `json:"candidates"`
+	// Evaluated is how many candidates the pipeline actually settled
+	// before the deadline (equals Candidates on a completed probe).
+	Evaluated int `json:"evaluated"`
+	// Refined counts candidates that needed DE-9IM refinement.
+	Refined   int           `json:"refined"`
+	Matches   []RelateMatch `json:"matches"`
+	Truncated bool          `json:"truncated,omitempty"`
+	// BatchSize is the size of the micro-batch the probe rode in (>= 1;
+	// concurrent probes against the same dataset share one sweep).
+	BatchSize int     `json:"batch_size"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// JoinRequest evaluates a dataset-pair topology join.
+type JoinRequest struct {
+	Left  string `json:"left"`
+	Right string `json:"right"`
+	// Predicate, Mask, Method, Limit, TimeoutMS as in RelateRequest.
+	Predicate string `json:"predicate,omitempty"`
+	Mask      string `json:"mask,omitempty"`
+	Method    string `json:"method,omitempty"`
+	Limit     int    `json:"limit,omitempty"`
+	TimeoutMS int64  `json:"timeout_ms,omitempty"`
+}
+
+// JoinPair is one reported result pair.
+type JoinPair struct {
+	LeftID   int    `json:"left_id"`
+	RightID  int    `json:"right_id"`
+	Relation string `json:"relation,omitempty"`
+}
+
+// JoinResponse reports one dataset-pair join.
+type JoinResponse struct {
+	Left       string `json:"left"`
+	Right      string `json:"right"`
+	Candidates int    `json:"candidates"`
+	Evaluated  int    `json:"evaluated"`
+	Refined    int    `json:"refined"`
+	// Relations tallies the most specific relation of every evaluated
+	// pair (find mode only).
+	Relations map[string]int `json:"relations,omitempty"`
+	// Holds counts pairs satisfying the predicate or mask.
+	Holds     int        `json:"holds,omitempty"`
+	Pairs     []JoinPair `json:"pairs,omitempty"`
+	Truncated bool       `json:"truncated,omitempty"`
+	ElapsedMS float64    `json:"elapsed_ms"`
+}
+
+// DatasetInfo describes one registered dataset.
+type DatasetInfo struct {
+	Name        string  `json:"name"`
+	Entity      string  `json:"entity,omitempty"`
+	Objects     int     `json:"objects"`
+	Vertices    int     `json:"vertices"`
+	ApproxBytes int     `json:"approx_bytes"`
+	BuildMS     float64 `json:"build_ms"`
+}
+
+// HealthResponse is the /v1/healthz payload.
+type HealthResponse struct {
+	Status   string `json:"status"` // "ok" or "draining"
+	Datasets int    `json:"datasets"`
+	InFlight int64  `json:"in_flight"`
+	Queued   int64  `json:"queued"`
+}
+
+// errorBody is the JSON error envelope of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+}
