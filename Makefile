@@ -1,7 +1,7 @@
 # Developer targets; `make check` is the pre-commit gate.
 GO ?= go
 
-.PHONY: build test race vet bench check serve
+.PHONY: build test race vet bench check serve difftest
 
 build:
 	$(GO) build ./...
@@ -10,9 +10,18 @@ test:
 	$(GO) test ./...
 
 # The packages with concurrent hot paths: the parallel sweep, the
-# metrics substrate, and the query service (admission + batching).
+# metrics substrate, and the query service (admission + batching) —
+# plus the refiner and the oracle harness, whose parallel cross-checks
+# double as a race probe of the whole pipeline.
 race:
-	$(GO) test -race ./internal/harness/ ./internal/obs/ ./internal/server/
+	$(GO) test -race ./internal/harness/ ./internal/obs/ ./internal/server/ ./internal/de9im/ ./internal/oracle/
+
+# Differential correctness run (see README "Correctness"): a fixed-seed
+# sweep of generated lattice pairs through every production path,
+# cross-checked against the independent brute-force oracle, plus the
+# full shrunk-repro regression corpus. Bounded (~10s) so it can gate CI.
+difftest:
+	$(GO) test ./internal/oracle/ -count=1 -oracle.pairs=10000 -oracle.seed=1
 
 vet:
 	$(GO) vet ./...

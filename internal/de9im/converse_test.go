@@ -1,0 +1,111 @@
+package de9im
+
+import (
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// conversePairs is a battery of area/area configurations covering every
+// MBR case and every named relation (plus the asymmetric ones in both
+// directions).
+func conversePairs() []struct {
+	name string
+	a, b *geom.MultiPolygon
+} {
+	donut := geom.NewPolygon(
+		geom.Ring{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}, {X: 0, Y: 10}},
+		geom.Ring{{X: 3, Y: 3}, {X: 7, Y: 3}, {X: 7, Y: 7}, {X: 3, Y: 7}},
+	)
+	return []struct {
+		name string
+		a, b *geom.MultiPolygon
+	}{
+		{"disjoint", mp(sq(0, 0, 2)), mp(sq(5, 5, 2))},
+		{"meets-edge", mp(sq(0, 0, 2)), mp(sq(2, 0, 2))},
+		{"meets-corner", mp(sq(0, 0, 2)), mp(sq(2, 2, 2))},
+		{"overlap", mp(sq(0, 0, 4)), mp(sq(2, 2, 4))},
+		{"equal", mp(sq(1, 1, 3)), mp(sq(1, 1, 3))},
+		{"inside", mp(sq(2, 2, 1)), mp(sq(0, 0, 8))},
+		{"contains", mp(sq(0, 0, 8)), mp(sq(2, 2, 1))},
+		{"covered-by", mp(sq(0, 0, 2)), mp(sq(0, 0, 4))},
+		{"covers", mp(sq(0, 0, 4)), mp(sq(0, 0, 2))},
+		{"hole-island", mp(donut), mp(sq(4, 4, 2))},
+		{"hole-filling", mp(donut), mp(sq(3, 3, 4))},
+		{"cross", mp(geom.NewPolygon(geom.Ring{{X: -1, Y: 2}, {X: 6, Y: 2}, {X: 6, Y: 3}, {X: -1, Y: 3}})),
+			mp(geom.NewPolygon(geom.Ring{{X: 2, Y: -1}, {X: 3, Y: -1}, {X: 3, Y: 6}, {X: 2, Y: 6}}))},
+		{"multi-vs-one", mp(sq(0, 0, 2), sq(6, 0, 2)), mp(sq(1, 1, 6))},
+	}
+}
+
+// TestConverseSymmetry: swapping the arguments must transpose the
+// matrix, and every relation predicate must hold on (A, B) exactly when
+// its inverse holds on (B, A) — for every pair in the battery and every
+// relation. This is the algebraic converse law of Fig. 1a.
+func TestConverseSymmetry(t *testing.T) {
+	for _, tc := range conversePairs() {
+		t.Run(tc.name, func(t *testing.T) {
+			ab := Relate(tc.a, tc.b)
+			ba := Relate(tc.b, tc.a)
+			if ba.Transpose() != ab {
+				t.Fatalf("Relate(B,A) = %s is not the transpose of Relate(A,B) = %s", ba, ab)
+			}
+			for rel := Relation(0); int(rel) < NumRelations; rel++ {
+				fwd := Holds(rel, ab)
+				rev := Holds(rel.Inverse(), ba)
+				if fwd != rev {
+					t.Errorf("Holds(%s, A·B) = %v but Holds(%s, B·A) = %v", rel, fwd, rel.Inverse(), rev)
+				}
+			}
+			mostAB := MostSpecific(ab, AllRelations)
+			mostBA := MostSpecific(ba, AllRelations)
+			if mostBA != mostAB.Inverse() {
+				t.Errorf("MostSpecific(A,B) = %s but MostSpecific(B,A) = %s (want %s)",
+					mostAB, mostBA, mostAB.Inverse())
+			}
+		})
+	}
+}
+
+// TestTransposeInvolution: transposing twice is the identity, and the
+// transpose moves each entry to its mirrored slot.
+func TestTransposeInvolution(t *testing.T) {
+	m, err := ParseMatrix("012F12F01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Transpose().Transpose(); got != m {
+		t.Fatalf("double transpose %s != %s", got, m)
+	}
+	tr := m.Transpose()
+	swaps := [][2]int{{IB, BI}, {IE, EI}, {BE, EB}}
+	for _, s := range swaps {
+		if tr[s[0]] != m[s[1]] || tr[s[1]] != m[s[0]] {
+			t.Errorf("transpose did not swap entries %d and %d: %s -> %s", s[0], s[1], m, tr)
+		}
+	}
+	for _, d := range []int{II, BB, EE} {
+		if tr[d] != m[d] {
+			t.Errorf("transpose moved diagonal entry %d: %s -> %s", d, m, tr)
+		}
+	}
+}
+
+// TestInverseInvolution: Inverse is an involution pairing the
+// directional relations and fixing the symmetric ones.
+func TestInverseInvolution(t *testing.T) {
+	for rel := Relation(0); int(rel) < NumRelations; rel++ {
+		if got := rel.Inverse().Inverse(); got != rel {
+			t.Errorf("%s.Inverse().Inverse() = %s", rel, got)
+		}
+	}
+	pairs := map[Relation]Relation{
+		Inside: Contains, CoveredBy: Covers,
+		Disjoint: Disjoint, Intersects: Intersects, Meets: Meets, Equals: Equals,
+	}
+	for a, b := range pairs {
+		if a.Inverse() != b {
+			t.Errorf("%s.Inverse() = %s, want %s", a, a.Inverse(), b)
+		}
+	}
+}

@@ -12,6 +12,7 @@ var (
 	ErrSelfIntersect   = errors.New("geom: ring is self-intersecting")
 	ErrRepeatedVertex  = errors.New("geom: ring has consecutive repeated vertices")
 	ErrHoleOutsideHull = errors.New("geom: hole not inside shell")
+	ErrRingsCross      = errors.New("geom: rings cross or overlap along a segment")
 )
 
 // ValidateRing checks that r is a simple ring: at least 3 vertices, no
@@ -58,10 +59,33 @@ func ValidateRing(r Ring) error {
 	return nil
 }
 
-// ValidatePolygon checks ring simplicity and that every hole lies inside
-// the shell. It does not check hole/hole disjointness exhaustively (the
-// generators never produce overlapping holes); it does verify that each
-// hole's vertices are not outside the shell.
+// ringsTouchOnlyAtPoints checks the OGC constraint that two rings of the
+// same polygon may intersect only at isolated touch points: a collinear
+// overlap or a proper crossing between their edges makes the polygon
+// non-simple. A polygon whose hole shares a segment with its shell slips
+// past vertex-containment checks but carries a dangling 1-dimensional
+// piece of "boundary" that the area-based refinement pipeline has no
+// consistent classification for — such input must be rejected up front.
+func ringsTouchOnlyAtPoints(r1, r2 Ring) error {
+	n1, n2 := len(r1), len(r2)
+	for i := 0; i < n1; i++ {
+		a, b := r1[i], r1[(i+1)%n1]
+		for j := 0; j < n2; j++ {
+			c, d := r2[j], r2[(j+1)%n2]
+			switch res := SegIntersect(a, b, c, d); {
+			case res.Kind == SegOverlap:
+				return fmt.Errorf("%w (collinear edges %d,%d)", ErrRingsCross, i, j)
+			case res.Kind == SegPoint && res.Proper:
+				return fmt.Errorf("%w (edges %d,%d)", ErrRingsCross, i, j)
+			}
+		}
+	}
+	return nil
+}
+
+// ValidatePolygon checks ring simplicity, that every hole lies inside
+// the shell, and that no two rings cross or share a boundary segment
+// (isolated point touches are allowed, as in OGC Simple Features).
 func ValidatePolygon(p *Polygon) error {
 	if err := ValidateRing(p.Shell); err != nil {
 		return fmt.Errorf("shell: %w", err)
@@ -73,6 +97,14 @@ func ValidatePolygon(p *Polygon) error {
 		for _, v := range h {
 			if LocateInRing(v, p.Shell) == Outside {
 				return fmt.Errorf("hole %d: %w", i, ErrHoleOutsideHull)
+			}
+		}
+		if err := ringsTouchOnlyAtPoints(p.Shell, h); err != nil {
+			return fmt.Errorf("hole %d vs shell: %w", i, err)
+		}
+		for j := 0; j < i; j++ {
+			if err := ringsTouchOnlyAtPoints(p.Holes[j], h); err != nil {
+				return fmt.Errorf("hole %d vs hole %d: %w", i, j, err)
 			}
 		}
 	}

@@ -45,3 +45,42 @@ func TestValidatePolygon(t *testing.T) {
 		t.Errorf("want ErrHoleOutsideHull, got %v", err)
 	}
 }
+
+// Rings of the same polygon may touch only at isolated points. Found by
+// the differential oracle: a hole whose base lies on the shell edge used
+// to pass validation, and refinement then misclassified the dangling
+// segment (oracle regression sentinel-hole-edge-touch).
+func TestValidatePolygonRingContacts(t *testing.T) {
+	shell := square(0, 0, 8)
+	// Hole touching the shell at a single vertex: OGC-valid, accepted.
+	pointTouch := NewPolygon(shell.Clone(), Ring{{2, 2}, {8, 4}, {2, 6}})
+	if err := ValidatePolygon(pointTouch); err != nil {
+		t.Errorf("point-touching hole should be valid: %v", err)
+	}
+	// Hole sharing a positive-length segment with the shell: rejected.
+	edgeShare := NewPolygon(shell.Clone(), Ring{{2, 0}, {6, 0}, {4, 4}})
+	if err := ValidatePolygon(edgeShare); !errors.Is(err, ErrRingsCross) {
+		t.Errorf("edge-sharing hole: want ErrRingsCross, got %v", err)
+	}
+	// Hole edge properly crossing the shell of a non-convex polygon even
+	// though both its endpoints are inside: rejected.
+	lShape := Ring{{0, 0}, {8, 0}, {8, 8}, {6, 8}, {6, 2}, {0, 2}}
+	crossing := NewPolygon(lShape, Ring{{1, 1}, {7, 1}, {7, 7}})
+	if err := ValidatePolygon(crossing); !errors.Is(err, ErrRingsCross) {
+		t.Errorf("shell-crossing hole: want ErrRingsCross, got %v", err)
+	}
+	// Two holes overlapping along a segment: rejected.
+	holeOverlap := NewPolygon(shell.Clone(),
+		Ring{{1, 1}, {4, 1}, {4, 3}, {1, 3}},
+		Ring{{4, 1}, {7, 1}, {7, 3}, {4, 3}})
+	if err := ValidatePolygon(holeOverlap); !errors.Is(err, ErrRingsCross) {
+		t.Errorf("segment-sharing holes: want ErrRingsCross, got %v", err)
+	}
+	// Two holes touching at one corner: accepted.
+	holeCorner := NewPolygon(shell.Clone(),
+		Ring{{1, 1}, {4, 1}, {4, 3}, {1, 3}},
+		Ring{{4, 3}, {7, 3}, {7, 5}, {4, 5}})
+	if err := ValidatePolygon(holeCorner); err != nil {
+		t.Errorf("corner-touching holes should be valid: %v", err)
+	}
+}

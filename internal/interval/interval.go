@@ -41,11 +41,21 @@ type List []Interval
 
 // FromCells builds a normalized list from an unordered set of cell ids.
 // The input slice is sorted in place.
+//
+// Cell id ^uint64(0) is reserved: a half-open interval cannot represent
+// it (its End would overflow to 0, producing an interval that every
+// merge-join relation silently treats as empty — a soundness hole, not a
+// quiet degradation). Hilbert cell ids never exceed 2^62, so the
+// reserved id is unreachable from the approximation builders; passing it
+// here is a programming error and panics.
 func FromCells(cells []uint64) List {
 	if len(cells) == 0 {
 		return nil
 	}
 	sort.Slice(cells, func(i, j int) bool { return cells[i] < cells[j] })
+	if cells[len(cells)-1] == ^uint64(0) {
+		panic("interval: cell id 1<<64-1 is reserved and cannot be represented")
+	}
 	out := List{{cells[0], cells[0] + 1}}
 	for _, c := range cells[1:] {
 		last := &out[len(out)-1]

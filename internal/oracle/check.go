@@ -1,0 +1,362 @@
+package oracle
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/april"
+	"repro/internal/core"
+	"repro/internal/de9im"
+	"repro/internal/geom"
+	"repro/internal/interval"
+)
+
+// GridOrder is the APRIL grid order used for per-pair pipeline checks: a
+// 2^6 × 2^6 grid over the pair's joint bounds keeps approximation
+// building cheap while still producing non-trivial P and C lists.
+const GridOrder = 6
+
+// Failure is one check violation for a pair. Recheck re-runs exactly the
+// violated check (with any random transform parameters baked in) so the
+// shrinker can minimize the pair while preserving the failure.
+type Failure struct {
+	Check   string
+	Detail  string
+	Pair    Pair
+	Recheck func(Pair) string
+}
+
+func (f Failure) String() string {
+	return fmt.Sprintf("%s [%s]: %s", f.Check, f.Pair.Name, f.Detail)
+}
+
+// CheckPair runs the full differential and metamorphic battery on one
+// lattice-coordinate pair, returning every violated check. rng seeds the
+// randomized metamorphic transforms; the returned failures re-check
+// deterministically.
+func CheckPair(rng *rand.Rand, p Pair) []Failure { return check(rng, p, true) }
+
+// CheckCorpusPair is CheckPair for geometry off the generation lattice
+// (the datagen corpus, regression replays): lattice translations are not
+// exact on arbitrary floats, so the motion check is restricted to the
+// transforms that are (90° rotation, power-of-two scaling).
+func CheckCorpusPair(rng *rand.Rand, p Pair) []Failure { return check(rng, p, false) }
+
+func check(rng *rand.Rand, p Pair, lattice bool) []Failure {
+	var fails []Failure
+	run := func(name string, fn func(Pair) string) {
+		if d := fn(p); d != "" {
+			fails = append(fails, Failure{Check: name, Detail: d, Pair: p, Recheck: fn})
+		}
+	}
+	run("refine", checkRefine)
+	run("oracle-converse", checkOracleConverse)
+	run("converse", checkConverse)
+	run("hierarchy", checkHierarchy)
+	run("locate", checkLocate)
+	run("representation", representationCheck(rng.Int63()))
+	run("motion", motionCheck(rng.Int63(), lattice))
+	run("pipeline", checkPipeline)
+	return fails
+}
+
+// checkRefine is the core differential check: the production DE-9IM
+// engine must reproduce the brute-force matrix exactly.
+func checkRefine(p Pair) string {
+	want := Relate(p.A, p.B)
+	got := de9im.Relate(p.A, p.B)
+	if got != want {
+		return fmt.Sprintf("de9im.Relate = %s, oracle = %s", got, want)
+	}
+	return ""
+}
+
+// checkOracleConverse validates the oracle against itself: relate(B, A)
+// must be the transpose of relate(A, B). A violation here is a bug in
+// the oracle, not the production code.
+func checkOracleConverse(p Pair) string {
+	ab := Relate(p.A, p.B)
+	ba := Relate(p.B, p.A)
+	if ba.Transpose() != ab {
+		return fmt.Sprintf("oracle(A,B) = %s but oracle(B,A) = %s (transpose %s)", ab, ba, ba.Transpose())
+	}
+	return ""
+}
+
+// checkConverse: production converse symmetry — swapping the arguments
+// must transpose the matrix.
+func checkConverse(p Pair) string {
+	ab := de9im.Relate(p.A, p.B)
+	ba := de9im.Relate(p.B, p.A)
+	if ba.Transpose() != ab {
+		return fmt.Sprintf("relate(A,B) = %s but relate(B,A) = %s (transpose %s)", ab, ba, ba.Transpose())
+	}
+	return ""
+}
+
+// checkHierarchy: pure relation-system consistency. For every predicate,
+// holding against the ground-truth matrix must agree with the Fig. 2
+// generalization hierarchy applied to the most specific relation.
+func checkHierarchy(p Pair) string {
+	m := Relate(p.A, p.B)
+	most := de9im.MostSpecific(m, de9im.AllRelations)
+	for rel := de9im.Relation(0); int(rel) < de9im.NumRelations; rel++ {
+		if de9im.Holds(rel, m) != core.Implies(most, rel) {
+			return fmt.Sprintf("matrix %s (most specific %s): Holds(%s) = %v but Implies = %v",
+				m, most, rel, de9im.Holds(rel, m), core.Implies(most, rel))
+		}
+	}
+	return ""
+}
+
+// checkLocate cross-checks the production point-location paths (direct
+// ray cast and the slab-indexed Locator) against the oracle's winding
+// number, at the adversarial points: vertices and edge midpoints of the
+// partner geometry, and the geometry's own vertices (which must be on
+// its boundary).
+func checkLocate(p Pair) string {
+	toLoc := func(s side) geom.Location {
+		switch s {
+		case sideIn:
+			return geom.Inside
+		case sideOn:
+			return geom.OnBoundary
+		default:
+			return geom.Outside
+		}
+	}
+	probe := func(target *geom.MultiPolygon, loc *geom.Locator, pt geom.Point) string {
+		want := toLoc(locate(pt, target))
+		if got := geom.LocateInMulti(pt, target); got != want {
+			return fmt.Sprintf("LocateInMulti(%v) = %s, oracle %s", pt, got, want)
+		}
+		if got := loc.Locate(pt); got != want {
+			return fmt.Sprintf("Locator.Locate(%v) = %s, oracle %s", pt, got, want)
+		}
+		return ""
+	}
+	check := func(target, source *geom.MultiPolygon) string {
+		loc := geom.NewLocator(target)
+		var detail string
+		source.Edges(func(a, b geom.Point) {
+			if detail != "" {
+				return
+			}
+			if d := probe(target, loc, a); d != "" {
+				detail = d
+				return
+			}
+			// Edge midpoints stay exactly representable on the half-lattice.
+			detail = probe(target, loc, geom.Midpoint(a, b))
+		})
+		if detail != "" {
+			return detail
+		}
+		target.Edges(func(a, _ geom.Point) {
+			if detail != "" {
+				return
+			}
+			if got := geom.LocateInMulti(a, target); got != geom.OnBoundary {
+				detail = fmt.Sprintf("own vertex %v located %s, want boundary", a, got)
+			}
+		})
+		return detail
+	}
+	if d := check(p.A, p.B); d != "" {
+		return "against A: " + d
+	}
+	if d := check(p.B, p.A); d != "" {
+		return "against B: " + d
+	}
+	return ""
+}
+
+// reshapeRing rotates the ring's start vertex and possibly reverses it:
+// a different encoding of the same point set.
+func reshapeRing(rng *rand.Rand, r geom.Ring) geom.Ring {
+	out := make(geom.Ring, 0, len(r))
+	k := rng.Intn(len(r))
+	out = append(out, r[k:]...)
+	out = append(out, r[:k]...)
+	if rng.Intn(2) == 0 {
+		out.Reverse()
+	}
+	return out
+}
+
+// reshape re-encodes a multipolygon: part order shuffled, hole order
+// shuffled, every ring start-rotated and possibly reversed. NewPolygon
+// re-normalizes orientation, so the region is unchanged.
+func reshape(rng *rand.Rand, m *geom.MultiPolygon) *geom.MultiPolygon {
+	polys := make([]*geom.Polygon, len(m.Polys))
+	copy(polys, m.Polys)
+	rng.Shuffle(len(polys), func(i, j int) { polys[i], polys[j] = polys[j], polys[i] })
+	out := make([]*geom.Polygon, len(polys))
+	for i, poly := range polys {
+		holes := make([]geom.Ring, len(poly.Holes))
+		copy(holes, poly.Holes)
+		rng.Shuffle(len(holes), func(a, b int) { holes[a], holes[b] = holes[b], holes[a] })
+		for j, h := range holes {
+			holes[j] = reshapeRing(rng, h)
+		}
+		out[i] = geom.NewPolygon(reshapeRing(rng, poly.Shell), holes...)
+	}
+	return geom.NewMultiPolygon(out...)
+}
+
+// representationCheck: relating differently-encoded but identical
+// regions must give the identical matrix.
+func representationCheck(seed int64) func(Pair) string {
+	return func(p Pair) string {
+		rng := rand.New(rand.NewSource(seed))
+		base := de9im.Relate(p.A, p.B)
+		ra := reshape(rng, p.A)
+		rb := reshape(rng, p.B)
+		if got := de9im.Relate(ra, rb); got != base {
+			return fmt.Sprintf("reshaped relate = %s, original = %s", got, base)
+		}
+		return ""
+	}
+}
+
+// mapMulti rebuilds m with every vertex passed through f, which must be
+// orientation-preserving.
+func mapMulti(m *geom.MultiPolygon, f func(geom.Point) geom.Point) *geom.MultiPolygon {
+	mapRing := func(r geom.Ring) geom.Ring {
+		out := make(geom.Ring, len(r))
+		for i, v := range r {
+			out[i] = f(v)
+		}
+		return out
+	}
+	polys := make([]*geom.Polygon, len(m.Polys))
+	for i, poly := range m.Polys {
+		holes := make([]geom.Ring, len(poly.Holes))
+		for j, h := range poly.Holes {
+			holes[j] = mapRing(h)
+		}
+		polys[i] = geom.NewPolygon(mapRing(poly.Shell), holes...)
+	}
+	return geom.NewMultiPolygon(polys...)
+}
+
+// motionCheck: rigid motions and uniform scalings that are exact in
+// floating point (lattice translations, 90° rotation, power-of-two
+// scaling) must preserve the DE-9IM matrix. Translation is exact only
+// for lattice geometry, so it is skipped off-lattice.
+func motionCheck(seed int64, lattice bool) func(Pair) string {
+	return func(p Pair) string {
+		rng := rand.New(rand.NewSource(seed))
+		base := de9im.Relate(p.A, p.B)
+		motions := []struct {
+			name string
+			f    func(geom.Point) geom.Point
+		}{
+			{
+				"rot90",
+				func(q geom.Point) geom.Point { return geom.Point{X: -q.Y, Y: q.X} },
+			},
+			{
+				"scale",
+				func() func(geom.Point) geom.Point {
+					f := []float64{0.25, 0.5, 2, 4}[rng.Intn(4)]
+					return func(q geom.Point) geom.Point { return geom.Point{X: q.X * f, Y: q.Y * f} }
+				}(),
+			},
+		}
+		if lattice {
+			dx := snap(-40 + 80*rng.Float64())
+			dy := snap(-40 + 80*rng.Float64())
+			motions = append(motions, struct {
+				name string
+				f    func(geom.Point) geom.Point
+			}{
+				"translate",
+				func(q geom.Point) geom.Point { return geom.Point{X: q.X + dx, Y: q.Y + dy} },
+			})
+		}
+		mo := motions[rng.Intn(len(motions))]
+		got := de9im.Relate(mapMulti(p.A, mo.f), mapMulti(p.B, mo.f))
+		if got != base {
+			return fmt.Sprintf("%s: relate = %s, original = %s", mo.name, got, base)
+		}
+		return ""
+	}
+}
+
+// checkPipeline exercises the production pipelines end to end on
+// single-part pairs: APRIL approximation soundness, the intersection
+// filter, all four find-relation methods, every relate_p predicate, and
+// the mask path — each against the brute-force ground truth.
+func checkPipeline(p Pair) string {
+	if len(p.A.Polys) != 1 || len(p.B.Polys) != 1 {
+		return ""
+	}
+	want := Relate(p.A, p.B)
+	wantRel := de9im.MostSpecific(want, de9im.AllRelations)
+
+	mbr := p.A.Bounds().Expand(p.B.Bounds())
+	space := geom.MBR{MinX: mbr.MinX - 1, MinY: mbr.MinY - 1, MaxX: mbr.MaxX + 1, MaxY: mbr.MaxY + 1}
+	b := april.NewBuilder(space, GridOrder)
+	r, err := core.NewObject(0, p.A.Polys[0], b)
+	if err != nil {
+		return fmt.Sprintf("build A: %v", err)
+	}
+	s, err := core.NewObject(1, p.B.Polys[0], b)
+	if err != nil {
+		return fmt.Sprintf("build B: %v", err)
+	}
+
+	for name, o := range map[string]*core.Object{"A": r, "B": s} {
+		if !o.Approx.P.IsValid() {
+			return fmt.Sprintf("%s: P list not normalized: %v", name, o.Approx.P)
+		}
+		if !o.Approx.C.IsValid() {
+			return fmt.Sprintf("%s: C list not normalized: %v", name, o.Approx.C)
+		}
+		if len(o.Approx.P) > 0 && !interval.Inside(o.Approx.P, o.Approx.C) {
+			return fmt.Sprintf("%s: P ⊄ C", name)
+		}
+	}
+
+	switch april.IntersectionFilter(r.Approx, s.Approx) {
+	case april.DefiniteDisjoint:
+		if wantRel != de9im.Disjoint {
+			return fmt.Sprintf("APRIL filter says disjoint, oracle says %s", wantRel)
+		}
+	case april.DefiniteIntersect:
+		if want[de9im.II] != de9im.Dim2 {
+			return fmt.Sprintf("APRIL filter says interiors intersect, oracle matrix %s", want)
+		}
+	}
+
+	for _, m := range core.Methods {
+		if res := core.FindRelation(m, r, s); res.Relation != wantRel {
+			return fmt.Sprintf("%s find-relation = %s, oracle = %s", m, res.Relation, wantRel)
+		}
+	}
+
+	for rel := de9im.Relation(0); int(rel) < de9im.NumRelations; rel++ {
+		wantHolds := core.Implies(wantRel, rel)
+		for _, m := range []core.Method{core.PC, core.OP2} {
+			if got := core.RelatePred(m, r, s, rel); got.Holds != wantHolds {
+				return fmt.Sprintf("%s relate_p(%s) = %v, oracle = %v", m, rel, got.Holds, wantHolds)
+			}
+		}
+	}
+
+	exact, err := de9im.ParseMask(want.String())
+	if err != nil {
+		return fmt.Sprintf("matrix %s not a mask: %v", want, err)
+	}
+	if !core.RelateMask(core.PC, r, s, exact).Holds {
+		return fmt.Sprintf("mask %s (the pair's own matrix) reported not holding", exact)
+	}
+	for _, ms := range []string{"T********", "FF*FF****", "T*F**F***", "*T*******"} {
+		k := de9im.MustMask(ms)
+		if got := core.RelateMask(core.PC, r, s, k).Holds; got != k.Matches(want) {
+			return fmt.Sprintf("mask %s = %v, oracle matrix %s says %v", ms, got, want, k.Matches(want))
+		}
+	}
+	return ""
+}

@@ -1,0 +1,494 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/geom"
+)
+
+// Generated geometry lives on a binary lattice so that every orientation
+// test in both the oracle and the production engine is computed without
+// floating-point rounding: coordinates are multiples of 1/8 with
+// magnitude ≤ a few hundred, keeping all cross products well inside the
+// 53-bit exact-integer range (scaled by 2^-6) and far above the
+// production Eps of 1e-12.
+const latticeStep = 0.125
+
+// snap rounds v to the generation lattice.
+func snap(v float64) float64 { return math.Round(v/latticeStep) * latticeStep }
+
+// Pair is one geometry pair under test.
+type Pair struct {
+	Name string
+	A, B *geom.MultiPolygon
+}
+
+// simpleRing reports whether r is a valid simple ring under the oracle's
+// exact predicates: at least 3 vertices, no repeated consecutive
+// vertices, nonzero area, and no two edges sharing a point except
+// adjacent edges at their common vertex.
+func simpleRing(r geom.Ring) bool {
+	n := len(r)
+	if n < 3 {
+		return false
+	}
+	area := 0.0
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if r[i] == r[j] {
+			return false
+		}
+		area += r[i].X*r[j].Y - r[j].X*r[i].Y
+	}
+	if area == 0 {
+		return false
+	}
+	for i := 0; i < n; i++ {
+		a1, b1 := r[i], r[(i+1)%n]
+		for j := i + 1; j < n; j++ {
+			a2, b2 := r[j], r[(j+1)%n]
+			_, touch := segCuts(a1, b1, a2, b2, nil)
+			if !touch {
+				continue
+			}
+			switch {
+			case j == i+1:
+				// Must meet exactly at the shared vertex b1 == a2 and
+				// nowhere else: a collinear fold-back would overlap.
+				if onSegment(a1, a2, b2) && a1 != a2 || onSegment(b2, a1, b1) && b2 != b1 {
+					return false
+				}
+			case i == 0 && j == n-1:
+				if onSegment(b1, a2, b2) && b1 != b2 || onSegment(a2, a1, b1) && a2 != a1 {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// validPair reports whether every ring of both geometries is simple.
+func validPair(p Pair) bool {
+	ok := true
+	check := func(m *geom.MultiPolygon) {
+		for _, poly := range m.Polys {
+			if !simpleRing(poly.Shell) {
+				ok = false
+			}
+			for _, h := range poly.Holes {
+				if !simpleRing(h) {
+					ok = false
+				}
+				for _, v := range h {
+					if locate(v, geom.NewMultiPolygon(geom.NewPolygon(poly.Shell.Clone()))) != sideIn {
+						ok = false
+					}
+				}
+			}
+		}
+	}
+	check(p.A)
+	check(p.B)
+	return ok
+}
+
+func single(p *geom.Polygon) *geom.MultiPolygon { return geom.NewMultiPolygon(p) }
+
+// starRing builds a random star-shaped simple polygon around c with all
+// vertices snapped to the lattice. Returns nil when snapping degenerated
+// the ring.
+func starRing(rng *rand.Rand, c geom.Point, rMin, rMax float64, n int) geom.Ring {
+	if n < 3 {
+		n = 3
+	}
+	ring := make(geom.Ring, 0, n)
+	for i := 0; i < n; i++ {
+		theta := (float64(i) + 0.2 + 0.6*rng.Float64()) / float64(n) * 2 * math.Pi
+		rad := rMin + rng.Float64()*(rMax-rMin)
+		pt := geom.Point{X: snap(c.X + rad*math.Cos(theta)), Y: snap(c.Y + rad*math.Sin(theta))}
+		if len(ring) > 0 && pt == ring[len(ring)-1] {
+			continue
+		}
+		ring = append(ring, pt)
+	}
+	if len(ring) >= 2 && ring[0] == ring[len(ring)-1] {
+		ring = ring[:len(ring)-1]
+	}
+	if !simpleRing(ring) {
+		return nil
+	}
+	return ring
+}
+
+func starPoly(rng *rand.Rand, c geom.Point, rMin, rMax float64, n int) *geom.Polygon {
+	for attempt := 0; attempt < 16; attempt++ {
+		if ring := starRing(rng, c, rMin, rMax, n); ring != nil {
+			return geom.NewPolygon(ring)
+		}
+	}
+	// Tiny lattice triangle fallback: always simple.
+	return geom.NewPolygon(geom.Ring{
+		{X: snap(c.X), Y: snap(c.Y)},
+		{X: snap(c.X) + 2*latticeStep, Y: snap(c.Y)},
+		{X: snap(c.X) + latticeStep, Y: snap(c.Y) + 2*latticeStep},
+	})
+}
+
+// latticeRect builds an axis-aligned rectangle with lattice corners.
+func latticeRect(x0, y0, x1, y1 float64) *geom.Polygon {
+	return geom.NewPolygon(geom.Ring{
+		{X: x0, Y: y0}, {X: x1, Y: y0}, {X: x1, Y: y1}, {X: x0, Y: y1},
+	})
+}
+
+// densifyRect is latticeRect with extra exactly-collinear lattice
+// vertices along each side (integer subdivision of lattice spans keeps
+// every inserted vertex on the lattice and exactly on the edge).
+func densifyRect(rng *rand.Rand, x0, y0, x1, y1 float64) *geom.Polygon {
+	var ring geom.Ring
+	sub := func(a, b geom.Point) {
+		ring = append(ring, a)
+		steps := int(math.Round(math.Abs(b.X-a.X+b.Y-a.Y) / latticeStep))
+		if steps <= 1 {
+			return
+		}
+		k := 1 + rng.Intn(3)
+		if k >= steps {
+			k = steps - 1
+		}
+		for i := 1; i <= k; i++ {
+			t := float64(i*(steps/(k+1))) * latticeStep
+			if t <= 0 {
+				continue
+			}
+			pt := a
+			switch {
+			case b.X > a.X:
+				pt.X += t
+			case b.X < a.X:
+				pt.X -= t
+			case b.Y > a.Y:
+				pt.Y += t
+			default:
+				pt.Y -= t
+			}
+			if pt != ring[len(ring)-1] && pt != b {
+				ring = append(ring, pt)
+			}
+		}
+	}
+	sub(geom.Point{X: x0, Y: y0}, geom.Point{X: x1, Y: y0})
+	sub(geom.Point{X: x1, Y: y0}, geom.Point{X: x1, Y: y1})
+	sub(geom.Point{X: x1, Y: y1}, geom.Point{X: x0, Y: y1})
+	sub(geom.Point{X: x0, Y: y1}, geom.Point{X: x0, Y: y0})
+	return geom.NewPolygon(ring)
+}
+
+// staircase builds a rectilinear "histogram" polygon: a flat base with a
+// random column profile on top. Every edge is axis-parallel — the
+// horizontal/collinear feast for ray-cast and noding edge cases.
+func staircase(rng *rand.Rand, x0, y0 float64, cols int, colW, maxH float64) *geom.Polygon {
+	heights := make([]float64, cols)
+	for i := range heights {
+		heights[i] = snap(latticeStep + rng.Float64()*maxH)
+	}
+	ring := geom.Ring{
+		{X: x0, Y: y0},
+		{X: x0 + float64(cols)*colW, Y: y0},
+	}
+	for i := cols - 1; i >= 0; i-- {
+		xr := x0 + float64(i+1)*colW
+		xl := x0 + float64(i)*colW
+		top := y0 + heights[i]
+		if ring[len(ring)-1].Y != top {
+			ring = append(ring, geom.Point{X: xr, Y: top})
+		}
+		ring = append(ring, geom.Point{X: xl, Y: top})
+	}
+	// The left edge from the last vertex down to the start closes the
+	// ring implicitly.
+	return geom.NewPolygon(ring)
+}
+
+// randLattice picks a lattice value in [lo, hi].
+func randLattice(rng *rand.Rand, lo, hi float64) float64 {
+	return snap(lo + rng.Float64()*(hi-lo))
+}
+
+// Generator produces a random pair; it must return a valid pair.
+type generator struct {
+	name string
+	fn   func(rng *rand.Rand) Pair
+}
+
+var generators = []generator{
+	{"blobs", genBlobs},
+	{"rects", genRects},
+	{"staircases", genStaircases},
+	{"tiles", genTiles},
+	{"nested", genNested},
+	{"duplicate", genDuplicate},
+	{"shared-edge", genSharedEdge},
+	{"corner-touch", genCornerTouch},
+	{"hole-play", genHolePlay},
+	{"multipart", genMultipart},
+	{"pinned", genPinned},
+	{"slivers", genSlivers},
+}
+
+// GeneratePair draws one random pair from the generator mix. The result
+// is always valid under the oracle's exact predicates.
+func GeneratePair(rng *rand.Rand) Pair {
+	for {
+		g := generators[rng.Intn(len(generators))]
+		p := g.fn(rng)
+		p.Name = g.name
+		if validPair(p) {
+			return p
+		}
+	}
+}
+
+func genBlobs(rng *rand.Rand) Pair {
+	c1 := geom.Point{X: randLattice(rng, 20, 100), Y: randLattice(rng, 20, 100)}
+	r1 := 2 + rng.Float64()*12
+	// Second center from overlapping to disjoint distances.
+	d := rng.Float64() * 2.2 * r1
+	ang := rng.Float64() * 2 * math.Pi
+	c2 := geom.Point{X: snap(c1.X + d*math.Cos(ang)), Y: snap(c1.Y + d*math.Sin(ang))}
+	r2 := 1 + rng.Float64()*10
+	a := starPoly(rng, c1, r1*0.5, r1, 4+rng.Intn(12))
+	b := starPoly(rng, c2, r2*0.5, r2, 4+rng.Intn(12))
+	return Pair{A: single(a), B: single(b)}
+}
+
+func genRects(rng *rand.Rand) Pair {
+	x0 := randLattice(rng, 0, 60)
+	y0 := randLattice(rng, 0, 60)
+	w := randLattice(rng, 1, 30)
+	h := randLattice(rng, 1, 30)
+	a := latticeRect(x0, y0, x0+w, y0+h)
+	// Second rectangle at a small lattice offset: equal, nested,
+	// overlapping, edge-sharing, corner-touching and disjoint cases all
+	// arise from the random offsets.
+	dx := randLattice(rng, -w*1.2, w*1.2)
+	dy := randLattice(rng, -h*1.2, h*1.2)
+	w2 := randLattice(rng, 1, 30)
+	h2 := randLattice(rng, 1, 30)
+	b := latticeRect(x0+dx, y0+dy, x0+dx+w2, y0+dy+h2)
+	return Pair{A: single(a), B: single(b)}
+}
+
+func genStaircases(rng *rand.Rand) Pair {
+	x0 := randLattice(rng, 0, 40)
+	y0 := randLattice(rng, 0, 40)
+	cols := 2 + rng.Intn(5)
+	a := staircase(rng, x0, y0, cols, snap(1+rng.Float64()*4), 8)
+	// The partner staircase starts on the same baseline or a lattice
+	// offset, so horizontal tops frequently coincide with the other's
+	// baseline or column tops.
+	dx := randLattice(rng, -4, 4)
+	dy := randLattice(rng, -6, 6)
+	b := staircase(rng, x0+dx, y0+dy, 2+rng.Intn(5), snap(1+rng.Float64()*4), 8)
+	return Pair{A: single(a), B: single(b)}
+}
+
+func genTiles(rng *rand.Rand) Pair {
+	// Two rectangles sharing one full edge exactly, densified with
+	// collinear vertices at different subdivisions on each side.
+	x0 := randLattice(rng, 0, 50)
+	y0 := randLattice(rng, 0, 50)
+	xm := x0 + randLattice(rng, 2, 20)
+	x1 := xm + randLattice(rng, 2, 20)
+	y1 := y0 + randLattice(rng, 2, 20)
+	a := densifyRect(rng, x0, y0, xm, y1)
+	b := densifyRect(rng, xm, y0, x1, y1)
+	if rng.Intn(2) == 0 {
+		a, b = b, a
+	}
+	return Pair{A: single(a), B: single(b)}
+}
+
+func genNested(rng *rand.Rand) Pair {
+	x0 := randLattice(rng, 10, 50)
+	y0 := randLattice(rng, 10, 50)
+	w := randLattice(rng, 8, 40)
+	h := randLattice(rng, 8, 40)
+	outer := latticeRect(x0, y0, x0+w, y0+h)
+	switch rng.Intn(3) {
+	case 0:
+		// Strictly inside.
+		mx := randLattice(rng, 1, w/2-latticeStep)
+		my := randLattice(rng, 1, h/2-latticeStep)
+		if mx < latticeStep || my < latticeStep || x0+w-mx <= x0+mx || y0+h-my <= y0+my {
+			return genNested(rng)
+		}
+		inner := latticeRect(x0+mx, y0+my, x0+w-mx, y0+h-my)
+		return Pair{A: single(inner), B: single(outer)}
+	case 1:
+		// Covered-by: inner shares part of the outer boundary.
+		mx := randLattice(rng, 1, w/2)
+		if mx < latticeStep || x0+w-mx <= x0 {
+			return genNested(rng)
+		}
+		inner := latticeRect(x0, y0, x0+w-mx, y0+h)
+		return Pair{A: single(inner), B: single(outer)}
+	default:
+		// Inner star inside the rect.
+		c := geom.Point{X: x0 + w/2, Y: y0 + h/2}
+		r := math.Min(w, h) / 2 * 0.6
+		if r < 4*latticeStep {
+			return genNested(rng)
+		}
+		inner := starPoly(rng, c, r*0.5, r, 5+rng.Intn(8))
+		return Pair{A: single(outer), B: single(inner)}
+	}
+}
+
+func genDuplicate(rng *rand.Rand) Pair {
+	p := genBlobs(rng)
+	clone := p.A.Polys[0].Clone()
+	return Pair{A: p.A, B: single(clone)}
+}
+
+func genSharedEdge(rng *rand.Rand) Pair {
+	// B attaches to A's right edge, sharing a sub-segment of it.
+	x0 := randLattice(rng, 0, 50)
+	y0 := randLattice(rng, 0, 50)
+	w := randLattice(rng, 2, 20)
+	h := randLattice(rng, 4, 20)
+	a := latticeRect(x0, y0, x0+w, y0+h)
+	yb0 := y0 + randLattice(rng, 0, h-latticeStep)
+	hb := randLattice(rng, 1, h)
+	wb := randLattice(rng, 1, 15)
+	b := latticeRect(x0+w, yb0, x0+w+wb, yb0+hb)
+	return Pair{A: single(a), B: single(b)}
+}
+
+func genCornerTouch(rng *rand.Rand) Pair {
+	x0 := randLattice(rng, 0, 50)
+	y0 := randLattice(rng, 0, 50)
+	w := randLattice(rng, 1, 15)
+	h := randLattice(rng, 1, 15)
+	a := latticeRect(x0, y0, x0+w, y0+h)
+	w2 := randLattice(rng, 1, 15)
+	h2 := randLattice(rng, 1, 15)
+	var b *geom.Polygon
+	if rng.Intn(2) == 0 {
+		// Corner-to-corner point touch.
+		b = latticeRect(x0+w, y0+h, x0+w+w2, y0+h+h2)
+	} else {
+		// A star vertex pinned exactly onto A's boundary.
+		c := geom.Point{X: x0 + w + 4, Y: y0 + h/2}
+		star := starPoly(rng, c, 2, 4, 5+rng.Intn(6))
+		shift := star.Bounds().MinX - (x0 + w)
+		b = star.Translate(-snap(shift), 0)
+	}
+	return Pair{A: single(a), B: single(b)}
+}
+
+func genHolePlay(rng *rand.Rand) Pair {
+	x0 := randLattice(rng, 10, 40)
+	y0 := randLattice(rng, 10, 40)
+	w := randLattice(rng, 10, 30)
+	h := randLattice(rng, 10, 30)
+	hx0 := x0 + randLattice(rng, 2, w/2-1)
+	hy0 := y0 + randLattice(rng, 2, h/2-1)
+	hx1 := x0 + w - randLattice(rng, 2, w/2-1)
+	hy1 := y0 + h - randLattice(rng, 2, h/2-1)
+	if hx1-hx0 < 2 || hy1-hy0 < 2 {
+		return genHolePlay(rng)
+	}
+	donut := geom.NewPolygon(
+		geom.Ring{{X: x0, Y: y0}, {X: x0 + w, Y: y0}, {X: x0 + w, Y: y0 + h}, {X: x0, Y: y0 + h}},
+		geom.Ring{{X: hx0, Y: hy0}, {X: hx1, Y: hy0}, {X: hx1, Y: hy1}, {X: hx0, Y: hy1}},
+	)
+	switch rng.Intn(3) {
+	case 0:
+		// Island in the hole: disjoint (or meets when it fills the hole).
+		mx := randLattice(rng, 0, (hx1-hx0)/2-latticeStep)
+		my := randLattice(rng, 0, (hy1-hy0)/2-latticeStep)
+		island := latticeRect(hx0+mx, hy0+my, hx1-mx, hy1-my)
+		return Pair{A: single(donut), B: single(island)}
+	case 1:
+		// Rect crossing the donut ring.
+		b := latticeRect(hx0-1, hy0+1, hx1+1, hy1-1)
+		if hy1-1 <= hy0+1 {
+			return genHolePlay(rng)
+		}
+		return Pair{A: single(donut), B: single(b)}
+	default:
+		// The hole-filling rect: meets the donut along the hole boundary.
+		island := latticeRect(hx0, hy0, hx1, hy1)
+		return Pair{A: single(donut), B: single(island)}
+	}
+}
+
+// genPinned builds a quadrilateral with vertices exactly on the
+// partner rectangle's edges — the boundary-classification stress case:
+// B's boundary crosses A's boundary *through* points that are vertices
+// of one ring and edge-interior points of the other.
+func genPinned(rng *rand.Rand) Pair {
+	x0 := randLattice(rng, 10, 40)
+	y0 := randLattice(rng, 10, 40)
+	w := randLattice(rng, 4, 16)
+	h := randLattice(rng, 4, 16)
+	a := latticeRect(x0, y0, x0+w, y0+h)
+	onLeft := geom.Point{X: x0, Y: y0 + randLattice(rng, latticeStep, h-latticeStep)}
+	onBottom := geom.Point{X: x0 + randLattice(rng, latticeStep, w-latticeStep), Y: y0}
+	inside := geom.Point{X: x0 + randLattice(rng, 1, w-1), Y: y0 + randLattice(rng, 1, h-1)}
+	outside := geom.Point{X: x0 - randLattice(rng, 1, 6), Y: y0 - randLattice(rng, 1, 6)}
+	var ring geom.Ring
+	if rng.Intn(2) == 0 {
+		ring = geom.Ring{onLeft, inside, onBottom, outside}
+	} else {
+		// Spike variant: apex pinned on the right edge, body outside.
+		apex := geom.Point{X: x0 + w, Y: y0 + randLattice(rng, latticeStep, h-latticeStep)}
+		d := randLattice(rng, 1, 8)
+		e := randLattice(rng, latticeStep, 4)
+		ring = geom.Ring{apex, {X: apex.X + d, Y: apex.Y - e}, {X: apex.X + d, Y: apex.Y + e}}
+	}
+	return Pair{A: single(a), B: single(geom.NewPolygon(ring))}
+}
+
+// genSlivers crosses two one-lattice-step-wide bars: minimal-area
+// geometry whose intersection is a single cell, edge segment or point.
+func genSlivers(rng *rand.Rand) Pair {
+	x0 := randLattice(rng, 0, 40)
+	y0 := randLattice(rng, 0, 40)
+	length := randLattice(rng, 3, 20)
+	ym := y0 + randLattice(rng, 0, 10)
+	xm := x0 + randLattice(rng, -2, 10)
+	horiz := latticeRect(x0, ym, x0+length, ym+latticeStep)
+	vert := latticeRect(xm, y0, xm+latticeStep, y0+length)
+	if rng.Intn(2) == 0 {
+		return Pair{A: single(horiz), B: single(vert)}
+	}
+	// Parallel slivers: identical, stacked, or overlapping lengthwise.
+	dx := randLattice(rng, -2, 2)
+	dy := float64(rng.Intn(3)-1) * latticeStep
+	other := latticeRect(x0+dx, ym+dy, x0+dx+length, ym+dy+latticeStep)
+	return Pair{A: single(horiz), B: single(other)}
+}
+
+func genMultipart(rng *rand.Rand) Pair {
+	// Two-part multipolygons built from disjoint tiles; exercises the
+	// refiner's multi-component paths (pipeline checks skip these).
+	x0 := randLattice(rng, 0, 30)
+	y0 := randLattice(rng, 0, 30)
+	a1 := starPoly(rng, geom.Point{X: x0 + 8, Y: y0 + 8}, 2, 5, 4+rng.Intn(8))
+	a2 := starPoly(rng, geom.Point{X: x0 + 30, Y: y0 + 8}, 2, 5, 4+rng.Intn(8))
+	b1 := starPoly(rng, geom.Point{X: x0 + 8 + randLattice(rng, -6, 6), Y: y0 + 8 + randLattice(rng, -6, 6)}, 2, 5, 4+rng.Intn(8))
+	b2 := starPoly(rng, geom.Point{X: x0 + 30 + randLattice(rng, -6, 6), Y: y0 + 20}, 2, 5, 4+rng.Intn(8))
+	pa := geom.NewMultiPolygon(a1, a2)
+	pb := geom.NewMultiPolygon(b1, b2)
+	if pa.Polys[0].Bounds().Intersects(pa.Polys[1].Bounds()) ||
+		pb.Polys[0].Bounds().Intersects(pb.Polys[1].Bounds()) {
+		return genMultipart(rng)
+	}
+	return Pair{A: pa, B: pb}
+}

@@ -1,0 +1,119 @@
+package oracle
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/wkt"
+)
+
+// numVerts counts the vertices of a multipolygon across all rings.
+func numVerts(m *geom.MultiPolygon) int {
+	n := 0
+	for _, p := range m.Polys {
+		n += p.NumVertices()
+	}
+	return n
+}
+
+// LoadRegressions reads every stored repro under dir (sorted by file
+// name for deterministic replay order). A missing directory is an empty
+// corpus, not an error.
+func LoadRegressions(dir string) ([]Regression, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var out []Regression
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".txt") {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		reg, err := loadRegression(path)
+		if err != nil {
+			return nil, fmt.Errorf("oracle: %s: %w", path, err)
+		}
+		out = append(out, reg)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].File < out[j].File })
+	return out, nil
+}
+
+func loadRegression(path string) (Regression, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Regression{}, err
+	}
+	defer f.Close()
+	reg := Regression{File: filepath.Base(path)}
+	reg.Pair.Name = "regression:" + reg.File
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case strings.HasPrefix(line, "#"):
+			if reg.Note == "" {
+				reg.Note = strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			}
+		case strings.HasPrefix(line, "A "):
+			m, err := wkt.ParseMultiPolygon(strings.TrimSpace(line[2:]))
+			if err != nil {
+				return Regression{}, fmt.Errorf("geometry A: %w", err)
+			}
+			reg.Pair.A = m
+		case strings.HasPrefix(line, "B "):
+			m, err := wkt.ParseMultiPolygon(strings.TrimSpace(line[2:]))
+			if err != nil {
+				return Regression{}, fmt.Errorf("geometry B: %w", err)
+			}
+			reg.Pair.B = m
+		case strings.HasPrefix(line, "V "):
+			fields := strings.Fields(line[2:])
+			if len(fields) != 2 {
+				return Regression{}, fmt.Errorf("V line wants two counts, got %q", line)
+			}
+			va, errA := strconv.Atoi(fields[0])
+			vb, errB := strconv.Atoi(fields[1])
+			if errA != nil || errB != nil {
+				return Regression{}, fmt.Errorf("bad V line %q", line)
+			}
+			reg.VertsA, reg.VertsB = va, vb
+		case line == "MODE parse-only":
+			reg.ParseOnly = true
+		case line == "MODE invalid":
+			reg.ExpectInvalid = true
+		default:
+			return Regression{}, fmt.Errorf("unrecognized line %q", line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Regression{}, err
+	}
+	if reg.Pair.A == nil || reg.Pair.B == nil {
+		return Regression{}, fmt.Errorf("missing A or B geometry")
+	}
+	// The V line is parse-fidelity ground truth: if the WKT reader ever
+	// regresses into swallowing vertices (e.g. an Eps-tolerant closing
+	// vertex check), the stored counts no longer match and the load fails.
+	if reg.VertsA != 0 || reg.VertsB != 0 {
+		if got := numVerts(reg.Pair.A); got != reg.VertsA {
+			return Regression{}, fmt.Errorf("geometry A parsed to %d vertices, file says %d", got, reg.VertsA)
+		}
+		if got := numVerts(reg.Pair.B); got != reg.VertsB {
+			return Regression{}, fmt.Errorf("geometry B parsed to %d vertices, file says %d", got, reg.VertsB)
+		}
+	}
+	return reg, nil
+}

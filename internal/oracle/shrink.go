@@ -1,0 +1,243 @@
+package oracle
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/geom"
+	"repro/internal/wkt"
+)
+
+// cloneMulti deep-copies a multipolygon.
+func cloneMulti(m *geom.MultiPolygon) *geom.MultiPolygon {
+	polys := make([]*geom.Polygon, len(m.Polys))
+	for i, p := range m.Polys {
+		polys[i] = p.Clone()
+	}
+	return geom.NewMultiPolygon(polys...)
+}
+
+// cost orders pairs for shrinking: fewer vertices first, then smaller
+// coordinates.
+func cost(p Pair) float64 {
+	c := 0.0
+	add := func(m *geom.MultiPolygon) {
+		for _, poly := range m.Polys {
+			c += 1000 * float64(poly.NumVertices())
+			poly.Rings(func(r geom.Ring) {
+				for _, v := range r {
+					c += math.Abs(v.X) + math.Abs(v.Y)
+				}
+			})
+		}
+	}
+	add(p.A)
+	add(p.B)
+	return c
+}
+
+// mutants yields structurally smaller variants of p: parts dropped,
+// holes dropped, vertices decimated, coordinates snapped to coarser
+// grids, and the whole pair translated toward the origin.
+func mutants(p Pair, emit func(Pair)) {
+	variant := func(mutate func(q Pair) bool) {
+		q := Pair{Name: p.Name, A: cloneMulti(p.A), B: cloneMulti(p.B)}
+		if mutate(q) {
+			emit(q)
+		}
+	}
+	sides := func(q Pair, side int) *geom.MultiPolygon {
+		if side == 0 {
+			return q.A
+		}
+		return q.B
+	}
+	for side := 0; side < 2; side++ {
+		m := sides(p, side)
+		// Drop one part.
+		for i := range m.Polys {
+			if len(m.Polys) < 2 {
+				break
+			}
+			i := i
+			variant(func(q Pair) bool {
+				qm := sides(q, side)
+				qm.Polys = append(qm.Polys[:i], qm.Polys[i+1:]...)
+				return true
+			})
+		}
+		for pi, poly := range m.Polys {
+			pi := pi
+			// Drop one hole.
+			for hi := range poly.Holes {
+				hi := hi
+				variant(func(q Pair) bool {
+					h := sides(q, side).Polys[pi].Holes
+					sides(q, side).Polys[pi].Holes = append(h[:hi], h[hi+1:]...)
+					return true
+				})
+			}
+			// Drop one vertex of each ring.
+			rings := 1 + len(poly.Holes)
+			for ri := 0; ri < rings; ri++ {
+				ri := ri
+				var ring geom.Ring
+				if ri == 0 {
+					ring = poly.Shell
+				} else {
+					ring = poly.Holes[ri-1]
+				}
+				if len(ring) <= 3 {
+					continue
+				}
+				for vi := range ring {
+					vi := vi
+					variant(func(q Pair) bool {
+						qp := sides(q, side).Polys[pi]
+						var r geom.Ring
+						if ri == 0 {
+							r = qp.Shell
+						} else {
+							r = qp.Holes[ri-1]
+						}
+						r = append(r[:vi], r[vi+1:]...)
+						if ri == 0 {
+							qp.Shell = r
+						} else {
+							qp.Holes[ri-1] = r
+						}
+						return true
+					})
+				}
+			}
+		}
+	}
+	// Snap every coordinate to a coarser grid.
+	for _, g := range []float64{8, 4, 2, 1, 0.5} {
+		g := g
+		variant(func(q Pair) bool {
+			snapAll(q, g)
+			return true
+		})
+	}
+	// Translate the pair toward the origin.
+	mbr := p.A.Bounds().Expand(p.B.Bounds())
+	dx, dy := -math.Floor(mbr.MinX), -math.Floor(mbr.MinY)
+	if dx != 0 || dy != 0 {
+		variant(func(q Pair) bool {
+			shift := func(m *geom.MultiPolygon) {
+				for _, poly := range m.Polys {
+					poly.Rings(func(r geom.Ring) {
+						for i := range r {
+							r[i].X += dx
+							r[i].Y += dy
+						}
+					})
+				}
+			}
+			shift(q.A)
+			shift(q.B)
+			return true
+		})
+	}
+}
+
+func snapAll(p Pair, g float64) {
+	do := func(m *geom.MultiPolygon) {
+		for _, poly := range m.Polys {
+			poly.Rings(func(r geom.Ring) {
+				for i := range r {
+					r[i].X = math.Round(r[i].X/g) * g
+					r[i].Y = math.Round(r[i].Y/g) * g
+				}
+			})
+		}
+	}
+	do(p.A)
+	do(p.B)
+}
+
+// Shrink greedily minimizes a failing pair while recheck keeps reporting
+// the failure. The mutant must also stay valid under the oracle's exact
+// simplicity predicates, so the shrunk repro is as trustworthy as the
+// original. The search is bounded to keep pathological cases from
+// spinning.
+func Shrink(p Pair, recheck func(Pair) string) Pair {
+	cur := p
+	budget := 4000
+	for budget > 0 {
+		improved := false
+		mutants(cur, func(q Pair) {
+			if improved || budget <= 0 {
+				return
+			}
+			budget--
+			if cost(q) >= cost(cur) || !validPair(q) {
+				return
+			}
+			if recheck(q) == "" {
+				return
+			}
+			cur = q
+			improved = true
+		})
+		if !improved {
+			break
+		}
+	}
+	return cur
+}
+
+// RegressionDir is the checked-in corpus of shrunk failure repros,
+// relative to the package directory.
+const RegressionDir = "testdata/regressions"
+
+// Regression is one stored repro: a pair plus the note describing the
+// failure it once triggered. VertsA/VertsB, when nonzero, record how many
+// vertices each geometry must parse back to (checked at load time).
+// ParseOnly marks repros whose coordinates sit below the production
+// epsilon: they pin WKT parse fidelity and are excluded from the
+// geometric checks, whose tolerance semantics do not apply at that
+// scale. ExpectInvalid marks pairs that geom validation must reject —
+// they pin fixes where the bug was accepting the input at all.
+type Regression struct {
+	File          string
+	Note          string
+	Pair          Pair
+	VertsA        int
+	VertsB        int
+	ParseOnly     bool
+	ExpectInvalid bool
+}
+
+// WriteRegression shrinks the failure and stores it as a WKT pair under
+// dir, returning the file path. The file name is derived from the check
+// name and a hash of the shrunk geometry, so re-finding the same bug is
+// idempotent.
+func WriteRegression(dir string, f Failure) (string, error) {
+	shrunk := Shrink(f.Pair, f.Recheck)
+	wa := wkt.MarshalMultiPolygon(shrunk.A)
+	wb := wkt.MarshalMultiPolygon(shrunk.B)
+	h := fnv.New32a()
+	fmt.Fprint(h, f.Check, wa, wb)
+	name := fmt.Sprintf("%s-%08x.txt", f.Check, h.Sum32())
+	detail := f.Recheck(shrunk)
+	if detail == "" {
+		detail = f.Detail + " (not reproduced after shrink)"
+	}
+	body := fmt.Sprintf("# %s: %s\n# from generator %s\nA %s\nB %s\nV %d %d\n",
+		f.Check, strings.ReplaceAll(detail, "\n", " "), f.Pair.Name, wa, wb,
+		numVerts(shrunk.A), numVerts(shrunk.B))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}

@@ -1,0 +1,173 @@
+package wkt
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/geom"
+)
+
+// bitsEq compares floats by representation, so -0 ≠ 0 and NaN patterns
+// are not special-cased away.
+func bitsEq(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// num must be bit-exact under ParseFloat for every float64, including
+// scientific notation, negative zero and sub-normals ('g' with
+// precision -1 guarantees the shortest uniquely-parsing form).
+func TestNumRoundTripBitExact(t *testing.T) {
+	vals := []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.1, 1.0 / 3.0,
+		5e-324, -5e-324, 2.2250738585072014e-308, // smallest subnormal and normal
+		1e-300, -1e-300, 6.02214076e23, 1e300, -1e300,
+		math.MaxFloat64, -math.MaxFloat64,
+		123456.78125, -0.015625,
+	}
+	for _, v := range vals {
+		s := num(v)
+		back, err := strconv.ParseFloat(s, 64)
+		if err != nil {
+			t.Errorf("num(%g) = %q does not parse: %v", v, s, err)
+			continue
+		}
+		if !bitsEq(back, v) {
+			t.Errorf("num round trip %g -> %q -> %g (bits %x vs %x)",
+				v, s, back, math.Float64bits(v), math.Float64bits(back))
+		}
+	}
+}
+
+func TestPointRoundTripExtremes(t *testing.T) {
+	pts := []geom.Point{
+		{X: 5e-324, Y: -5e-324},
+		{X: math.Copysign(0, -1), Y: 0},
+		{X: 1.5e300, Y: -2.25e-300},
+		{X: 0.1, Y: 1.0 / 3.0},
+	}
+	for _, p := range pts {
+		back, err := ParsePoint(MarshalPoint(p))
+		if err != nil {
+			t.Fatalf("parse %q: %v", MarshalPoint(p), err)
+		}
+		if !bitsEq(back.X, p.X) || !bitsEq(back.Y, p.Y) {
+			t.Errorf("point round trip %v -> %q -> %v", p, MarshalPoint(p), back)
+		}
+		if math.Signbit(p.X) != math.Signbit(back.X) {
+			t.Errorf("negative zero lost: %q", MarshalPoint(p))
+		}
+	}
+}
+
+// ringVerts collects all shell vertices of a polygon, bit-normalized for
+// set comparison.
+func vertSet(r geom.Ring) map[[2]uint64]int {
+	set := map[[2]uint64]int{}
+	for _, v := range r {
+		set[[2]uint64{math.Float64bits(v.X), math.Float64bits(v.Y)}]++
+	}
+	return set
+}
+
+func sameVertSet(a, b geom.Ring) bool {
+	sa, sb := vertSet(a), vertSet(b)
+	if len(sa) != len(sb) {
+		return false
+	}
+	for k, n := range sa {
+		if sb[k] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Polygons whose coordinates use scientific notation must round-trip
+// with every vertex bit-exact. (NewPolygon may reverse ring order to
+// normalize orientation, so vertices are compared as a multiset.)
+func TestPolygonRoundTripScientific(t *testing.T) {
+	cases := []geom.Ring{
+		// Tiny but with non-underflowing area.
+		{{X: 1e-100, Y: 1e-100}, {X: 3e-100, Y: 1e-100}, {X: 3e-100, Y: 4e-100}, {X: 1e-100, Y: 4e-100}},
+		// Huge: area overflows to +Inf, orientation still defined.
+		{{X: 1e300, Y: 1e300}, {X: 3e300, Y: 1e300}, {X: 2e300, Y: 2e300}},
+		// Mixed magnitudes and negative zero.
+		{{X: math.Copysign(0, -1), Y: 0}, {X: 1, Y: 5e-324}, {X: 0.5, Y: 1e3}},
+	}
+	for _, shell := range cases {
+		p := geom.NewPolygon(shell.Clone())
+		text := MarshalPolygon(p)
+		back, err := ParsePolygon(text)
+		if err != nil {
+			t.Fatalf("parse %q: %v", text, err)
+		}
+		if len(back.Shell) != len(shell) {
+			t.Fatalf("vertex count changed: %q -> %d vertices, want %d", text, len(back.Shell), len(shell))
+		}
+		if !sameVertSet(back.Shell, shell) {
+			t.Errorf("vertices changed over round trip of %q: got %v", text, back.Shell)
+		}
+	}
+}
+
+func mustParse(t *testing.T, s string) *geom.Polygon {
+	t.Helper()
+	p, err := ParsePolygon(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// The parser must only drop the closing vertex when it is exactly the
+// first vertex. A real vertex within Eps of the start is data, not a
+// closer.
+func TestParseKeepsNearStartVertex(t *testing.T) {
+	p := mustParse(t, "POLYGON ((0 0, 1 0, 1 1, 0 1, 0 1e-13))")
+	if len(p.Shell) != 5 {
+		t.Fatalf("vertex within Eps of start was swallowed: %d vertices, want 5", len(p.Shell))
+	}
+}
+
+// Sub-normal-coordinate rings: every vertex is within Eps of every
+// other, so an Eps-tolerant closer check destroys the ring. The parser
+// must keep all vertices.
+func TestParseSubnormalRing(t *testing.T) {
+	text := "POLYGON ((0 0, 5e-324 0, 5e-324 5e-324, 0 5e-324))"
+	p := mustParse(t, text)
+	if len(p.Shell) != 4 {
+		t.Fatalf("subnormal ring lost vertices: %d, want 4", len(p.Shell))
+	}
+	back := mustParse(t, MarshalPolygon(p))
+	if !sameVertSet(back.Shell, p.Shell) {
+		t.Errorf("subnormal ring changed over round trip: %v vs %v", back.Shell, p.Shell)
+	}
+}
+
+// An explicitly closed ring still drops exactly one closer.
+func TestParseDropsExactCloser(t *testing.T) {
+	p := mustParse(t, "POLYGON ((2 2, 6 2, 6 6, 2 6, 2 2))")
+	if len(p.Shell) != 4 {
+		t.Fatalf("explicit closer handling: %d vertices, want 4", len(p.Shell))
+	}
+}
+
+func TestMultiPolygonRoundTripMixedScales(t *testing.T) {
+	a := geom.NewPolygon(
+		geom.Ring{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 10, Y: 10}, {X: 0, Y: 10}},
+		geom.Ring{{X: 2.5, Y: 2.5}, {X: 7.5, Y: 2.5}, {X: 7.5, Y: 7.5}, {X: 2.5, Y: 7.5}},
+	)
+	b := geom.NewPolygon(geom.Ring{
+		{X: 1.00000000000025e2, Y: -3.0517578125e-5},
+		{X: 1.25e2, Y: -3.0517578125e-5},
+		{X: 1.25e2, Y: 7},
+	})
+	m := geom.NewMultiPolygon(a, b)
+	text := MarshalMultiPolygon(m)
+	back, err := ParseMultiPolygon(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	if MarshalMultiPolygon(back) != text {
+		t.Errorf("multipolygon round trip changed text:\n%s\nvs\n%s", text, MarshalMultiPolygon(back))
+	}
+}

@@ -164,9 +164,14 @@ func (p *parser) ring() (geom.Ring, error) {
 	if err := p.expect(')'); err != nil {
 		return nil, err
 	}
-	// Drop the explicit closing vertex if present.
-	if len(r) >= 2 && r[0].Eq(r[len(r)-1]) {
-		r = r[:len(r)-1]
+	// Drop the explicit closing vertex if present. The comparison must be
+	// exact, not Eps-tolerant: the printer emits the first vertex verbatim
+	// as the closer, and a tolerant match here would silently swallow real
+	// vertices that merely lie within Eps of the start — for geometry with
+	// coordinates below Eps it would swallow the final vertex of *every*
+	// ring and reject the text entirely.
+	if last := len(r) - 1; last >= 1 && r[0].X == r[last].X && r[0].Y == r[last].Y {
+		r = r[:last]
 	}
 	if len(r) < 3 {
 		return nil, fmt.Errorf("wkt: ring has fewer than 3 distinct vertices")
