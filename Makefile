@@ -1,7 +1,7 @@
 # Developer targets; `make check` is the pre-commit gate.
 GO ?= go
 
-.PHONY: build test race vet bench check serve difftest
+.PHONY: build test race vet bench check serve difftest faulttest
 
 build:
 	$(GO) build ./...
@@ -12,9 +12,11 @@ test:
 # The packages with concurrent hot paths: the parallel sweep, the
 # metrics substrate, and the query service (admission + batching) —
 # plus the refiner and the oracle harness, whose parallel cross-checks
-# double as a race probe of the whole pipeline.
+# double as a race probe of the whole pipeline, and the resilience
+# layer (snapshot loads race background rebuilds; the fault seam is
+# armed from tests while workers run).
 race:
-	$(GO) test -race ./internal/harness/ ./internal/obs/ ./internal/server/ ./internal/de9im/ ./internal/oracle/
+	$(GO) test -race ./internal/harness/ ./internal/obs/ ./internal/server/ ./internal/de9im/ ./internal/oracle/ ./internal/snapshot/ ./internal/fault/
 
 # Differential correctness run (see README "Correctness"): a fixed-seed
 # sweep of generated lattice pairs through every production path,
@@ -22,6 +24,16 @@ race:
 # full shrunk-repro regression corpus. Bounded (~10s) so it can gate CI.
 difftest:
 	$(GO) test ./internal/oracle/ -count=1 -oracle.pairs=10000 -oracle.seed=1
+
+# Fault-injection suite (see README "Resilience"): every injected
+# corruption — torn header, truncated section, bit flip, ENOSPC
+# mid-write, panic mid-rebuild, poisoned geometry pair — must end in
+# quarantine + degraded serving + background recovery, never a process
+# exit or a wrong answer.
+faulttest:
+	$(GO) test -count=1 ./internal/fault/ ./internal/snapshot/ \
+		./internal/server/ -run 'Fault|Corrupt|Truncat|Quarantine|Torn|BitFlip|Panic|Degraded|CrashRecovery|WarmStart|Hostile|ValidName|Retry|Circuit|Temporary|Backoff'
+	$(GO) test -count=1 ./internal/harness/ -run 'PanicIsolated'
 
 vet:
 	$(GO) vet ./...

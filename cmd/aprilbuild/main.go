@@ -4,10 +4,14 @@
 // dataset format ready for joining with topojoin.
 //
 //	aprilbuild -in lakes.wkt -out lakes.stj -order 16
+//	aprilbuild -in lakes.wkt -out lakes.stj -snapshot lakes.snap
 //
 // The grid's data space defaults to the MBR of the input, expanded by
 // -space if several datasets must share one grid (they must, to be
-// joinable): pass "minX,minY,maxX,maxY".
+// joinable): pass "minX,minY,maxX,maxY". With -snapshot, the
+// preprocessed dataset is additionally written as a checksummed server
+// snapshot that topojoind -snapshots loads directly on start, skipping
+// rasterization entirely.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"repro/internal/april"
 	"repro/internal/dataset"
 	"repro/internal/geom"
+	"repro/internal/snapshot"
 	"repro/internal/wkt"
 )
 
@@ -31,19 +36,20 @@ func main() {
 		name  = flag.String("name", "", "dataset name (default: input basename)")
 		order = flag.Uint("order", 16, "global grid order")
 		space = flag.String("space", "", "data space minX,minY,maxX,maxY (default: input MBR)")
+		snap  = flag.String("snapshot", "", "also write a checksummed server snapshot to this path (topojoind -snapshots loads it)")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" {
 		fmt.Fprintln(os.Stderr, "aprilbuild: -in and -out are required")
 		os.Exit(2)
 	}
-	if err := run(*in, *out, *name, *order, *space); err != nil {
+	if err := run(*in, *out, *name, *order, *space, *snap); err != nil {
 		fmt.Fprintln(os.Stderr, "aprilbuild:", err)
 		os.Exit(1)
 	}
 }
 
-func run(in, out, name string, order uint, spaceSpec string) error {
+func run(in, out, name string, order uint, spaceSpec, snapPath string) error {
 	polys, err := readWKT(in)
 	if err != nil {
 		return err
@@ -79,6 +85,12 @@ func run(in, out, name string, order uint, spaceSpec string) error {
 	}
 	if err := f.Close(); err != nil {
 		return err
+	}
+	if snapPath != "" {
+		if err := snapshot.Write(snapPath, ds, space, order); err != nil {
+			return err
+		}
+		fmt.Printf("%s: snapshot -> %s\n", name, snapPath)
 	}
 	s := ds.Sizes()
 	fmt.Printf("%s: %d polygons, approximations %.1f KB (polygons %.1f KB) -> %s\n",

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/dataset"
+	"repro/internal/snapshot"
 )
 
 func TestRunEndToEnd(t *testing.T) {
@@ -20,7 +21,7 @@ POLYGON ((20 20, 30 20, 25 28, 20 20))
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "shapes.stj")
-	if err := run(in, out, "shapes", 10, ""); err != nil {
+	if err := run(in, out, "shapes", 10, "", ""); err != nil {
 		t.Fatal(err)
 	}
 	f, err := os.Open(out)
@@ -47,34 +48,55 @@ func TestRunWithExplicitSpace(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := filepath.Join(dir, "a.stj")
-	if err := run(in, out, "", 8, "0,0,100,100"); err != nil {
+	if err := run(in, out, "", 8, "0,0,100,100", ""); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(in, out, "", 8, "0,0,100"); err == nil {
+	if err := run(in, out, "", 8, "0,0,100", ""); err == nil {
 		t.Error("malformed space should fail")
 	}
-	if err := run(in, out, "", 8, "0,0,x,100"); err == nil {
+	if err := run(in, out, "", 8, "0,0,x,100", ""); err == nil {
 		t.Error("non-numeric space should fail")
 	}
 }
 
 func TestRunErrors(t *testing.T) {
 	dir := t.TempDir()
-	if err := run(filepath.Join(dir, "missing.wkt"), filepath.Join(dir, "o.stj"), "", 10, ""); err == nil {
+	if err := run(filepath.Join(dir, "missing.wkt"), filepath.Join(dir, "o.stj"), "", 10, "", ""); err == nil {
 		t.Error("missing input should fail")
 	}
 	empty := filepath.Join(dir, "empty.wkt")
 	if err := os.WriteFile(empty, []byte("# nothing\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(empty, filepath.Join(dir, "o.stj"), "", 10, ""); err == nil {
+	if err := run(empty, filepath.Join(dir, "o.stj"), "", 10, "", ""); err == nil {
 		t.Error("empty input should fail")
 	}
 	bad := filepath.Join(dir, "bad.wkt")
 	if err := os.WriteFile(bad, []byte("POLYGON ((0 0, 1 1))\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(bad, filepath.Join(dir, "o.stj"), "", 10, ""); err == nil {
+	if err := run(bad, filepath.Join(dir, "o.stj"), "", 10, "", ""); err == nil {
 		t.Error("malformed WKT should fail")
+	}
+}
+
+func TestRunWritesSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "shapes.wkt")
+	if err := os.WriteFile(in,
+		[]byte("POLYGON ((0 0, 10 0, 10 10, 0 10))\nPOLYGON ((20 20, 30 20, 30 30, 20 30))\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(dir, "shapes.stj")
+	snapPath := filepath.Join(dir, "shapes.snap")
+	if err := run(in, out, "shapes", 10, "", snapPath); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := snapshot.Read(snapPath)
+	if err != nil {
+		t.Fatalf("snapshot written by aprilbuild unreadable: %v", err)
+	}
+	if snap.Name != "shapes" || len(snap.Dataset.Objects) != 2 || snap.Order != 10 {
+		t.Fatalf("snapshot = %q, %d objects, order %d", snap.Name, len(snap.Dataset.Objects), snap.Order)
 	}
 }

@@ -8,6 +8,15 @@
 //	topojoind -data data/                         # serve preprocessed datasets
 //	topojoind -gen OLE,OPE -scale 0.2             # serve generated synthetic sets
 //	topojoind -addr :9090 -max-inflight 32 -timeout 5s -grace 15s
+//	topojoind -data data/ -snapshots /var/lib/topojoin  # warm restarts
+//
+// With -snapshots, preprocessed indexes are persisted as checksummed
+// snapshots and restarts load them instead of re-rasterizing; a corrupt
+// snapshot is quarantined and its dataset served in degraded mode
+// (MBR + refine) while a background rebuild recovers it. -repro names a
+// directory receiving WKT dumps of any geometry pair whose evaluation
+// panicked. The STJ_FAULTS environment variable arms fault-injection
+// points (testing only).
 //
 // Endpoints: /v1/healthz, /v1/datasets, /v1/relate, /v1/join, plus the
 // observability surface (/metrics, /metrics.json, /debug/pprof/) on the
@@ -31,6 +40,7 @@ import (
 	"time"
 
 	"repro/internal/datagen"
+	"repro/internal/fault"
 	"repro/internal/geom"
 	"repro/internal/obs"
 	"repro/internal/server"
@@ -52,10 +62,16 @@ func main() {
 		maxTimeout  = flag.Duration("max-timeout", time.Minute, "ceiling on client-requested deadlines")
 		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown drain period")
 		workers     = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
+		snapshots   = flag.String("snapshots", "", "directory of durable index snapshots (warm restarts; empty disables)")
+		repro       = flag.String("repro", "", "directory receiving WKT repro dumps of panicking pairs (empty disables)")
 	)
 	flag.Parse()
 	if *data == "" && *gen == "" {
 		fmt.Fprintln(os.Stderr, "topojoind: one of -data or -gen is required")
+		os.Exit(2)
+	}
+	if err := fault.ArmFromEnv(os.Getenv(fault.EnvVar)); err != nil {
+		fmt.Fprintln(os.Stderr, "topojoind:", err)
 		os.Exit(2)
 	}
 	if err := run(*addr, *data, *gen, *seed, *scale, *order, *space, server.Config{
@@ -65,15 +81,18 @@ func main() {
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		JoinWorkers:    *workers,
-	}, *grace, nil); err != nil {
+		ReproDir:       *repro,
+	}, *grace, *snapshots, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "topojoind:", err)
 		os.Exit(1)
 	}
 }
 
 // buildRegistry assembles the dataset registry from -gen sets and/or a
-// -data directory.
-func buildRegistry(data, gen string, seed int64, scale float64, order uint, spaceSpec string) (*server.Registry, error) {
+// -data directory. With snapDir, registrations are snapshot-aware:
+// valid snapshots warm-start, corrupt ones quarantine and serve
+// degraded while a background rebuild recovers them.
+func buildRegistry(data, gen string, seed int64, scale float64, order uint, spaceSpec, snapDir string, met *obs.Registry) (*server.Registry, error) {
 	space := datagen.Space()
 	if spaceSpec != "" {
 		var err error
@@ -82,6 +101,13 @@ func buildRegistry(data, gen string, seed int64, scale float64, order uint, spac
 		}
 	}
 	reg := server.NewRegistry(space, order)
+	reg.Instrument(met)
+	reg.SetLogf(logf)
+	if snapDir != "" {
+		if err := reg.EnableSnapshots(snapDir); err != nil {
+			return nil, err
+		}
+	}
 	if gen != "" {
 		suite := datagen.NewSuite(seed, scale)
 		for _, name := range strings.Split(gen, ",") {
@@ -92,7 +118,7 @@ func buildRegistry(data, gen string, seed int64, scale float64, order uint, spac
 					name, strings.Join(datagen.DatasetNames, ","))
 			}
 			start := time.Now()
-			if _, err := reg.Add(name, datagen.EntityTypes[name], polys); err != nil {
+			if _, err := reg.Register(name, datagen.EntityTypes[name], polys); err != nil {
 				return nil, err
 			}
 			fmt.Fprintf(os.Stderr, "generated %s: %d objects, indexed in %v\n",
@@ -129,15 +155,22 @@ func parseSpace(s string) (geom.MBR, error) {
 	return geom.MBR{MinX: v[0], MinY: v[1], MaxX: v[2], MaxY: v[3]}, nil
 }
 
+// logf routes operational log lines (quarantines, rebuilds, recovered
+// panics) to stderr.
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
 // run serves until SIGINT/SIGTERM, then drains within grace. ready, when
 // non-nil, receives the bound address once the listener is up (tests).
-func run(addr, data, gen string, seed int64, scale float64, order uint, spaceSpec string, cfg server.Config, grace time.Duration, ready chan<- string) error {
-	reg, err := buildRegistry(data, gen, seed, scale, order, spaceSpec)
+func run(addr, data, gen string, seed int64, scale float64, order uint, spaceSpec string, cfg server.Config, grace time.Duration, snapDir string, ready chan<- string) error {
+	cfg.Metrics = obs.NewRegistry()
+	obs.RegisterRuntimeMetrics(cfg.Metrics)
+	cfg.Logf = logf
+	reg, err := buildRegistry(data, gen, seed, scale, order, spaceSpec, snapDir, cfg.Metrics)
 	if err != nil {
 		return err
 	}
-	cfg.Metrics = obs.NewRegistry()
-	obs.RegisterRuntimeMetrics(cfg.Metrics)
 	svc := server.New(reg, cfg)
 
 	ln, err := net.Listen("tcp", addr)

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/datagen"
 	"repro/internal/geom"
+	"repro/internal/obs"
 	"repro/internal/server"
 )
 
@@ -30,20 +31,20 @@ func TestParseSpace(t *testing.T) {
 }
 
 func TestBuildRegistry(t *testing.T) {
-	reg, err := buildRegistry("", "OLE, OPE", 5, 0.03, datagen.DefaultOrder, "")
+	reg, err := buildRegistry("", "OLE, OPE", 5, 0.03, datagen.DefaultOrder, "", "", obs.NewRegistry())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if reg.Len() != 2 {
 		t.Fatalf("registry has %d datasets, want 2", reg.Len())
 	}
-	if _, err := buildRegistry("", "NOPE", 5, 0.03, datagen.DefaultOrder, ""); err == nil {
+	if _, err := buildRegistry("", "NOPE", 5, 0.03, datagen.DefaultOrder, "", "", obs.NewRegistry()); err == nil {
 		t.Error("unknown synthetic set should fail")
 	}
-	if _, err := buildRegistry("", "", 5, 0.03, datagen.DefaultOrder, ""); err == nil {
+	if _, err := buildRegistry("", "", 5, 0.03, datagen.DefaultOrder, "", "", obs.NewRegistry()); err == nil {
 		t.Error("no datasets should fail")
 	}
-	if _, err := buildRegistry("", "OLE", 5, 0.03, datagen.DefaultOrder, "bad"); err == nil {
+	if _, err := buildRegistry("", "OLE", 5, 0.03, datagen.DefaultOrder, "bad", "", obs.NewRegistry()); err == nil {
 		t.Error("bad space spec should fail")
 	}
 }
@@ -54,7 +55,7 @@ func TestBuildRegistryFromDir(t *testing.T) {
 		[]byte("POLYGON ((10 10, 20 10, 20 20, 10 20))\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	reg, err := buildRegistry(dir, "", 5, 0.03, datagen.DefaultOrder, "")
+	reg, err := buildRegistry(dir, "", 5, 0.03, datagen.DefaultOrder, "", "", obs.NewRegistry())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,7 +72,7 @@ func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
 	done := make(chan error, 1)
 	go func() {
 		done <- run("127.0.0.1:0", "", "OLE,OPE", 5, 0.03, datagen.DefaultOrder, "",
-			server.Config{}, 5*time.Second, ready)
+			server.Config{}, 5*time.Second, "", ready)
 	}()
 
 	var addr string
@@ -116,7 +117,37 @@ func TestRunServesAndDrainsOnSIGTERM(t *testing.T) {
 
 func TestRunBadListenAddr(t *testing.T) {
 	if err := run("256.0.0.1:bad", "", "OLE", 5, 0.03, datagen.DefaultOrder, "",
-		server.Config{}, time.Second, nil); err == nil {
+		server.Config{}, time.Second, "", nil); err == nil {
 		t.Error("unusable listen address should fail")
+	}
+}
+
+// TestBuildRegistrySnapshotWarmStart: with -snapshots, a second daemon
+// start must load the persisted indexes instead of re-rasterizing.
+func TestBuildRegistrySnapshotWarmStart(t *testing.T) {
+	snapDir := t.TempDir()
+	met1 := obs.NewRegistry()
+	if _, err := buildRegistry("", "OLE", 5, 0.03, datagen.DefaultOrder, "", snapDir, met1); err != nil {
+		t.Fatal(err)
+	}
+	if got := met1.Counter("server_snapshot_writes_total").Value(); got != 1 {
+		t.Fatalf("snapshot writes = %d, want 1", got)
+	}
+	if met1.Counter("server_preprocess_objects_total").Value() == 0 {
+		t.Fatal("cold start must preprocess")
+	}
+	met2 := obs.NewRegistry()
+	reg, err := buildRegistry("", "OLE", 5, 0.03, datagen.DefaultOrder, "", snapDir, met2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := met2.Counter("server_preprocess_objects_total").Value(); got != 0 {
+		t.Fatalf("warm start preprocessed %d objects, want 0", got)
+	}
+	if got := met2.Counter("server_snapshot_loads_total").Value(); got != 1 {
+		t.Fatalf("snapshot loads = %d, want 1", got)
+	}
+	if reg.Len() != 1 {
+		t.Fatalf("registry has %d datasets", reg.Len())
 	}
 }

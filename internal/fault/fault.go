@@ -1,0 +1,281 @@
+// Package fault is the injectable failure seam the resilience layer is
+// tested through: named injection points scattered along the snapshot
+// and serving paths can be armed — from tests or from the STJ_FAULTS
+// environment variable — to return errors, panic, add latency, or cut a
+// write short (torn write / ENOSPC). Disarmed points cost one atomic
+// load, so production binaries carry the seams for free and fault
+// drills can run against the real daemon.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// ErrInjected is the default error an armed point fires with.
+var ErrInjected = errors.New("fault: injected error")
+
+// EnvVar names the environment variable ArmFromEnv parses, e.g.
+//
+//	STJ_FAULTS="snapshot.write=enospc:4096;registry.rebuild=panic"
+const EnvVar = "STJ_FAULTS"
+
+// Behavior describes what an armed point does when hit.
+type Behavior struct {
+	// Skip is how many hits pass through unharmed before the fault
+	// fires (0: fire on the first hit).
+	Skip int
+	// Count bounds how many times the fault fires; 0 means every hit
+	// after Skip.
+	Count int
+	// Delay is latency added before the outcome (alone it makes the
+	// point a pure slowdown: Check still returns nil).
+	Delay time.Duration
+	// Err is the error Check returns (and Writer writes fail with);
+	// nil selects ErrInjected.
+	Err error
+	// Panic makes Check panic instead of returning the error.
+	Panic bool
+	// AfterBytes applies to Writer-wrapped streams: that many bytes
+	// pass through before writes start failing with Err, simulating a
+	// torn write or a disk filling up mid-file. 0 fails immediately.
+	AfterBytes int64
+}
+
+type state struct {
+	Behavior
+	hits    int
+	fired   int
+	written int64
+}
+
+var (
+	// armed counts armed points; Check's fast path is this single
+	// atomic load, so a disarmed build does no map lookups and takes
+	// no locks.
+	armed atomic.Int32
+
+	mu     sync.Mutex
+	points = make(map[string]*state)
+)
+
+// Active reports whether any point is armed.
+func Active() bool { return armed.Load() > 0 }
+
+// Arm installs (or replaces) the behavior of a point.
+func Arm(point string, b Behavior) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[point]; !ok {
+		armed.Add(1)
+	}
+	points[point] = &state{Behavior: b}
+}
+
+// Disarm removes a point; unknown points are a no-op.
+func Disarm(point string) {
+	mu.Lock()
+	defer mu.Unlock()
+	if _, ok := points[point]; ok {
+		delete(points, point)
+		armed.Add(-1)
+	}
+}
+
+// Reset disarms every point (test cleanup).
+func Reset() {
+	mu.Lock()
+	defer mu.Unlock()
+	armed.Add(-int32(len(points)))
+	points = make(map[string]*state)
+}
+
+// Check is an injection point: it returns nil unless the named point is
+// armed and due, in which case it sleeps, returns the injected error,
+// or panics, per the armed Behavior.
+func Check(point string) error {
+	if armed.Load() == 0 {
+		return nil
+	}
+	return fire(point)
+}
+
+func fire(point string) error {
+	mu.Lock()
+	st, ok := points[point]
+	if !ok {
+		mu.Unlock()
+		return nil
+	}
+	st.hits++
+	if st.hits <= st.Skip || (st.Count > 0 && st.fired >= st.Count) {
+		mu.Unlock()
+		return nil
+	}
+	st.fired++
+	b := st.Behavior
+	mu.Unlock()
+
+	if b.Delay > 0 {
+		time.Sleep(b.Delay)
+	}
+	err := b.Err
+	if err == nil {
+		err = ErrInjected
+	}
+	if b.Panic {
+		panic(fmt.Sprintf("fault: injected panic at %s: %v", point, err))
+	}
+	if b.Err == nil && b.Delay > 0 && !b.Panic {
+		return nil // delay-only point
+	}
+	return err
+}
+
+// Fired reports how many times the point has fired since it was armed.
+func Fired(point string) int {
+	mu.Lock()
+	defer mu.Unlock()
+	if st, ok := points[point]; ok {
+		return st.fired
+	}
+	return 0
+}
+
+// Writer wraps w with the named point's byte-limit behavior: once
+// AfterBytes bytes have passed through, every further Write fails with
+// the injected error (a short count on the torn write included, as a
+// real torn write would). A disarmed point returns w unchanged.
+func Writer(point string, w io.Writer) io.Writer {
+	if armed.Load() == 0 {
+		return w
+	}
+	mu.Lock()
+	st, ok := points[point]
+	mu.Unlock()
+	if !ok {
+		return w
+	}
+	return &faultWriter{w: w, st: st}
+}
+
+type faultWriter struct {
+	w  io.Writer
+	st *state
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	mu.Lock()
+	remaining := fw.st.AfterBytes - fw.st.written
+	if remaining < 0 {
+		remaining = 0
+	}
+	if remaining > int64(len(p)) {
+		remaining = int64(len(p))
+	}
+	fw.st.written += remaining
+	torn := int64(len(p)) > remaining
+	err := fw.st.Err
+	mu.Unlock()
+	if err == nil {
+		err = ErrInjected
+	}
+	n, werr := fw.w.Write(p[:remaining])
+	if werr != nil {
+		return n, werr
+	}
+	if torn {
+		return n, err
+	}
+	return n, nil
+}
+
+// ArmFromEnv parses a fault spec — points separated by ';', each
+// "point=kind[:arg]" with kind one of error, panic, delay:<duration>,
+// enospc:<bytes> — and arms every listed point. An empty spec is a
+// no-op, so callers can pass os.Getenv(EnvVar) unconditionally.
+func ArmFromEnv(spec string) error {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil
+	}
+	for _, part := range strings.Split(spec, ";") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		point, kind, ok := strings.Cut(part, "=")
+		if !ok || point == "" {
+			return fmt.Errorf("fault: bad spec %q (want point=kind[:arg])", part)
+		}
+		kind, arg, _ := strings.Cut(kind, ":")
+		var b Behavior
+		switch kind {
+		case "error":
+			// default Behavior: return ErrInjected
+		case "panic":
+			b.Panic = true
+		case "delay":
+			d, err := time.ParseDuration(arg)
+			if err != nil {
+				return fmt.Errorf("fault: %s: bad delay %q: %w", point, arg, err)
+			}
+			b.Delay = d
+		case "enospc":
+			n, err := strconv.ParseInt(arg, 10, 64)
+			if err != nil {
+				return fmt.Errorf("fault: %s: bad byte count %q: %w", point, arg, err)
+			}
+			b.AfterBytes = n
+			b.Err = errNoSpace
+		default:
+			return fmt.Errorf("fault: %s: unknown kind %q", point, kind)
+		}
+		Arm(point, b)
+	}
+	return nil
+}
+
+// errNoSpace mimics the write error of a full disk.
+var errNoSpace = errors.New("fault: no space left on device (injected)")
+
+// TruncateAt cuts a file to n bytes: the torn-file primitive the
+// crash-recovery tests sweep over snapshot offsets.
+func TruncateAt(path string, n int64) error {
+	return os.Truncate(path, n)
+}
+
+// FlipBit flips one bit of the byte at off, the single-bit-rot
+// primitive of the corruption tests.
+func FlipBit(path string, off int64, bit uint) error {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		return err
+	}
+	b[0] ^= 1 << (bit % 8)
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// FileSize returns the size of path (convenience for offset sweeps).
+func FileSize(path string) (int64, error) {
+	fi, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return fi.Size(), nil
+}

@@ -1,0 +1,168 @@
+package fault
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsFree(t *testing.T) {
+	Reset()
+	if Active() {
+		t.Fatal("Active with no armed points")
+	}
+	if err := Check("anything"); err != nil {
+		t.Fatalf("disarmed Check = %v", err)
+	}
+	var buf bytes.Buffer
+	if w := Writer("anything", &buf); w != &buf {
+		t.Fatal("disarmed Writer must return the writer unchanged")
+	}
+}
+
+func TestArmFireDisarm(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Arm("p", Behavior{Err: boom})
+	if !Active() {
+		t.Fatal("not active after Arm")
+	}
+	if err := Check("p"); !errors.Is(err, boom) {
+		t.Fatalf("Check = %v, want boom", err)
+	}
+	if err := Check("other"); err != nil {
+		t.Fatalf("unarmed sibling point fired: %v", err)
+	}
+	Disarm("p")
+	if err := Check("p"); err != nil {
+		t.Fatalf("Check after Disarm = %v", err)
+	}
+	if Active() {
+		t.Fatal("still active after Disarm")
+	}
+}
+
+func TestSkipAndCount(t *testing.T) {
+	defer Reset()
+	Arm("p", Behavior{Skip: 2, Count: 1})
+	var errs int
+	for i := 0; i < 5; i++ {
+		if Check("p") != nil {
+			errs++
+		}
+	}
+	if errs != 1 {
+		t.Fatalf("fired %d times, want exactly 1 (skip 2, count 1)", errs)
+	}
+	if Fired("p") != 1 {
+		t.Fatalf("Fired = %d, want 1", Fired("p"))
+	}
+}
+
+func TestPanicBehavior(t *testing.T) {
+	defer Reset()
+	Arm("p", Behavior{Panic: true})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("Check did not panic")
+		}
+		if !strings.Contains(r.(string), "injected panic at p") {
+			t.Fatalf("panic value %v", r)
+		}
+	}()
+	Check("p")
+}
+
+func TestDelayOnly(t *testing.T) {
+	defer Reset()
+	Arm("p", Behavior{Delay: 10 * time.Millisecond})
+	start := time.Now()
+	if err := Check("p"); err != nil {
+		t.Fatalf("delay-only point returned error %v", err)
+	}
+	if d := time.Since(start); d < 10*time.Millisecond {
+		t.Fatalf("delay not applied: %v", d)
+	}
+}
+
+func TestWriterTornWrite(t *testing.T) {
+	defer Reset()
+	Arm("w", Behavior{AfterBytes: 5})
+	var buf bytes.Buffer
+	w := Writer("w", &buf)
+	n, err := w.Write([]byte("hello world"))
+	if n != 5 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write = (%d, %v), want (5, ErrInjected)", n, err)
+	}
+	if buf.String() != "hello" {
+		t.Fatalf("written %q, want the first 5 bytes only", buf.String())
+	}
+	if n, err := w.Write([]byte("x")); n != 0 || err == nil {
+		t.Fatalf("write after exhaustion = (%d, %v)", n, err)
+	}
+}
+
+func TestWriterBudgetSpansWrites(t *testing.T) {
+	defer Reset()
+	Arm("w", Behavior{AfterBytes: 4})
+	var buf bytes.Buffer
+	w := Writer("w", &buf)
+	if n, err := w.Write([]byte("ab")); n != 2 || err != nil {
+		t.Fatalf("first write = (%d, %v)", n, err)
+	}
+	if n, err := w.Write([]byte("cdef")); n != 2 || err == nil {
+		t.Fatalf("second write = (%d, %v), want torn at 2", n, err)
+	}
+}
+
+func TestArmFromEnv(t *testing.T) {
+	defer Reset()
+	if err := ArmFromEnv(""); err != nil {
+		t.Fatalf("empty spec: %v", err)
+	}
+	spec := "a=error; b=delay:1ms ;c=enospc:3"
+	if err := ArmFromEnv(spec); err != nil {
+		t.Fatalf("ArmFromEnv(%q) = %v", spec, err)
+	}
+	if err := Check("a"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("a = %v", err)
+	}
+	if err := Check("b"); err != nil {
+		t.Fatalf("b (delay) = %v", err)
+	}
+	var buf bytes.Buffer
+	if _, err := Writer("c", &buf).Write([]byte("wxyz")); err == nil {
+		t.Fatal("c (enospc:3) did not fail a 4-byte write")
+	}
+	for _, bad := range []string{"nokind", "p=wat", "p=delay:xx", "p=enospc:xx", "=error"} {
+		Reset()
+		if err := ArmFromEnv(bad); err == nil {
+			t.Errorf("ArmFromEnv(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFileCorruptionHelpers(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "f")
+	if err := os.WriteFile(path, []byte{0xFF, 0x00, 0xAA}, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := TruncateAt(path, 2); err != nil {
+		t.Fatal(err)
+	}
+	if sz, _ := FileSize(path); sz != 2 {
+		t.Fatalf("size after truncate = %d", sz)
+	}
+	if err := FlipBit(path, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	data, _ := os.ReadFile(path)
+	if data[1] != 0x01 {
+		t.Fatalf("bit flip: byte = %#x, want 0x01", data[1])
+	}
+}

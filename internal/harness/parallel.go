@@ -2,13 +2,36 @@ package harness
 
 import (
 	"context"
+	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 )
+
+// PanicError reports pairs whose evaluation panicked during a parallel
+// sweep. Panics are recovered at pair granularity: the poisonous pair
+// is abandoned, every other pair is still evaluated, and the sweep
+// returns this error instead of crashing the process (before the
+// barrier existed, one malformed geometry took down the whole worker
+// pool — and with it the server). Stats cover only settled pairs.
+type PanicError struct {
+	// Index is the pair index of the first recovered panic; Value and
+	// Stack are its panic value and goroutine stack.
+	Index int
+	Value any
+	Stack string
+	// Count is the total number of pairs that panicked in the sweep.
+	Count int
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("harness: %d pair(s) panicked during sweep (first: pair %d: %v)",
+		e.Count, e.Index, e.Value)
+}
 
 // RunFindRelationParallel sweeps method m over the pairs with a worker
 // pool, as in the parallel in-memory join evaluation the paper builds on
@@ -20,9 +43,11 @@ import (
 // the partials are merged after the pool drains, so the verdict split
 // and the stage timers survive parallelism. FilterTime and RefineTime
 // are therefore aggregate CPU time across workers, not wall clock.
-func RunFindRelationParallel(m core.Method, pairs []Pair, workers int) MethodStats {
-	st, _ := RunFindRelationParallelCtx(context.Background(), m, pairs, workers, nil)
-	return st
+// A non-nil error is either a *PanicError (some pairs' evaluation
+// panicked; the rest were still swept) or the context's error from a
+// cancelled Ctx variant.
+func RunFindRelationParallel(m core.Method, pairs []Pair, workers int) (MethodStats, error) {
+	return RunFindRelationParallelCtx(context.Background(), m, pairs, workers, nil)
 }
 
 // RunFindRelationParallelCtx is RunFindRelationParallel with per-request
@@ -47,6 +72,10 @@ func RunFindRelationParallelCtx(ctx context.Context, m core.Method, pairs []Pair
 	var skipped atomic.Int64
 	partial := make([]MethodStats, workers)
 
+	// First recovered panic wins the detail slot; the rest just count.
+	var pmu sync.Mutex
+	var perr *PanicError
+
 	start := time.Now()
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -68,9 +97,14 @@ func RunFindRelationParallelCtx(ctx context.Context, m core.Method, pairs []Pair
 					continue // keep claiming to drain the cursor fast
 				}
 				for i, p := range pairs[lo:hi] {
-					res := core.FindRelationObserved(m, p.R, p.S, sink)
-					if visit != nil {
-						visit(lo+i, res)
+					if pv, stack := evalPairGuarded(m, p, sink, lo+i, visit); pv != nil {
+						skipped.Add(1) // no verdict: keep Pairs honest
+						pmu.Lock()
+						if perr == nil {
+							perr = &PanicError{Index: lo + i, Value: pv, Stack: stack}
+						}
+						perr.Count++
+						pmu.Unlock()
 					}
 				}
 			}
@@ -82,5 +116,26 @@ func RunFindRelationParallelCtx(ctx context.Context, m core.Method, pairs []Pair
 	for _, p := range partial {
 		st.merge(p)
 	}
+	if perr != nil {
+		return st, perr
+	}
 	return st, ctx.Err()
+}
+
+// evalPairGuarded evaluates one pair (and its visit callback) behind a
+// recover barrier: a panic — degenerate geometry, a bug in a pipeline
+// stage, a fault injected by a test — is captured and returned instead
+// of unwinding through the worker and killing the process.
+func evalPairGuarded(m core.Method, p Pair, sink statsSink, idx int, visit func(int, core.Result)) (pv any, stack string) {
+	defer func() {
+		if r := recover(); r != nil {
+			pv = r
+			stack = string(debug.Stack())
+		}
+	}()
+	res := core.FindRelationObserved(m, p.R, p.S, sink)
+	if visit != nil {
+		visit(idx, res)
+	}
+	return nil, ""
 }

@@ -17,7 +17,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 	}
 	seq := RunFindRelation(core.PC, pairs)
 	for _, workers := range []int{1, 2, 7, 0} {
-		par := RunFindRelationParallel(core.PC, pairs, workers)
+		par, _ := RunFindRelationParallel(core.PC, pairs, workers)
 		if par.Relations != seq.Relations {
 			t.Fatalf("workers=%d: relation histogram differs\nseq: %v\npar: %v",
 				workers, seq.Relations, par.Relations)
@@ -43,7 +43,7 @@ func TestParallelStageTimers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	par := RunFindRelationParallel(core.PC, pairs, 4)
+	par, _ := RunFindRelationParallel(core.PC, pairs, 4)
 	if par.FilterTime <= 0 {
 		t.Errorf("parallel FilterTime = %v, must be populated", par.FilterTime)
 	}
@@ -66,8 +66,8 @@ func TestParallelSpeedup(t *testing.T) {
 	}
 	// OP2 refines everything, so it parallelizes near-linearly; allow a
 	// loose bound to keep the test robust on loaded machines.
-	seq := RunFindRelationParallel(core.OP2, pairs, 1)
-	par := RunFindRelationParallel(core.OP2, pairs, 0)
+	seq, _ := RunFindRelationParallel(core.OP2, pairs, 1)
+	par, _ := RunFindRelationParallel(core.OP2, pairs, 0)
 	if par.Elapsed >= seq.Elapsed {
 		t.Errorf("no speedup: sequential %v, parallel %v", seq.Elapsed, par.Elapsed)
 	}
@@ -130,7 +130,7 @@ func TestParallelCtxCancelled(t *testing.T) {
 }
 
 func TestParallelEmptyAndTiny(t *testing.T) {
-	st := RunFindRelationParallel(core.PC, nil, 4)
+	st, _ := RunFindRelationParallel(core.PC, nil, 4)
 	if st.Pairs != 0 || st.Undetermined != 0 {
 		t.Errorf("empty input: %+v", st)
 	}
@@ -139,8 +139,52 @@ func TestParallelEmptyAndTiny(t *testing.T) {
 		t.Fatal(err)
 	}
 	one := pairs[:1]
-	st = RunFindRelationParallel(core.PC, one, 8)
+	st, _ = RunFindRelationParallel(core.PC, one, 8)
 	if st.Pairs != 1 {
 		t.Errorf("single pair: %+v", st)
+	}
+}
+
+// TestParallelPanicIsolated: a pair whose evaluation panics (here: a
+// poisoned object with nil geometry forced into refinement) must come
+// back as a *PanicError — not a process crash, not a deadlocked
+// wg.Wait — and every healthy pair must still be evaluated.
+func TestParallelPanicIsolated(t *testing.T) {
+	pairs, err := env(t).CandidatePairs(ComplexityCombo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := RunFindRelationParallel(core.OP2, pairs, 4)
+
+	poisoned := make([]Pair, len(pairs))
+	copy(poisoned, pairs)
+	bad := *pairs[3].R
+	bad.Poly = nil // OP2 always refines; nil geometry panics there
+	poisoned[3] = Pair{R: &bad, S: pairs[3].S}
+
+	st, err := RunFindRelationParallel(core.OP2, poisoned, 4)
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Count != 1 || pe.Index != 3 {
+		t.Fatalf("PanicError = count %d index %d, want 1/3", pe.Count, pe.Index)
+	}
+	if pe.Value == nil || pe.Stack == "" {
+		t.Fatalf("PanicError missing evidence: value=%v stack %d bytes", pe.Value, len(pe.Stack))
+	}
+	if st.Pairs != clean.Pairs-1 {
+		t.Fatalf("swept %d pairs, want %d (all but the poisoned one)", st.Pairs, clean.Pairs-1)
+	}
+
+	// Several poisoned pairs: all recovered, count accumulates.
+	for _, i := range []int{0, 5, 9} {
+		b := *pairs[i].R
+		b.Poly = nil
+		poisoned[i] = Pair{R: &b, S: pairs[i].S}
+	}
+	_, err = RunFindRelationParallel(core.OP2, poisoned, 4)
+	if !errors.As(err, &pe) || pe.Count != 4 {
+		t.Fatalf("4 poisoned pairs: err = %v", err)
 	}
 }

@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +39,7 @@ type probeJob struct {
 	mu        sync.Mutex
 	matches   []RelateMatch
 	truncated bool
+	panicked  atomic.Int64 // candidates whose evaluation panicked
 	evaluated atomic.Int64
 	refined   atomic.Int64
 
@@ -71,9 +73,13 @@ type batcher struct {
 
 	batches   *obs.Counter
 	batchSize *obs.Histogram
+	// onPanic records a recovered per-task panic (counter + repro dump);
+	// nil in tests that build a bare batcher.
+	onPanic func(tag string, r, o *core.Object, rv any)
 }
 
-func newBatcher(window time.Duration, maxBatch, workers int, met *obs.Registry) *batcher {
+func newBatcher(window time.Duration, maxBatch, workers int, met *obs.Registry,
+	onPanic func(tag string, r, o *core.Object, rv any)) *batcher {
 	return &batcher{
 		jobs:     make(chan *probeJob, maxBatch),
 		window:   window,
@@ -82,6 +88,7 @@ func newBatcher(window time.Duration, maxBatch, workers int, met *obs.Registry) 
 		batches:  met.Counter("server_relate_batches_total"),
 		batchSize: met.Histogram("server_relate_batch_size",
 			[]float64{1, 2, 4, 8, 16, 32, 64, 128}),
+		onPanic: onPanic,
 	}
 }
 
@@ -170,7 +177,18 @@ func (b *batcher) processGroup(jobs []*probeJob) {
 		b.sweep(tasks)
 	}
 	for _, j := range live {
-		j.done <- j.ctx.Err()
+		switch {
+		case j.ctx.Err() != nil:
+			j.done <- j.ctx.Err()
+		case j.panicked.Load() > 0:
+			// Only the probes whose candidate evaluation panicked fail;
+			// the rest of the batch answers normally.
+			j.done <- errf(http.StatusInternalServerError,
+				"evaluation panicked on %d candidate(s); repro dumped, see server log",
+				j.panicked.Load())
+		default:
+			j.done <- nil
+		}
 	}
 }
 
@@ -204,12 +222,28 @@ func (b *batcher) sweep(tasks []task) {
 					if t.job.ctx.Err() != nil {
 						continue // expired probe: skip its remaining work
 					}
-					evalTask(t)
+					b.evalTaskGuarded(t)
 				}
 			}
 		}()
 	}
 	wg.Wait()
+}
+
+// evalTaskGuarded runs one probe-candidate evaluation behind a recover
+// barrier: a panicking candidate fails only its own probe (recorded on
+// the job), the rest of the batch — other probes sharing the same sweep
+// included — completes normally.
+func (b *batcher) evalTaskGuarded(t task) {
+	defer func() {
+		if rv := recover(); rv != nil {
+			t.job.panicked.Add(1)
+			if b.onPanic != nil {
+				b.onPanic("relate", t.job.probe, t.obj, rv)
+			}
+		}
+	}()
+	evalTask(t)
 }
 
 func evalTask(t task) {

@@ -18,12 +18,28 @@ import (
 type Client struct {
 	BaseURL    string
 	HTTPClient *http.Client
+	// Retry, when non-nil, makes the client self-healing: bounded
+	// retries with full-jitter backoff on 429/503/transport errors
+	// (honoring Retry-After), per-attempt timeouts, and a circuit
+	// breaker that fails fast with ErrCircuitOpen while the service is
+	// down. Nil keeps the historical single-attempt behavior.
+	Retry *RetryPolicy
+
+	breaker breaker
 }
 
 // NewClient creates a client for a service at baseURL, e.g.
-// "http://localhost:8080".
+// "http://localhost:8080". The client makes single attempts; see
+// NewResilientClient.
 func NewClient(baseURL string) *Client {
 	return &Client{BaseURL: baseURL, HTTPClient: http.DefaultClient}
+}
+
+// NewResilientClient is NewClient with the default RetryPolicy.
+func NewResilientClient(baseURL string) *Client {
+	c := NewClient(baseURL)
+	c.Retry = &RetryPolicy{}
+	return c
 }
 
 // APIError is a non-2xx service response.
@@ -53,6 +69,17 @@ func (c *Client) httpClient() *http.Client {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	if c.Retry != nil {
+		return c.doRetry(ctx, method, path, in, out)
+	}
+	return c.doOnce(ctx, method, path, in, out)
+}
+
+// doOnce is one attempt: marshal, send, classify. Non-2xx responses
+// become *APIError; failures below HTTP become *TransportError (always
+// temporary); both carry Temporary() for callers picking their own
+// retry strategy.
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -70,12 +97,18 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
-		return err
+		if ctx.Err() != nil {
+			return err // the caller cancelled; not the transport's fault
+		}
+		return &TransportError{Err: err}
 	}
 	defer resp.Body.Close()
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
-		return err
+		if ctx.Err() != nil {
+			return err
+		}
+		return &TransportError{Err: err}
 	}
 	if resp.StatusCode != http.StatusOK {
 		apiErr := &APIError{StatusCode: resp.StatusCode}

@@ -1,0 +1,80 @@
+// Panic isolation for the serving path. A panic while evaluating one
+// geometry pair — degenerate input, a pipeline bug, an injected fault —
+// must cost exactly that pair's request, never the process: the worker
+// pools here and in the harness recover at pair granularity, the HTTP
+// middleware recovers whatever leaks past them, and every recovered
+// pair is counted and dumped as a WKT repro case in the oracle's
+// regression-corpus format so the crash becomes a replayable test.
+package server
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/wkt"
+)
+
+// pairPanic records one recovered per-pair panic: counter, log line,
+// and (when Config.ReproDir is set) a WKT dump of the offending pair.
+func (s *Server) pairPanic(tag string, r, o *core.Object, rv any) {
+	s.met.Counter("server_pair_panics_total").Inc()
+	path := dumpReproPair(s.cfg.ReproDir, tag, r, o, rv)
+	if path != "" {
+		s.logf("server: pair panic in %s: %v (repro dumped to %s)", tag, rv, path)
+	} else {
+		s.logf("server: pair panic in %s: %v", tag, rv)
+	}
+}
+
+// dumpReproPair writes the pair's geometries in the oracle regression
+// corpus format (`# note`, `A <wkt>`, `B <wkt>`, `V nA nB`) so the
+// differential oracle replays the exact crash input. The name hashes
+// the geometry, so re-hitting the same bug is idempotent. Returns ""
+// when dumping is disabled or fails — the dump must never add a second
+// failure mode to a request that already panicked.
+func dumpReproPair(dir, tag string, r, o *core.Object, rv any) string {
+	if dir == "" || r == nil || o == nil || r.Poly == nil || o.Poly == nil {
+		return ""
+	}
+	wa := wkt.MarshalMultiPolygon(geom.NewMultiPolygon(r.Poly))
+	wb := wkt.MarshalMultiPolygon(geom.NewMultiPolygon(o.Poly))
+	h := fnv.New32a()
+	fmt.Fprint(h, tag, wa, wb)
+	note := strings.ReplaceAll(fmt.Sprintf("%v", rv), "\n", " ")
+	body := fmt.Sprintf("# panic-%s: %s\nA %s\nB %s\nV %d %d\n",
+		tag, note, wa, wb, r.Poly.NumVertices(), o.Poly.NumVertices())
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return ""
+	}
+	path := filepath.Join(dir, fmt.Sprintf("panic-%s-%08x.txt", tag, h.Sum32()))
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		return ""
+	}
+	return path
+}
+
+// guardPair runs fn behind a recover barrier and reports whether it
+// panicked; the panic is recorded via pairPanic.
+func (s *Server) guardPair(tag string, r, o *core.Object, fn func()) (panicked bool) {
+	defer func() {
+		if rv := recover(); rv != nil {
+			panicked = true
+			s.pairPanic(tag, r, o, rv)
+		}
+	}()
+	fn()
+	return false
+}
+
+// handlerPanic records a panic that escaped every per-pair guard and
+// reached the HTTP middleware (the outermost barrier).
+func (s *Server) handlerPanic(route string, rv any) {
+	s.met.Counter("server_handler_panics_total").Inc()
+	s.logf("server: handler %s panicked: %v\n%s", route, rv, debug.Stack())
+}

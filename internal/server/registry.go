@@ -25,19 +25,28 @@ import (
 	"repro/internal/geojson"
 	"repro/internal/geom"
 	"repro/internal/join"
+	"repro/internal/obs"
+	"repro/internal/snapshot"
 	"repro/internal/wkt"
 )
 
 // Entry is one registered dataset with its immutable, once-built
 // indexes: the preprocessed objects (MBR + APRIL approximation) and the
 // STR R-tree over their MBRs. Entries are never mutated after
-// registration, so request handlers read them without locks.
+// registration, so request handlers read them without locks; recovery
+// replaces the entry pointer, never its contents.
 type Entry struct {
 	Dataset *dataset.Dataset
 	Tree    *join.RTree
 	// BuildTime is how long preprocessing + index build took; it is the
 	// cost the server amortizes across requests.
 	BuildTime time.Duration
+	// Degraded marks an entry serving without APRIL approximations
+	// (objects carry empty interval lists) while a background rebuild
+	// runs: handlers must force the MBR+refine pipeline (ST2), which
+	// never reads approximations, so answers stay correct — just
+	// slower.
+	Degraded bool
 }
 
 // Registry holds the named datasets a server instance answers queries
@@ -47,8 +56,17 @@ type Entry struct {
 type Registry struct {
 	builder *april.Builder
 
-	mu      sync.RWMutex
-	entries map[string]*Entry
+	// snapDir, when non-empty, is the durable snapshot directory:
+	// registrations load from it when a valid snapshot exists and
+	// persist into it after source builds (see resilience.go).
+	snapDir string
+	met     *obs.Registry
+	logf    func(format string, args ...any)
+
+	mu         sync.RWMutex
+	entries    map[string]*Entry
+	rebuilding map[string]bool
+	rebuilds   sync.WaitGroup
 }
 
 // NewRegistry creates a registry whose datasets and probes share a
@@ -56,9 +74,46 @@ type Registry struct {
 // the space cannot be approximated and is rejected at load/probe time.
 func NewRegistry(space geom.MBR, order uint) *Registry {
 	return &Registry{
-		builder: april.NewBuilder(space, order),
-		entries: make(map[string]*Entry),
+		builder:    april.NewBuilder(space, order),
+		entries:    make(map[string]*Entry),
+		rebuilding: make(map[string]bool),
+		logf:       func(string, ...any) {},
 	}
+}
+
+// Instrument mirrors the registry's lifecycle counters (preprocessed
+// objects, snapshot loads/writes/corruptions, rebuilds) and the
+// degraded-datasets gauge into met.
+func (g *Registry) Instrument(met *obs.Registry) { g.met = met }
+
+// SetLogf routes the registry's recovery log lines (quarantines,
+// rebuild outcomes) to f; the default discards them.
+func (g *Registry) SetLogf(f func(format string, args ...any)) {
+	if f != nil {
+		g.logf = f
+	}
+}
+
+func (g *Registry) count(name string, n int64) {
+	if g.met != nil {
+		g.met.Counter(name).Add(n)
+	}
+}
+
+// ValidateName rejects dataset names that are empty, over-long, or
+// could escape a directory when used as a file stem ("../../etc/…",
+// absolute paths, separators, control bytes). Names arrive from network
+// requests, CLI flags, and foreign .stj headers — all hostile inputs —
+// and are later joined into snapshot and quarantine paths, so the
+// gate sits in front of every registration.
+func ValidateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("server: dataset name must not be empty")
+	}
+	if err := snapshot.ValidName(name); err != nil {
+		return fmt.Errorf("server: invalid dataset name %q: %w", name, err)
+	}
+	return nil
 }
 
 // Builder exposes the shared approximation builder.
@@ -68,8 +123,22 @@ func (g *Registry) Builder() *april.Builder { return g.builder }
 // Objects too large for the base grid fall back to the adaptive coarser
 // orders rather than failing the whole dataset.
 func (g *Registry) Add(name, entity string, polys []*geom.Polygon) (*Entry, error) {
-	if name == "" {
-		return nil, fmt.Errorf("server: dataset name must not be empty")
+	e, err := g.build(name, entity, polys)
+	if err != nil {
+		return nil, err
+	}
+	if err := g.insert(name, e); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// build preprocesses polygons into a complete (non-degraded) entry
+// without registering it; rasterization cost is counted so warm starts
+// can assert they skipped it.
+func (g *Registry) build(name, entity string, polys []*geom.Polygon) (*Entry, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
 	}
 	start := time.Now()
 	ds := &dataset.Dataset{Name: name, Entity: entity, Objects: make([]*core.Object, 0, len(polys))}
@@ -80,30 +149,40 @@ func (g *Registry) Add(name, entity string, polys []*geom.Polygon) (*Entry, erro
 		}
 		ds.Objects = append(ds.Objects, o)
 	}
+	g.count("server_preprocess_objects_total", int64(len(polys)))
+	return &Entry{Dataset: ds, Tree: buildTree(ds), BuildTime: time.Since(start)}, nil
+}
+
+func buildTree(ds *dataset.Dataset) *join.RTree {
 	entries := make([]join.Entry, len(ds.Objects))
 	for i, o := range ds.Objects {
 		entries[i] = join.Entry{Box: o.MBR, ID: int32(i)}
 	}
-	e := &Entry{Dataset: ds, Tree: join.BuildRTree(entries), BuildTime: time.Since(start)}
+	return join.BuildRTree(entries)
+}
 
+// insert registers a built entry under name, rejecting duplicates.
+func (g *Registry) insert(name string, e *Entry) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	if _, dup := g.entries[name]; dup {
-		return nil, fmt.Errorf("server: dataset %s already registered", name)
+		return fmt.Errorf("server: dataset %s already registered", name)
 	}
 	g.entries[name] = e
-	return e, nil
+	return nil
 }
 
 // AddDataset registers a preprocessed dataset. Approximations are
 // rebuilt on the registry's grid: a .stj file written under another
-// grid would otherwise silently break every filter.
+// grid would otherwise silently break every filter. With snapshots
+// enabled, a valid snapshot for the same name and grid short-circuits
+// the rebuild entirely.
 func (g *Registry) AddDataset(ds *dataset.Dataset) (*Entry, error) {
 	polys := make([]*geom.Polygon, len(ds.Objects))
 	for i, o := range ds.Objects {
 		polys[i] = o.Poly
 	}
-	return g.Add(ds.Name, ds.Entity, polys)
+	return g.register(ds.Name, ds.Entity, polys)
 }
 
 // LoadFile registers the dataset in path, dispatching on extension:
@@ -130,7 +209,7 @@ func (g *Registry) LoadFile(path string) (*Entry, error) {
 		if err != nil {
 			return nil, err
 		}
-		return g.Add(base, base, polys)
+		return g.register(base, base, polys)
 	case ".geojson", ".json":
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -144,7 +223,7 @@ func (g *Registry) LoadFile(path string) (*Entry, error) {
 		for _, f := range features {
 			polys = append(polys, f.Geometry.Polys...)
 		}
-		return g.Add(base, base, polys)
+		return g.register(base, base, polys)
 	default:
 		return nil, fmt.Errorf("server: %s: unsupported extension %q", path, ext)
 	}
@@ -219,6 +298,13 @@ func (g *Registry) List() []DatasetInfo {
 	out := make([]DatasetInfo, 0, len(g.entries))
 	for name, e := range g.entries {
 		sz := e.Dataset.Sizes()
+		status := "ok"
+		switch {
+		case e.Degraded && g.rebuilding[name]:
+			status = "rebuilding"
+		case e.Degraded:
+			status = "degraded"
+		}
 		out = append(out, DatasetInfo{
 			Name:        name,
 			Entity:      e.Dataset.Entity,
@@ -226,6 +312,7 @@ func (g *Registry) List() []DatasetInfo {
 			Vertices:    sz.Vertices,
 			ApproxBytes: sz.Approx,
 			BuildMS:     float64(e.BuildTime) / float64(time.Millisecond),
+			Status:      status,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

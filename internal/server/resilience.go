@@ -1,0 +1,264 @@
+// Resilience layer of the registry: durable snapshot warm starts,
+// quarantine of corrupt snapshots, degraded (MBR+refine) serving while
+// a background rebuild re-rasterizes from source, and the panic barrier
+// around that rebuild. The invariant throughout: a corrupt snapshot can
+// delay answers — never change them. Every path either serves indexes
+// proven bit-exact by checksums, or serves the ST2 pipeline, which
+// reads no approximations at all.
+package server
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/fault"
+	"repro/internal/geom"
+	"repro/internal/snapshot"
+)
+
+// EnableSnapshots makes the registry persist preprocessed datasets
+// under dir and warm-start from them: subsequent registrations check
+// dir for a valid snapshot before rasterizing anything. Must be called
+// before datasets are registered.
+func (g *Registry) EnableSnapshots(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("server: snapshot dir: %w", err)
+	}
+	g.snapDir = dir
+	return nil
+}
+
+// SnapshotDir returns the snapshot directory ("" when disabled).
+func (g *Registry) SnapshotDir() string { return g.snapDir }
+
+// Register is the resilient registration entry point for callers
+// holding source polygons (the daemon's -gen path); see register.
+func (g *Registry) Register(name, entity string, polys []*geom.Polygon) (*Entry, error) {
+	return g.register(name, entity, polys)
+}
+
+// register is the resilient registration path behind Add-from-source
+// loaders. Without snapshots it is exactly Add. With snapshots:
+//
+//   - a valid snapshot on the registry's grid → warm start, zero
+//     rasterization;
+//   - no snapshot (or one from another grid) → build from source, then
+//     persist a fresh snapshot;
+//   - a corrupt snapshot → quarantine the file as evidence, serve the
+//     dataset degraded (MBR-only objects, handlers force ST2), and
+//     rebuild the real indexes in the background, swapping them in and
+//     re-snapshotting when done.
+func (g *Registry) register(name, entity string, polys []*geom.Polygon) (*Entry, error) {
+	if g.snapDir == "" {
+		return g.Add(name, entity, polys)
+	}
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	path, err := snapshot.DatasetPath(g.snapDir, name)
+	if err != nil {
+		return nil, err
+	}
+
+	snap, rerr := snapshot.Read(path)
+	switch {
+	case rerr == nil:
+		if e, ok := g.tryWarmStart(name, entity, snap, polys); ok {
+			return e, nil
+		}
+		// Grid or contents mismatch: the snapshot is internally valid
+		// but stale (built for another space/order or another source).
+		// Rebuild from source and overwrite it below.
+		g.logf("server: snapshot %s is stale, rebuilding from source", path)
+	case os.IsNotExist(rerr):
+		// Cold start: build and persist below.
+	case snapshot.IsCorrupt(rerr):
+		g.count("server_snapshot_corrupt_total", 1)
+		qpath, qerr := snapshot.Quarantine(path)
+		if qerr != nil {
+			g.logf("server: quarantine of %s failed: %v", path, qerr)
+		} else {
+			g.logf("server: %v — quarantined to %s", rerr, qpath)
+		}
+		return g.serveDegraded(name, entity, polys)
+	default:
+		// I/O trouble reading the snapshot (permissions, device): treat
+		// like a cold start rather than failing the dataset.
+		g.logf("server: snapshot %s unreadable (%v), rebuilding from source", path, rerr)
+	}
+
+	e, err := g.Add(name, entity, polys)
+	if err != nil {
+		return nil, err
+	}
+	g.writeSnapshot(name, e.Dataset)
+	return e, nil
+}
+
+// tryWarmStart registers the snapshot contents if they match the
+// registry's grid and the source polygon count; reports success.
+func (g *Registry) tryWarmStart(name, entity string, snap *snapshot.Snapshot, polys []*geom.Polygon) (*Entry, bool) {
+	grid := g.builder.Grid()
+	if snap.Space != grid.Space() || snap.Order != grid.Order() {
+		return nil, false
+	}
+	if snap.Name != name || len(snap.Dataset.Objects) != len(polys) {
+		return nil, false
+	}
+	start := time.Now()
+	ds := snap.Dataset
+	ds.Entity = entity
+	e := &Entry{Dataset: ds, Tree: buildTree(ds), BuildTime: time.Since(start)}
+	if err := g.insert(name, e); err != nil {
+		return nil, false
+	}
+	g.count("server_snapshot_loads_total", 1)
+	g.logf("server: dataset %s warm-started from snapshot (%d objects)", name, ds.Len())
+	return e, true
+}
+
+// serveDegraded registers an MBR-only entry (no approximations built —
+// cheap) and kicks off the background rebuild. Queries against it are
+// answered by the ST2 pipeline: sound, just slower.
+func (g *Registry) serveDegraded(name, entity string, polys []*geom.Polygon) (*Entry, error) {
+	e, err := g.AddDegraded(name, entity, polys)
+	if err != nil {
+		return nil, err
+	}
+	g.startRebuild(name, entity, polys)
+	return e, nil
+}
+
+// AddDegraded registers a dataset without building approximations:
+// objects carry their exact geometry and MBR only, with empty interval
+// lists. The entry is marked Degraded so handlers force the MBR+refine
+// pipeline (an empty conservative list would make the APRIL filter
+// unsound: empty overlap reads as "definitely disjoint").
+func (g *Registry) AddDegraded(name, entity string, polys []*geom.Polygon) (*Entry, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	ds := &dataset.Dataset{Name: name, Entity: entity, Objects: make([]*core.Object, 0, len(polys))}
+	for i, p := range polys {
+		ds.Objects = append(ds.Objects, &core.Object{ID: i, Poly: p, MBR: p.Bounds()})
+	}
+	e := &Entry{Dataset: ds, Tree: buildTree(ds), BuildTime: time.Since(start), Degraded: true}
+	if err := g.insert(name, e); err != nil {
+		return nil, err
+	}
+	g.count("server_degraded_starts_total", 1)
+	g.updateDegradedGauge()
+	return e, nil
+}
+
+// startRebuild launches the background re-preprocessing of a degraded
+// dataset behind a recover barrier: a panicking rebuild is recorded and
+// the dataset stays degraded; the process never dies.
+func (g *Registry) startRebuild(name, entity string, polys []*geom.Polygon) {
+	g.mu.Lock()
+	if g.rebuilding[name] {
+		g.mu.Unlock()
+		return
+	}
+	g.rebuilding[name] = true
+	g.mu.Unlock()
+	g.updateDegradedGauge()
+
+	g.rebuilds.Add(1)
+	go func() {
+		defer g.rebuilds.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				g.count("server_rebuild_panics_total", 1)
+				g.logf("server: rebuild of %s panicked (dataset stays degraded): %v", name, r)
+			}
+			g.mu.Lock()
+			delete(g.rebuilding, name)
+			g.mu.Unlock()
+			g.updateDegradedGauge()
+		}()
+		if err := fault.Check("registry.rebuild"); err != nil {
+			panic(err)
+		}
+		e, err := g.build(name, entity, polys)
+		if err != nil {
+			g.count("server_rebuild_failures_total", 1)
+			g.logf("server: rebuild of %s failed (dataset stays degraded): %v", name, err)
+			return
+		}
+		g.mu.Lock()
+		g.entries[name] = e
+		g.mu.Unlock()
+		g.count("server_rebuilds_total", 1)
+		g.logf("server: dataset %s recovered from degraded mode in %v", name, e.BuildTime)
+		g.writeSnapshot(name, e.Dataset)
+	}()
+}
+
+// WaitRebuilds blocks until every background rebuild in flight has
+// finished (drain paths and tests).
+func (g *Registry) WaitRebuilds() { g.rebuilds.Wait() }
+
+// writeSnapshot persists a freshly built dataset; failures are counted
+// and logged but never fail the registration — the snapshot is an
+// optimization, not a source of truth.
+func (g *Registry) writeSnapshot(name string, ds *dataset.Dataset) {
+	if g.snapDir == "" {
+		return
+	}
+	path, err := snapshot.DatasetPath(g.snapDir, name)
+	if err == nil {
+		grid := g.builder.Grid()
+		err = snapshot.Write(path, ds, grid.Space(), grid.Order())
+	}
+	if err != nil {
+		g.count("server_snapshot_write_failures_total", 1)
+		g.logf("server: writing snapshot for %s failed: %v", name, err)
+		return
+	}
+	g.count("server_snapshot_writes_total", 1)
+}
+
+// States lists the currently degraded and rebuilding dataset names,
+// sorted (the /v1/healthz payload).
+func (g *Registry) States() (degraded, rebuilding []string) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	for name, e := range g.entries {
+		if !e.Degraded {
+			continue
+		}
+		if g.rebuilding[name] {
+			rebuilding = append(rebuilding, name)
+		} else {
+			degraded = append(degraded, name)
+		}
+	}
+	sort.Strings(degraded)
+	sort.Strings(rebuilding)
+	return degraded, rebuilding
+}
+
+func (g *Registry) updateDegradedGauge() {
+	if g.met == nil {
+		return
+	}
+	g.mu.RLock()
+	var n, reb int64
+	for name, e := range g.entries {
+		if e.Degraded {
+			n++
+		}
+		if g.rebuilding[name] {
+			reb++
+		}
+	}
+	g.mu.RUnlock()
+	g.met.Gauge("server_datasets_degraded").Set(n)
+	g.met.Gauge("server_datasets_rebuilding").Set(reb)
+}

@@ -1,0 +1,225 @@
+// Self-healing client plumbing: typed temporary errors, bounded
+// retries with full-jitter exponential backoff (honoring the server's
+// Retry-After hint), per-attempt timeouts, and a consecutive-failure
+// circuit breaker that fails fast while the service is down instead of
+// piling queued requests onto its recovery.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Temporary reports whether the error is worth retrying later: the
+// server shed load (429) or failed in a way that is not the request's
+// fault (5xx). 4xx responses other than 429 are the caller's bug and
+// stay permanent.
+func (e *APIError) Temporary() bool {
+	return e.StatusCode == http.StatusTooManyRequests || e.StatusCode >= 500
+}
+
+// TransportError wraps a failure below HTTP (connection refused, reset,
+// DNS): the request may not have reached the service at all, so it is
+// always temporary for the idempotent query API.
+type TransportError struct {
+	Err error
+}
+
+func (e *TransportError) Error() string   { return fmt.Sprintf("server: transport: %v", e.Err) }
+func (e *TransportError) Unwrap() error   { return e.Err }
+func (e *TransportError) Temporary() bool { return true }
+
+// IsTemporary reports whether err carries a Temporary() bool that
+// returns true (the client's typed retry signal).
+func IsTemporary(err error) bool {
+	var t interface{ Temporary() bool }
+	return errors.As(err, &t) && t.Temporary()
+}
+
+// ErrCircuitOpen is returned without touching the network while the
+// client's circuit breaker is open; it is temporary (the breaker closes
+// again after its cooldown).
+var ErrCircuitOpen = errors.New("server: circuit breaker open")
+
+// RetryPolicy tunes Client self-healing; zero values select the
+// documented defaults. Every endpoint of the API is an idempotent read
+// (health, dataset listing, relate and join probes mutate nothing), so
+// retrying is always safe.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries per call, first one included
+	// (default 4).
+	MaxAttempts int
+	// BaseDelay seeds the exponential backoff (default 100ms); attempt
+	// n sleeps a uniformly random duration in [0, min(MaxDelay,
+	// BaseDelay·2ⁿ)] — "full jitter", which spreads a thundering herd of
+	// recovering clients instead of synchronizing it. A Retry-After hint
+	// from the server is respected as the minimum wait.
+	BaseDelay time.Duration
+	// MaxDelay caps the backoff ceiling (default 5s).
+	MaxDelay time.Duration
+	// AttemptTimeout bounds each individual try (0: only the call's
+	// context limits it). The overall context still applies across
+	// attempts and sleeps.
+	AttemptTimeout time.Duration
+	// BreakerThreshold opens the circuit after that many consecutive
+	// failed calls (default 5; 0 selects the default, negative disables
+	// the breaker). While open, calls fail fast with ErrCircuitOpen;
+	// after BreakerCooldown (default 10s) the next call probes the
+	// service and closes the circuit on success.
+	BreakerThreshold int
+	BreakerCooldown  time.Duration
+
+	// Test seams; nil selects the real clock and math/rand.
+	sleep func(context.Context, time.Duration) error
+	now   func() time.Time
+	randF func() float64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 5 * time.Second
+	}
+	if p.BreakerThreshold == 0 {
+		p.BreakerThreshold = 5
+	}
+	if p.BreakerCooldown <= 0 {
+		p.BreakerCooldown = 10 * time.Second
+	}
+	if p.sleep == nil {
+		p.sleep = sleepCtx
+	}
+	if p.now == nil {
+		p.now = time.Now
+	}
+	if p.randF == nil {
+		p.randF = rand.Float64
+	}
+	return p
+}
+
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// backoff returns the wait before retry attempt (0-based), full-jitter,
+// never below the server's Retry-After hint.
+func (p *RetryPolicy) backoff(attempt int, retryAfter time.Duration) time.Duration {
+	ceil := p.BaseDelay << attempt
+	if ceil > p.MaxDelay || ceil <= 0 {
+		ceil = p.MaxDelay
+	}
+	d := time.Duration(p.randF() * float64(ceil))
+	if d < retryAfter {
+		d = retryAfter
+	}
+	return d
+}
+
+// breaker is the client's consecutive-failure circuit breaker.
+type breaker struct {
+	mu        sync.Mutex
+	fails     int
+	openUntil time.Time
+}
+
+// allow reports whether a call may proceed (the breaker is closed, or
+// its cooldown has elapsed and this call probes the service).
+func (b *breaker) allow(now time.Time) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.openUntil.IsZero() || !now.Before(b.openUntil)
+}
+
+func (b *breaker) success() {
+	b.mu.Lock()
+	b.fails = 0
+	b.openUntil = time.Time{}
+	b.mu.Unlock()
+}
+
+func (b *breaker) failure(now time.Time, threshold int, cooldown time.Duration) {
+	if threshold < 0 {
+		return
+	}
+	b.mu.Lock()
+	b.fails++
+	if b.fails >= threshold {
+		b.openUntil = now.Add(cooldown)
+	}
+	b.mu.Unlock()
+}
+
+// retryable reports whether the failed attempt should be tried again:
+// overload shedding (429), unavailability (503), or a transport error.
+// Other temporary errors (500s from a handler bug, 504 deadline) are
+// reported to the caller instead — retrying them burns server time on
+// a request that will likely fail identically.
+func retryable(err error) bool {
+	var api *APIError
+	if errors.As(err, &api) {
+		return api.StatusCode == http.StatusTooManyRequests ||
+			api.StatusCode == http.StatusServiceUnavailable
+	}
+	var tr *TransportError
+	return errors.As(err, &tr)
+}
+
+// doRetry runs one API call under the client's retry policy and
+// breaker.
+func (c *Client) doRetry(ctx context.Context, method, path string, in, out any) error {
+	p := c.Retry.withDefaults()
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if p.BreakerThreshold >= 0 && !c.breaker.allow(p.now()) {
+			return ErrCircuitOpen
+		}
+		actx, cancel := ctx, context.CancelFunc(func() {})
+		if p.AttemptTimeout > 0 {
+			actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
+		}
+		err := c.doOnce(actx, method, path, in, out)
+		cancel()
+		if err == nil {
+			c.breaker.success()
+			return nil
+		}
+		// An attempt killed by its own per-attempt timeout is a slow
+		// service, not a cancelled caller: classify it as a transport
+		// failure so it retries. Overall-context expiry stops the loop.
+		if ctx.Err() == nil && actx.Err() != nil {
+			err = &TransportError{Err: err}
+		}
+		c.breaker.failure(p.now(), p.BreakerThreshold, p.BreakerCooldown)
+		lastErr = err
+		if ctx.Err() != nil || !retryable(err) || attempt == p.MaxAttempts-1 {
+			return lastErr
+		}
+		var retryAfter time.Duration
+		var api *APIError
+		if errors.As(err, &api) {
+			retryAfter = api.RetryAfter
+		}
+		if serr := p.sleep(ctx, p.backoff(attempt, retryAfter)); serr != nil {
+			return lastErr
+		}
+	}
+	return lastErr
+}

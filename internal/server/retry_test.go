@@ -1,0 +1,226 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fastPolicy returns a policy whose sleeps are instant and recorded.
+func fastPolicy() (*RetryPolicy, *[]time.Duration) {
+	var slept []time.Duration
+	p := &RetryPolicy{
+		sleep: func(ctx context.Context, d time.Duration) error {
+			slept = append(slept, d)
+			return nil
+		},
+	}
+	return p, &slept
+}
+
+func TestTemporaryClassification(t *testing.T) {
+	for code, want := range map[int]bool{
+		http.StatusTooManyRequests:     true,
+		http.StatusInternalServerError: true,
+		http.StatusServiceUnavailable:  true,
+		http.StatusGatewayTimeout:      true,
+		http.StatusBadRequest:          false,
+		http.StatusNotFound:            false,
+	} {
+		e := &APIError{StatusCode: code}
+		if e.Temporary() != want {
+			t.Errorf("APIError(%d).Temporary() = %v, want %v", code, !want, want)
+		}
+		if IsTemporary(fmt.Errorf("wrapped: %w", e)) != want {
+			t.Errorf("IsTemporary(wrapped %d) != %v", code, want)
+		}
+	}
+	tr := &TransportError{Err: errors.New("connection refused")}
+	if !tr.Temporary() || !IsTemporary(tr) {
+		t.Error("TransportError must be temporary")
+	}
+	if IsTemporary(errors.New("plain")) {
+		t.Error("plain error must not be temporary")
+	}
+}
+
+func TestClientWrapsTransportErrors(t *testing.T) {
+	c := NewClient("http://127.0.0.1:0") // port 0: always refused
+	err := c.do(context.Background(), http.MethodGet, "/v1/healthz", nil, nil)
+	var tr *TransportError
+	if !errors.As(err, &tr) {
+		t.Fatalf("err = %T %v, want *TransportError", err, err)
+	}
+	if !IsTemporary(err) {
+		t.Fatal("transport error must be temporary")
+	}
+}
+
+func TestRetryRecoversFromTransientFailure(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	p, slept := fastPolicy()
+	c.Retry = p
+	h, err := c.Health(context.Background())
+	if err != nil {
+		t.Fatalf("Health = %v after retries", err)
+	}
+	if h.Status != "ok" || calls.Load() != 3 {
+		t.Fatalf("status %q after %d calls, want ok after 3", h.Status, calls.Load())
+	}
+	for i, d := range *slept {
+		if d < time.Second {
+			t.Fatalf("sleep %d = %v, must honor Retry-After of 1s", i, d)
+		}
+	}
+}
+
+func TestRetryGivesUpOnPermanentError(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusBadRequest, "bad probe")
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Retry, _ = fastPolicy()
+	_, err := c.Health(context.Background())
+	var api *APIError
+	if !errors.As(err, &api) || api.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want 400 APIError", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("%d calls for a permanent error, want 1", calls.Load())
+	}
+}
+
+func TestRetryBoundedAttempts(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "down")
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	p, _ := fastPolicy()
+	p.MaxAttempts = 3
+	p.BreakerThreshold = -1 // isolate the retry bound from the breaker
+	c.Retry = p
+	_, err := c.Health(context.Background())
+	var api *APIError
+	if !errors.As(err, &api) || api.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want 503 APIError", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("%d calls, want exactly MaxAttempts=3", calls.Load())
+	}
+}
+
+func TestBackoffFullJitterAndCap(t *testing.T) {
+	p := RetryPolicy{BaseDelay: 100 * time.Millisecond, MaxDelay: time.Second}.withDefaults()
+	p.randF = func() float64 { return 1.0 }
+	if d := p.backoff(0, 0); d != 100*time.Millisecond {
+		t.Fatalf("attempt 0 ceiling = %v", d)
+	}
+	if d := p.backoff(10, 0); d != time.Second {
+		t.Fatalf("attempt 10 must cap at MaxDelay, got %v", d)
+	}
+	p.randF = func() float64 { return 0 }
+	if d := p.backoff(0, 2*time.Second); d != 2*time.Second {
+		t.Fatalf("Retry-After floor ignored: %v", d)
+	}
+	if d := p.backoff(0, 0); d != 0 {
+		t.Fatalf("full jitter must reach 0, got %v", d)
+	}
+}
+
+func TestCircuitBreakerOpensAndRecovers(t *testing.T) {
+	var calls atomic.Int64
+	healthy := atomic.Bool{}
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if healthy.Load() {
+			w.Write([]byte(`{"status":"ok"}`))
+			return
+		}
+		writeError(w, http.StatusServiceUnavailable, "down")
+	}))
+	defer ts.Close()
+
+	now := time.Unix(1000, 0)
+	p, _ := fastPolicy()
+	p.MaxAttempts = 2
+	p.BreakerThreshold = 2
+	p.BreakerCooldown = 10 * time.Second
+	p.now = func() time.Time { return now }
+	c := NewClient(ts.URL)
+	c.Retry = p
+
+	// First call: 2 attempts fail, breaker reaches threshold and opens.
+	if _, err := c.Health(context.Background()); !IsTemporary(err) {
+		t.Fatalf("first call: %v", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatalf("%d attempts before open", calls.Load())
+	}
+	// While open: fail fast, no network traffic.
+	_, err := c.Health(context.Background())
+	if !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open breaker: err = %v, want ErrCircuitOpen", err)
+	}
+	if calls.Load() != 2 {
+		t.Fatal("open breaker still hit the network")
+	}
+	// After the cooldown the next call probes; service is healthy again,
+	// so the breaker closes and stays closed.
+	now = now.Add(11 * time.Second)
+	healthy.Store(true)
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("post-cooldown probe: %v", err)
+	}
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatalf("closed breaker: %v", err)
+	}
+}
+
+func TestPerAttemptTimeoutRetries(t *testing.T) {
+	var calls atomic.Int64
+	release := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			<-release // first attempt hangs past the per-attempt timeout
+		}
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+	defer close(release)
+
+	c := NewClient(ts.URL)
+	p, _ := fastPolicy()
+	p.AttemptTimeout = 50 * time.Millisecond
+	c.Retry = p
+	h, err := c.Health(context.Background())
+	if err != nil || h.Status != "ok" {
+		t.Fatalf("Health = %+v, %v", h, err)
+	}
+	if calls.Load() < 2 {
+		t.Fatal("hung first attempt was not retried")
+	}
+}

@@ -53,6 +53,13 @@ type Config struct {
 	MaxLimit     int
 	// Metrics receives all instrumentation (default: a fresh registry).
 	Metrics *obs.Registry
+	// ReproDir, when set, receives a WKT dump (oracle regression-corpus
+	// format) of every geometry pair whose evaluation panicked, so
+	// crashes become replayable test cases. Empty disables dumping.
+	ReproDir string
+	// Logf receives the server's operational log lines (recovered
+	// panics, degraded-mode transitions); default discards them.
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +96,9 @@ func (c Config) withDefaults() Config {
 	if c.Metrics == nil {
 		c.Metrics = obs.NewRegistry()
 	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
 	return c
 }
 
@@ -114,6 +124,7 @@ type Server struct {
 
 	rejected *obs.Counter
 	timeouts *obs.Counter
+	logf     func(format string, args ...any)
 
 	// testHook, when non-nil, runs inside every admitted request before
 	// the real work — lifecycle tests use it to hold slots at a gate.
@@ -131,11 +142,12 @@ func New(data *Registry, cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		rejected: met.Counter("server_rejected_total{reason=\"overload\"}"),
 		timeouts: met.Counter("server_rejected_total{reason=\"deadline\"}"),
+		logf:     cfg.Logf,
 	}
 	s.rootCtx, s.rootCancel = context.WithCancelCause(context.Background())
 	s.adm = newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait,
 		met.Gauge("server_inflight"), met.Gauge("server_queue_depth"))
-	s.bat = newBatcher(cfg.BatchWindow, cfg.MaxBatch, cfg.JoinWorkers, met)
+	s.bat = newBatcher(cfg.BatchWindow, cfg.MaxBatch, cfg.JoinWorkers, met, s.pairPanic)
 	go s.bat.run(s.rootCtx)
 
 	s.mux.HandleFunc("GET /v1/healthz", s.route("healthz", false, s.handleHealthz))
@@ -217,6 +229,21 @@ func (s *Server) route(name string, admit bool, h handlerFunc) http.HandlerFunc 
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		span := obs.StartSpan(lat)
+		// Outermost panic barrier: whatever escapes the per-pair guards
+		// costs this request a 500, never the process. The handler has
+		// not written its response yet when it can still panic (payload
+		// encoding happens after it returns), so the error write is safe.
+		wrote := false
+		defer func() {
+			if rv := recover(); rv != nil {
+				s.handlerPanic(name, rv)
+				if !wrote {
+					writeError(w, http.StatusInternalServerError, "internal error")
+					codeCtr(http.StatusInternalServerError).Inc()
+				}
+				span.End()
+			}
+		}()
 		if s.draining.Load() {
 			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
 			codeCtr(http.StatusServiceUnavailable).Inc()
@@ -247,6 +274,7 @@ func (s *Server) route(name string, admit bool, h handlerFunc) http.HandlerFunc 
 
 		payload, err := h(ctx, r)
 		code := http.StatusOK
+		wrote = true
 		if err != nil {
 			code = s.errorCode(err)
 			writeError(w, code, err.Error())
@@ -313,15 +341,21 @@ func (s *Server) requestCtx(ctx context.Context, timeoutMS int64) (context.Conte
 }
 
 func (s *Server) handleHealthz(ctx context.Context, r *http.Request) (any, error) {
+	degraded, rebuilding := s.data.States()
 	status := "ok"
+	if len(degraded)+len(rebuilding) > 0 {
+		status = "degraded"
+	}
 	if s.draining.Load() {
 		status = "draining"
 	}
 	return HealthResponse{
-		Status:   status,
-		Datasets: s.data.Len(),
-		InFlight: s.met.Gauge("server_inflight").Value(),
-		Queued:   s.met.Gauge("server_queue_depth").Value(),
+		Status:     status,
+		Datasets:   s.data.Len(),
+		InFlight:   s.met.Gauge("server_inflight").Value(),
+		Queued:     s.met.Gauge("server_queue_depth").Value(),
+		Degraded:   degraded,
+		Rebuilding: rebuilding,
 	}, nil
 }
 
@@ -409,6 +443,12 @@ func (s *Server) handleRelate(ctx context.Context, r *http.Request) (any, error)
 	if err != nil {
 		return nil, err
 	}
+	if entry.Degraded {
+		// The entry has no approximations (post-corruption rebuild in
+		// flight); ST2 never reads them, so answers stay correct. An
+		// interval filter over empty lists would be silently wrong.
+		method = core.ST2
+	}
 	job := &probeJob{
 		entry:  entry,
 		method: method,
@@ -493,6 +533,9 @@ func (s *Server) handleJoin(ctx context.Context, r *http.Request) (any, error) {
 	method, err := parseMethod(req.Method)
 	if err != nil {
 		return nil, err
+	}
+	if left.Degraded || right.Degraded {
+		method = core.ST2 // see handleRelate: degraded entries carry no approximations
 	}
 	if req.Predicate != "" && req.Mask != "" {
 		return nil, errf(http.StatusBadRequest, "give predicate or mask, not both")
@@ -587,6 +630,20 @@ func (s *Server) handleJoin(ctx context.Context, r *http.Request) (any, error) {
 					})
 				}
 			})
+		var pe *harness.PanicError
+		if errors.As(err, &pe) {
+			// The harness recovered the panic at pair granularity and
+			// swept everything else; surface it as a per-request error
+			// with the offending pair preserved as a repro case.
+			s.met.Counter("server_pair_panics_total").Add(int64(pe.Count))
+			p := pairs[pe.Index]
+			if path := dumpReproPair(s.cfg.ReproDir, "join-find", p.R, p.S, pe.Value); path != "" {
+				s.logf("server: %v (repro dumped to %s)", pe, path)
+			} else {
+				s.logf("server: %v", pe)
+			}
+			err = errf(http.StatusInternalServerError, "%v", pe)
+		}
 		resp.Evaluated = st.Pairs
 		resp.Refined = st.Undetermined
 		resp.Relations = make(map[string]int)
@@ -605,7 +662,10 @@ func (s *Server) handleJoin(ctx context.Context, r *http.Request) (any, error) {
 }
 
 // sweepPairs evaluates fn over the pairs with the shared worker-pool
-// shape, stopping at chunk granularity when ctx is done.
+// shape, stopping at chunk granularity when ctx is done. Each pair runs
+// behind a recover barrier: a panicking pair is counted, repro-dumped
+// and reported as an error, and every other pair is still evaluated —
+// one poisonous geometry never kills the pool.
 func (s *Server) sweepPairs(ctx context.Context, pairs []harness.Pair, fn func(harness.Pair)) error {
 	workers := s.cfg.JoinWorkers
 	if workers > len(pairs) {
@@ -616,6 +676,7 @@ func (s *Server) sweepPairs(ctx context.Context, pairs []harness.Pair, fn func(h
 	}
 	const chunk = 16
 	var cursor atomic.Int64
+	var panicked atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -634,11 +695,18 @@ func (s *Server) sweepPairs(ctx context.Context, pairs []harness.Pair, fn func(h
 					continue
 				}
 				for _, p := range pairs[lo:hi] {
-					fn(p)
+					p := p
+					if s.guardPair("join", p.R, p.S, func() { fn(p) }) {
+						panicked.Add(1)
+					}
 				}
 			}
 		}()
 	}
 	wg.Wait()
+	if n := panicked.Load(); n > 0 {
+		return errf(http.StatusInternalServerError,
+			"evaluation panicked on %d pair(s); repro dumped, see server log", n)
+	}
 	return ctx.Err()
 }

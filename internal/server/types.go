@@ -106,14 +106,24 @@ type DatasetInfo struct {
 	Vertices    int     `json:"vertices"`
 	ApproxBytes int     `json:"approx_bytes"`
 	BuildMS     float64 `json:"build_ms"`
+	// Status is "ok", "degraded" (serving MBR+refine without
+	// approximations after a corrupt snapshot) or "rebuilding" (degraded
+	// with the background rebuild still running).
+	Status string `json:"status"`
 }
 
 // HealthResponse is the /v1/healthz payload.
 type HealthResponse struct {
-	Status   string `json:"status"` // "ok" or "draining"
+	// Status is "ok", "degraded" (at least one dataset serving without
+	// its approximations) or "draining".
+	Status   string `json:"status"`
 	Datasets int    `json:"datasets"`
 	InFlight int64  `json:"in_flight"`
 	Queued   int64  `json:"queued"`
+	// Degraded and Rebuilding list datasets currently serving in
+	// degraded mode, split by whether a background rebuild is running.
+	Degraded   []string `json:"degraded,omitempty"`
+	Rebuilding []string `json:"rebuilding,omitempty"`
 }
 
 // errorBody is the JSON error envelope of every non-2xx response.

@@ -60,7 +60,7 @@ func New(polys []*geom.Polygon, cacheSize int) *Store {
 		capacity: cacheSize,
 	}
 	for i, p := range polys {
-		s.blobs[i] = encodePolygon(p)
+		s.blobs[i] = EncodePolygon(p)
 	}
 	return s
 }
@@ -114,7 +114,7 @@ func (s *Store) Geometry(id int) (*geom.Polygon, error) {
 		s.obsLoads.Inc()
 		s.obsBytes.Add(int64(len(s.blobs[id])))
 	}
-	poly, err := decodePolygon(s.blobs[id])
+	poly, err := DecodePolygon(s.blobs[id])
 	if err != nil {
 		return nil, fmt.Errorf("store: id %d: %w", id, err)
 	}
@@ -132,9 +132,12 @@ func (s *Store) Geometry(id int) (*geom.Polygon, error) {
 	return poly, nil
 }
 
-// encodePolygon serializes a polygon as ring count, then per ring a
-// vertex count and flat little-endian float64 coordinates.
-func encodePolygon(p *geom.Polygon) []byte {
+// EncodePolygon serializes a polygon as ring count, then per ring a
+// vertex count and flat little-endian float64 coordinates. The format
+// is the store's on-"disk" geometry blob; the snapshot layer reuses it
+// so a dataset's geometry section is byte-identical to what the store
+// would hold.
+func EncodePolygon(p *geom.Polygon) []byte {
 	size := 4
 	rings := 1 + len(p.Holes)
 	size += rings * 4
@@ -155,7 +158,11 @@ func encodePolygon(p *geom.Polygon) []byte {
 	return buf
 }
 
-func decodePolygon(buf []byte) (*geom.Polygon, error) {
+// DecodePolygon parses a blob written by EncodePolygon. Every length is
+// bounds-checked against the buffer, so truncated or bit-rotted blobs
+// fail with an error instead of panicking — the snapshot loader depends
+// on that to classify corruption.
+func DecodePolygon(buf []byte) (*geom.Polygon, error) {
 	if len(buf) < 4 {
 		return nil, fmt.Errorf("truncated header")
 	}
@@ -186,7 +193,10 @@ func decodePolygon(buf []byte) (*geom.Polygon, error) {
 	if err != nil {
 		return nil, err
 	}
-	holes := make([]geom.Ring, rings-1)
+	var holes []geom.Ring
+	if rings > 1 {
+		holes = make([]geom.Ring, rings-1)
+	}
 	for i := range holes {
 		if holes[i], err = readRing(); err != nil {
 			return nil, err

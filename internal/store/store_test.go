@@ -103,7 +103,7 @@ func TestInstrumentedCounters(t *testing.T) {
 	if cached.Value() != 0 {
 		t.Fatalf("fresh store reports %d cached objects", cached.Value())
 	}
-	blobSize := func(id int) int64 { return int64(len(encodePolygon(ps[id]))) }
+	blobSize := func(id int) int64 { return int64(len(EncodePolygon(ps[id]))) }
 
 	type step struct {
 		id                  int
@@ -185,7 +185,7 @@ func TestDecodeErrors(t *testing.T) {
 		{1, 0, 0, 0, 9},             // truncated ring header
 		{1, 0, 0, 0, 9, 0, 0, 0, 1}, // truncated ring data
 	} {
-		if _, err := decodePolygon(bad); err == nil {
+		if _, err := DecodePolygon(bad); err == nil {
 			t.Errorf("decode of %v should fail", bad)
 		}
 	}
