@@ -1,7 +1,7 @@
 # Developer targets; `make check` is the pre-commit gate.
 GO ?= go
 
-.PHONY: build test race vet bench check serve difftest faulttest
+.PHONY: build test race vet bench bench-json check serve difftest faulttest
 
 build:
 	$(GO) build ./...
@@ -14,9 +14,10 @@ test:
 # plus the refiner and the oracle harness, whose parallel cross-checks
 # double as a race probe of the whole pipeline, and the resilience
 # layer (snapshot loads race background rebuilds; the fault seam is
-# armed from tests while workers run).
+# armed from tests while workers run), and the trace ring buffer
+# (concurrent span writers racing trace readers).
 race:
-	$(GO) test -race ./internal/harness/ ./internal/obs/ ./internal/server/ ./internal/de9im/ ./internal/oracle/ ./internal/snapshot/ ./internal/fault/
+	$(GO) test -race ./internal/harness/ ./internal/obs/ ./internal/server/ ./internal/de9im/ ./internal/oracle/ ./internal/snapshot/ ./internal/fault/ ./internal/trace/
 
 # Differential correctness run (see README "Correctness"): a fixed-seed
 # sweep of generated lattice pairs through every production path,
@@ -39,9 +40,19 @@ vet:
 	$(GO) vet ./...
 
 # Regression telemetry for the instrumented pipeline (see README
-# "Observability"): the observed path must stay within 5% of plain.
+# "Observability"): the observed path and the disabled tracer must each
+# stay within 5% of plain.
 bench:
-	$(GO) test -run xxx -bench BenchmarkObservedOverhead -benchmem .
+	$(GO) test -run xxx -bench 'BenchmarkObservedOverhead|BenchmarkTraceOverhead' -benchmem .
+
+# One point of the benchmark trajectory (see README "Tracing & benchmark
+# trajectory"): a small fixed-seed benchrun suite written as JSON. CI
+# runs this as a smoke test of the recording harness; the checked-in
+# BENCH_N.json artifacts are produced by the full default suite
+# (`go run ./cmd/benchrun -out BENCH_N.json`).
+bench-json:
+	$(GO) run ./cmd/benchrun -scale 0.05 -pairs 500 -trials 3 -label BENCH_SMOKE -out bench-smoke.json
+	head -c 400 bench-smoke.json; echo
 
 # Run the topology query service over a small generated workload
 # (see README "Serving").

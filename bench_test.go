@@ -12,13 +12,16 @@ package spatialtopo
 //	BenchmarkTable5Relate   — find relation vs relate_p per predicate
 //	BenchmarkSubstrates     — interval merge-joins, DE-9IM, Hilbert, raster
 //	BenchmarkObservedOverhead — plain vs observed pipeline path
+//	BenchmarkTraceOverhead  — plain vs disabled/unsampled request tracing
 //
 // Run: go test -bench=. -benchmem
 
 import (
+	"context"
 	"math/rand"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/chull"
 	"repro/internal/core"
@@ -32,6 +35,7 @@ import (
 	"repro/internal/linkset"
 	"repro/internal/obs"
 	"repro/internal/raster"
+	"repro/internal/trace"
 )
 
 // benchScale keeps the shared environment's setup time moderate while
@@ -355,5 +359,55 @@ func BenchmarkObservedOverhead(b *testing.B) {
 			p := pairs[i%len(pairs)]
 			core.FindRelationObserved(core.PC, p.R, p.S, sink)
 		}
+	})
+}
+
+// BenchmarkTraceOverhead is BenchmarkObservedOverhead's counterpart for
+// request tracing: the per-pair cost the sweep pays when tracing is off
+// ("disabled": nil-span pointer checks only — must stay within 5% of
+// "plain") and when a request is traced but the coin said no
+// ("unsampled": one context lookup per sweep plus nil-span checks per
+// pair). The sampled path materializes spans and is measured in
+// internal/trace's BenchmarkSpanOps instead — it is bounded by MaxSpans,
+// not by workload size.
+func BenchmarkTraceOverhead(b *testing.B) {
+	pairs := benchPairs(b, harness.ComplexityCombo)
+	b.Run("plain", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			core.FindRelation(core.PC, p.R, p.S)
+		}
+	})
+	b.Run("disabled", func(b *testing.B) {
+		var tr *trace.Tracer
+		ctx, root := tr.Start(context.Background(), "req")
+		wsp := trace.FromContext(ctx).Child("sweep.worker")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			core.FindRelation(core.PC, p.R, p.S)
+			// The exact nil-span operations an instrumented sweep issues
+			// per pair when tracing is disabled.
+			if wsp.Recording() {
+				b.Fatal("nil span recording")
+			}
+			wsp.ChildAt("pair", time.Time{}, 0)
+		}
+		root.End()
+	})
+	b.Run("unsampled", func(b *testing.B) {
+		tr := trace.New(trace.Config{Sample: 0, Capacity: 8})
+		ctx, root := tr.Start(context.Background(), "req")
+		wsp := trace.FromContext(ctx).Child("sweep.worker")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			p := pairs[i%len(pairs)]
+			core.FindRelation(core.PC, p.R, p.S)
+			if wsp.Recording() {
+				b.Fatal("unsampled span recording")
+			}
+			wsp.ChildAt("pair", time.Time{}, 0)
+		}
+		root.End()
 	})
 }

@@ -1,0 +1,131 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func smallCfg() config {
+	return config{
+		Label: "BENCH_TEST", Seed: 7, Scale: 0.03, Order: 9,
+		Combos: [][2]string{{"OLE", "OPE"}},
+		Pairs:  200, Warmup: 0, Trials: 1,
+	}
+}
+
+// TestRunReportShape: one small recording covers all four pipelines
+// with coherent per-pair costs and verdict splits.
+func TestRunReportShape(t *testing.T) {
+	rep, err := run(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Combos) != 1 {
+		t.Fatalf("combos = %d, want 1", len(rep.Combos))
+	}
+	cr := rep.Combos[0]
+	if cr.Combo != "OLE-OPE" || cr.Pairs == 0 || cr.Pairs > 200 {
+		t.Fatalf("bad combo report: %+v", cr)
+	}
+	if len(cr.Pipelines) != core.NumMethods {
+		t.Fatalf("pipelines = %d, want %d", len(cr.Pipelines), core.NumMethods)
+	}
+	for _, pr := range cr.Pipelines {
+		if pr.NsPerPair <= 0 {
+			t.Fatalf("%s: ns/pair = %v, want > 0", pr.Method, pr.NsPerPair)
+		}
+		if pr.FilterNsPerPair <= 0 {
+			t.Fatalf("%s: filter ns/pair = %v, want > 0", pr.Method, pr.FilterNsPerPair)
+		}
+		// Stage sums are measured inside the sweep loop, so they cannot
+		// exceed the wall clock per pair (modulo rounding).
+		if pr.FilterNsPerPair+pr.RefineNsPerPair > pr.NsPerPair+1 {
+			t.Fatalf("%s: stage split %v+%v exceeds total %v",
+				pr.Method, pr.FilterNsPerPair, pr.RefineNsPerPair, pr.NsPerPair)
+		}
+		if got := pr.MBRSettled + pr.IFSettled + pr.Refined; got != cr.Pairs {
+			t.Fatalf("%s: verdicts sum to %d, want %d pairs", pr.Method, got, cr.Pairs)
+		}
+		if pr.AllocsPerPair < 0 {
+			t.Fatalf("%s: negative allocs/pair %v", pr.Method, pr.AllocsPerPair)
+		}
+	}
+}
+
+// TestRunDeterministicWorkload: the non-timing fields — the workload
+// fingerprint BENCH points are compared by — are identical across runs.
+func TestRunDeterministicWorkload(t *testing.T) {
+	a, err := run(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Combos[0].Pairs != b.Combos[0].Pairs {
+		t.Fatalf("pair counts differ: %d vs %d", a.Combos[0].Pairs, b.Combos[0].Pairs)
+	}
+	for i := range a.Combos[0].Pipelines {
+		pa, pb := a.Combos[0].Pipelines[i], b.Combos[0].Pipelines[i]
+		if pa.Method != pb.Method || pa.MBRSettled != pb.MBRSettled ||
+			pa.IFSettled != pb.IFSettled || pa.Refined != pb.Refined {
+			t.Fatalf("workload fingerprint drifted:\n%+v\n%+v", pa, pb)
+		}
+	}
+}
+
+// TestReportRoundTrips: the artifact survives a JSON round trip.
+func TestReportRoundTrips(t *testing.T) {
+	rep, err := run(smallCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Bench != "BENCH_TEST" || len(back.Combos) != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+}
+
+// TestParseCombos: accepted and rejected combo specs.
+func TestParseCombos(t *testing.T) {
+	got, err := parseCombos("OLE:OPE, OBE:OPE,")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != [2]string{"OLE", "OPE"} || got[1] != [2]string{"OBE", "OPE"} {
+		t.Fatalf("parseCombos = %v", got)
+	}
+	if _, err := parseCombos("OLE-OPE"); err == nil {
+		t.Fatal("want error for missing colon")
+	}
+}
+
+// TestRunRejectsBadConfig: invalid protocols fail loudly, not with a
+// zero-trial artifact.
+func TestRunRejectsBadConfig(t *testing.T) {
+	cfg := smallCfg()
+	cfg.Trials = 0
+	if _, err := run(cfg); err == nil {
+		t.Fatal("want error for trials=0")
+	}
+	cfg = smallCfg()
+	cfg.Combos = nil
+	if _, err := run(cfg); err == nil {
+		t.Fatal("want error for no combos")
+	}
+	cfg = smallCfg()
+	cfg.Combos = [][2]string{{"OLE", "NOPE"}}
+	if _, err := run(cfg); err == nil {
+		t.Fatal("want error for unknown dataset")
+	}
+}

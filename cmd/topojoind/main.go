@@ -16,7 +16,10 @@
 // (MBR + refine) while a background rebuild recovers it. -repro names a
 // directory receiving WKT dumps of any geometry pair whose evaluation
 // panicked. The STJ_FAULTS environment variable arms fault-injection
-// points (testing only).
+// points (testing only). -trace-sample and -trace-slow enable
+// request-scoped span tracing (buffer served on /debug/traces);
+// -slowlog names a directory receiving slow-query forensics (trace
+// JSON + WKT dump of the slowest pair).
 //
 // Endpoints: /v1/healthz, /v1/datasets, /v1/relate, /v1/join, plus the
 // observability surface (/metrics, /metrics.json, /debug/pprof/) on the
@@ -44,6 +47,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -64,6 +68,9 @@ func main() {
 		workers     = flag.Int("workers", 0, "sweep worker-pool size (0 = GOMAXPROCS)")
 		snapshots   = flag.String("snapshots", "", "directory of durable index snapshots (warm restarts; empty disables)")
 		repro       = flag.String("repro", "", "directory receiving WKT repro dumps of panicking pairs (empty disables)")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of requests recording full span traces (0 disables, 1 traces all)")
+		traceSlow   = flag.Duration("trace-slow", 0, "keep any request's trace at or above this duration, sampled or not (0 disables)")
+		slowlog     = flag.String("slowlog", "", "directory receiving slow-query forensics: trace JSON + WKT pair dumps (needs -trace-slow)")
 	)
 	flag.Parse()
 	if *data == "" && *gen == "" {
@@ -74,6 +81,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "topojoind:", err)
 		os.Exit(2)
 	}
+	var tracer *trace.Tracer
+	if *traceSample > 0 || *traceSlow > 0 {
+		tracer = trace.New(trace.Config{Sample: *traceSample, SlowThreshold: *traceSlow})
+	}
 	if err := run(*addr, *data, *gen, *seed, *scale, *order, *space, server.Config{
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
@@ -82,6 +93,8 @@ func main() {
 		MaxTimeout:     *maxTimeout,
 		JoinWorkers:    *workers,
 		ReproDir:       *repro,
+		Tracer:         tracer,
+		SlowDir:        *slowlog,
 	}, *grace, *snapshots, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "topojoind:", err)
 		os.Exit(1)

@@ -1,0 +1,13 @@
+// Package buildinfo identifies the running binary: the repo's own
+// version (bumped per PR) and the Go toolchain it was built with.
+// Surfaced in /v1/healthz and as the constant stj_build_info gauge so
+// fleet dashboards can correlate behavior changes with deploys.
+package buildinfo
+
+import "runtime"
+
+// Version is the repo version, following the PR sequence.
+const Version = "0.6.0"
+
+// GoVersion returns the Go runtime version the binary runs on.
+func GoVersion() string { return runtime.Version() }

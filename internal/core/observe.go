@@ -60,6 +60,15 @@ type NopSink struct{}
 // ObservePair implements PipelineSink.
 func (NopSink) ObservePair(Method, Result, Verdict, time.Duration, time.Duration) {}
 
+// SinkFunc adapts a function to PipelineSink, for call sites (request
+// tracing, ad-hoc accounting) that don't warrant a named type.
+type SinkFunc func(m Method, res Result, v Verdict, filter, refine time.Duration)
+
+// ObservePair implements PipelineSink.
+func (f SinkFunc) ObservePair(m Method, res Result, v Verdict, filter, refine time.Duration) {
+	f(m, res, v, filter, refine)
+}
+
 // verdictOf classifies a settled result: refined pairs report
 // VerdictRefine; unrefined pairs were settled either by the MBR filter
 // (disjoint or definite case) or, failing that, by the intermediate

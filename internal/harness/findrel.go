@@ -27,6 +27,11 @@ type MethodStats struct {
 	FilterTime time.Duration // MBR + intermediate filter time
 	RefineTime time.Duration // DE-9IM time
 	Relations  [de9im.NumRelations]int
+	// SlowPair is the index (into the sweep's pair slice) of the pair
+	// with the largest filter+refine time, the seed of the slow-query
+	// forensics; only meaningful when SlowPairTime > 0.
+	SlowPair     int
+	SlowPairTime time.Duration
 }
 
 // Throughput returns processed pairs per second (Fig. 7a's metric).
@@ -53,6 +58,9 @@ func (s *MethodStats) merge(o MethodStats) {
 	s.Undetermined += o.Undetermined
 	s.FilterTime += o.FilterTime
 	s.RefineTime += o.RefineTime
+	if o.SlowPairTime > s.SlowPairTime {
+		s.SlowPair, s.SlowPairTime = o.SlowPair, o.SlowPairTime
+	}
 	for i, n := range o.Relations {
 		s.Relations[i] += n
 	}
@@ -77,12 +85,32 @@ func (s MethodStats) Publish(reg *obs.Registry, prefix string) {
 
 // statsSink accumulates observed pipeline events into a MethodStats.
 // It is not safe for concurrent use: the parallel sweep gives each
-// worker its own and merges afterwards.
+// worker its own and merges afterwards. The last* fields replay the
+// most recent event to the sweep loop — which, unlike the sink, knows
+// the pair index — so slow-pair tracking and retroactive trace spans
+// reuse the pipeline's own stage timings instead of reading the clock
+// again.
 type statsSink struct {
-	st *MethodStats
+	st          *MethodStats
+	lastVerdict core.Verdict
+	lastFilter  time.Duration // -1 between begin() and the next event
+	lastRefine  time.Duration
 }
 
-func (k statsSink) ObservePair(_ core.Method, res core.Result, v core.Verdict, filter, refine time.Duration) {
+// begin marks the next evaluation pending, so a panicking pair (which
+// emits no event) is not confused with the previous pair's timings.
+func (k *statsSink) begin() { k.lastFilter, k.lastRefine = -1, 0 }
+
+// settled reports whether the evaluation since begin() produced an
+// event, and if so that pair's total stage time.
+func (k *statsSink) settled() (time.Duration, bool) {
+	if k.lastFilter < 0 {
+		return 0, false
+	}
+	return k.lastFilter + k.lastRefine, true
+}
+
+func (k *statsSink) ObservePair(_ core.Method, res core.Result, v core.Verdict, filter, refine time.Duration) {
 	switch v {
 	case core.VerdictMBR:
 		k.st.MBRSettled++
@@ -94,6 +122,14 @@ func (k statsSink) ObservePair(_ core.Method, res core.Result, v core.Verdict, f
 	k.st.Relations[res.Relation]++
 	k.st.FilterTime += filter
 	k.st.RefineTime += refine
+	k.lastVerdict, k.lastFilter, k.lastRefine = v, filter, refine
+}
+
+// noteSlow folds one settled pair into the stats' slow-pair slot.
+func noteSlow(st *MethodStats, idx int, d time.Duration) {
+	if d > st.SlowPairTime {
+		st.SlowPair, st.SlowPairTime = idx, d
+	}
 }
 
 // RunFindRelation sweeps method m over the pairs through the observed
@@ -101,10 +137,14 @@ func (k statsSink) ObservePair(_ core.Method, res core.Result, v core.Verdict, f
 // pair level (Fig. 8b reports them split).
 func RunFindRelation(m core.Method, pairs []Pair) MethodStats {
 	st := MethodStats{Method: m, Pairs: len(pairs)}
-	sink := statsSink{st: &st}
+	sink := &statsSink{st: &st}
 	start := time.Now()
-	for _, p := range pairs {
+	for i, p := range pairs {
+		sink.begin()
 		core.FindRelationObserved(m, p.R, p.S, sink)
+		if d, ok := sink.settled(); ok {
+			noteSlow(&st, i, d)
+		}
 	}
 	st.Elapsed = time.Since(start)
 	return st

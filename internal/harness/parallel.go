@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/trace"
 )
 
 // PanicError reports pairs whose evaluation panicked during a parallel
@@ -80,13 +81,20 @@ func RunFindRelationParallelCtx(ctx context.Context, m core.Method, pairs []Pair
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(self *MethodStats) {
+		go func(w int, self *MethodStats) {
 			defer wg.Done()
-			sink := statsSink{st: self}
+			// When the request's trace is sampled, each worker gets its
+			// own child span — parallel lanes in the Chrome export — and
+			// hangs per-pair spans off it. With tracing off or unsampled,
+			// wsp is nil and every span call below is a pointer check.
+			wsp := trace.FromContext(ctx).Child("sweep.worker")
+			wsp.SetInt("worker", int64(w))
+			swept := 0
+			sink := &statsSink{st: self}
 			for {
 				lo := int(cursor.Add(chunk)) - chunk
 				if lo >= len(pairs) {
-					return
+					break
 				}
 				hi := lo + chunk
 				if hi > len(pairs) {
@@ -97,6 +105,7 @@ func RunFindRelationParallelCtx(ctx context.Context, m core.Method, pairs []Pair
 					continue // keep claiming to drain the cursor fast
 				}
 				for i, p := range pairs[lo:hi] {
+					sink.begin()
 					if pv, stack := evalPairGuarded(m, p, sink, lo+i, visit); pv != nil {
 						skipped.Add(1) // no verdict: keep Pairs honest
 						pmu.Lock()
@@ -105,10 +114,18 @@ func RunFindRelationParallelCtx(ctx context.Context, m core.Method, pairs []Pair
 						}
 						perr.Count++
 						pmu.Unlock()
+						continue
+					}
+					if d, ok := sink.settled(); ok {
+						noteSlow(self, lo+i, d)
+						recordPairSpan(wsp, lo+i, p, sink, d)
 					}
 				}
+				swept += hi - lo
 			}
-		}(&partial[w])
+			wsp.SetInt("pairs", int64(swept))
+			wsp.End()
+		}(w, &partial[w])
 	}
 	wg.Wait()
 	st.Elapsed = time.Since(start)
@@ -122,11 +139,36 @@ func RunFindRelationParallelCtx(ctx context.Context, m core.Method, pairs []Pair
 	return st, ctx.Err()
 }
 
+// recordPairSpan retroactively attaches one pair span (with its
+// filter/refine stage children) under the worker span, reusing the
+// durations the pipeline sink already measured — no extra clock reads
+// on the unsampled path, one on the sampled path. No-op when wsp is nil
+// or the trace's span budget is spent.
+func recordPairSpan(wsp *trace.Span, idx int, p Pair, sink *statsSink, total time.Duration) {
+	if !wsp.Recording() {
+		return
+	}
+	end := time.Now()
+	ps := wsp.ChildAt("pair", end.Add(-total), total)
+	if ps == nil {
+		return
+	}
+	ps.SetInt("index", int64(idx))
+	ps.SetInt("r_id", int64(p.R.ID))
+	ps.SetInt("s_id", int64(p.S.ID))
+	ps.SetStr("verdict", sink.lastVerdict.String())
+	// Stage spans: filter ran first, refinement (when any) last.
+	ps.ChildAt("filter", end.Add(-total), sink.lastFilter)
+	if sink.lastRefine > 0 {
+		ps.ChildAt("refine", end.Add(-sink.lastRefine), sink.lastRefine)
+	}
+}
+
 // evalPairGuarded evaluates one pair (and its visit callback) behind a
 // recover barrier: a panic — degenerate geometry, a bug in a pipeline
 // stage, a fault injected by a test — is captured and returned instead
 // of unwinding through the worker and killing the process.
-func evalPairGuarded(m core.Method, p Pair, sink statsSink, idx int, visit func(int, core.Result)) (pv any, stack string) {
+func evalPairGuarded(m core.Method, p Pair, sink *statsSink, idx int, visit func(int, core.Result)) (pv any, stack string) {
 	defer func() {
 		if r := recover(); r != nil {
 			pv = r

@@ -8,6 +8,15 @@ import (
 	"net/http/pprof"
 )
 
+// Mount pairs a mux pattern with an extra handler for Handler and
+// ServeDebug, so subsystems with their own debug surfaces (the request
+// tracer's /debug/traces, say) ride the same listener. More specific
+// patterns win over the built-ins per net/http.ServeMux rules.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler returns an http.Handler exposing the registry and the standard
 // Go debug surfaces:
 //
@@ -15,7 +24,7 @@ import (
 //	/metrics.json  JSON snapshot
 //	/debug/vars    expvar
 //	/debug/pprof/  CPU, heap, goroutine, block, mutex profiles
-func Handler(r *Registry) http.Handler {
+func Handler(r *Registry, extra ...Mount) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
@@ -31,6 +40,9 @@ func Handler(r *Registry) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, m := range extra {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 	return mux
 }
 
@@ -40,12 +52,12 @@ func Handler(r *Registry) http.Handler {
 // server's lifetime instead of leaking it until process exit. The
 // shutdown function honors its context's deadline (http.Server.Shutdown
 // semantics) and is safe to call more than once.
-func ServeDebug(addr string, r *Registry) (string, func(context.Context) error, error) {
+func ServeDebug(addr string, r *Registry, extra ...Mount) (string, func(context.Context) error, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: Handler(r)}
+	srv := &http.Server{Handler: Handler(r, extra...)}
 	go srv.Serve(ln)
 	return ln.Addr().String(), srv.Shutdown, nil
 }

@@ -20,6 +20,7 @@
 package obs
 
 import (
+	"fmt"
 	"math"
 	"sync/atomic"
 	"time"
@@ -58,27 +59,37 @@ func (g *Gauge) Value() int64 { return g.v.Load() }
 // +Inf bucket. All mutation is atomic: concurrent Observe calls are safe
 // and never block.
 type Histogram struct {
-	bounds  []float64
-	buckets []atomic.Int64 // len(bounds)+1, last is +Inf
-	count   atomic.Int64
-	sum     atomic.Uint64 // float64 bits, CAS-updated
+	bounds    []float64
+	buckets   []atomic.Int64  // len(bounds)+1, last is +Inf
+	exemplars []atomic.Uint64 // per-bucket trace id, 0 = none
+	count     atomic.Int64
+	sum       atomic.Uint64 // float64 bits, CAS-updated
 }
 
 // NewHistogram creates a histogram with the given ascending bucket upper
 // bounds. The bounds slice is not copied; callers must not mutate it.
 func NewHistogram(bounds []float64) *Histogram {
-	return &Histogram{bounds: bounds, buckets: make([]atomic.Int64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		buckets:   make([]atomic.Int64, len(bounds)+1),
+		exemplars: make([]atomic.Uint64, len(bounds)+1),
+	}
 }
 
-// Observe records one value.
-func (h *Histogram) Observe(v float64) {
-	// Linear scan: bucket counts are small (~25) and the common case
-	// (latencies near the low end) exits early.
+// bucketIndex returns the bucket v falls in. Linear scan: bucket counts
+// are small (~25) and the common case (latencies near the low end)
+// exits early.
+func (h *Histogram) bucketIndex(v float64) int {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
 	}
-	h.buckets[i].Add(1)
+	return i
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.buckets[h.bucketIndex(v)].Add(1)
 	h.count.Add(1)
 	for {
 		old := h.sum.Load()
@@ -92,6 +103,18 @@ func (h *Histogram) Observe(v float64) {
 // ObserveDuration records a duration in seconds.
 func (h *Histogram) ObserveDuration(d time.Duration) { h.Observe(d.Seconds()) }
 
+// SetExemplar links the bucket v falls in to a trace id, so a latency
+// outlier in the histogram leads straight to its request trace. The
+// last trace to land in a bucket wins; traceID 0 ("no trace") is a
+// no-op. Exemplars appear in the JSON snapshot only — the Prometheus
+// 0.0.4 text format predates them and stays untouched.
+func (h *Histogram) SetExemplar(v float64, traceID uint64) {
+	if traceID == 0 {
+		return
+	}
+	h.exemplars[h.bucketIndex(v)].Store(traceID)
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() int64 { return h.count.Load() }
 
@@ -104,6 +127,9 @@ type HistogramSnapshot struct {
 	Counts []int64   `json:"counts"` // per bucket; last is +Inf
 	Count  int64     `json:"count"`
 	Sum    float64   `json:"sum"`
+	// Exemplars holds one hex trace id per bucket ("" when none);
+	// omitted entirely while no exemplar has been set.
+	Exemplars []string `json:"exemplars,omitempty"`
 }
 
 // Snapshot copies the histogram state. Buckets are read without a global
@@ -118,6 +144,14 @@ func (h *Histogram) Snapshot() HistogramSnapshot {
 	}
 	for i := range h.buckets {
 		s.Counts[i] = h.buckets[i].Load()
+	}
+	for i := range h.exemplars {
+		if id := h.exemplars[i].Load(); id != 0 {
+			if s.Exemplars == nil {
+				s.Exemplars = make([]string, len(h.exemplars))
+			}
+			s.Exemplars[i] = fmt.Sprintf("%016x", id)
+		}
 	}
 	return s
 }

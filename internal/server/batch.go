@@ -11,6 +11,7 @@ import (
 	"repro/internal/de9im"
 	"repro/internal/join"
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // probeMode selects what a relate probe evaluates per candidate.
@@ -36,16 +37,40 @@ type probeJob struct {
 	mask   de9im.Mask
 	limit  int
 
+	// span is the request's trace root span; track arms per-candidate
+	// timing (sampled trace or slow-query log). Candidate spans hang
+	// directly off span — relate has no worker level worth showing.
+	span  *trace.Span
+	track bool
+
 	mu        sync.Mutex
 	matches   []RelateMatch
 	truncated bool
-	panicked  atomic.Int64 // candidates whose evaluation panicked
+	slowObj   *core.Object  // slowest candidate so far (track only)
+	slowDur   time.Duration // its evaluation time
+	panicked  atomic.Int64  // candidates whose evaluation panicked
 	evaluated atomic.Int64
 	refined   atomic.Int64
 
 	candidates int
 	batchSize  int
 	done       chan error
+}
+
+// noteSlow records one timed candidate; the slowest wins the slot.
+func (j *probeJob) noteSlow(o *core.Object, d time.Duration) {
+	j.mu.Lock()
+	if d > j.slowDur {
+		j.slowObj, j.slowDur = o, d
+	}
+	j.mu.Unlock()
+}
+
+// slowest returns the slowest candidate seen (nil when untracked).
+func (j *probeJob) slowest() (*core.Object, time.Duration) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.slowObj, j.slowDur
 }
 
 func (j *probeJob) addMatch(m RelateMatch) {
@@ -248,6 +273,19 @@ func (b *batcher) evalTaskGuarded(t task) {
 
 func evalTask(t task) {
 	j := t.job
+	// Tracked jobs (sampled trace or armed slow-query log) time each
+	// candidate; find mode additionally rides the observed pipeline to
+	// split the time into filter/refine stage spans. Untracked jobs run
+	// the plain path — the sink stays a nil interface.
+	var start time.Time
+	var filter, refineDur time.Duration
+	var sink core.PipelineSink
+	if j.track {
+		start = time.Now()
+		sink = core.SinkFunc(func(_ core.Method, _ core.Result, _ core.Verdict, f, r time.Duration) {
+			filter, refineDur = f, r
+		})
+	}
 	switch j.mode {
 	case modePred:
 		rr := core.RelatePred(j.method, j.probe, t.obj, j.pred)
@@ -266,7 +304,7 @@ func evalTask(t task) {
 			j.addMatch(RelateMatch{ID: t.obj.ID})
 		}
 	default: // modeFind
-		res := core.FindRelation(j.method, j.probe, t.obj)
+		res := core.FindRelationObserved(j.method, j.probe, t.obj, sink)
 		if res.Refined {
 			j.refined.Add(1)
 		}
@@ -275,4 +313,18 @@ func evalTask(t task) {
 		}
 	}
 	j.evaluated.Add(1)
+	if !j.track {
+		return
+	}
+	d := time.Since(start)
+	j.noteSlow(t.obj, d)
+	if ps := j.span.ChildAt("candidate", start, d); ps != nil {
+		ps.SetInt("id", int64(t.obj.ID))
+		if filter+refineDur > 0 {
+			ps.ChildAt("filter", start, filter)
+			if refineDur > 0 {
+				ps.ChildAt("refine", start.Add(d-refineDur), refineDur)
+			}
+		}
+	}
 }

@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/de9im"
 	"repro/internal/geojson"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/harness"
 	"repro/internal/join"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/wkt"
 )
 
@@ -57,6 +59,18 @@ type Config struct {
 	// format) of every geometry pair whose evaluation panicked, so
 	// crashes become replayable test cases. Empty disables dumping.
 	ReproDir string
+	// Tracer, when non-nil, records request-scoped span traces: every
+	// request gets a root span, sampled ones a full handler → sweep
+	// worker → settling-stage tree, and requests crossing the tracer's
+	// slow threshold are kept regardless of sampling. The buffer is
+	// served on /debug/traces.
+	Tracer *trace.Tracer
+	// SlowDir, when set together with a Tracer whose SlowThreshold is
+	// on, receives slow-query forensics: the slow request's trace as
+	// JSON plus a WKT dump of its slowest pair in the oracle
+	// regression-corpus format (same as ReproDir panic dumps), so a
+	// latency outlier becomes a replayable input.
+	SlowDir string
 	// Logf receives the server's operational log lines (recovered
 	// panics, degraded-mode transitions); default discards them.
 	Logf func(format string, args ...any)
@@ -126,6 +140,12 @@ type Server struct {
 	timeouts *obs.Counter
 	logf     func(format string, args ...any)
 
+	tracer  *trace.Tracer
+	slowThr time.Duration
+	// degServed counts requests answered by the forced ST2 pipeline
+	// while a dataset involved was degraded, per route.
+	degServed map[string]*obs.Counter
+
 	// testHook, when non-nil, runs inside every admitted request before
 	// the real work — lifecycle tests use it to hold slots at a gate.
 	testHook func(ctx context.Context) error
@@ -143,20 +163,36 @@ func New(data *Registry, cfg Config) *Server {
 		rejected: met.Counter("server_rejected_total{reason=\"overload\"}"),
 		timeouts: met.Counter("server_rejected_total{reason=\"deadline\"}"),
 		logf:     cfg.Logf,
+		tracer:   cfg.Tracer,
+		slowThr:  cfg.Tracer.SlowThreshold(),
+		degServed: map[string]*obs.Counter{
+			"relate": met.Counter(obs.Name("server_degraded_requests_total", "route", "relate")),
+			"join":   met.Counter(obs.Name("server_degraded_requests_total", "route", "join")),
+		},
 	}
+	s.installSlowLog()
 	s.rootCtx, s.rootCancel = context.WithCancelCause(context.Background())
 	s.adm = newAdmission(cfg.MaxInFlight, cfg.MaxQueue, cfg.QueueWait,
 		met.Gauge("server_inflight"), met.Gauge("server_queue_depth"))
 	s.bat = newBatcher(cfg.BatchWindow, cfg.MaxBatch, cfg.JoinWorkers, met, s.pairPanic)
 	go s.bat.run(s.rootCtx)
 
+	// Build identity: constant gauge, labels carry the facts.
+	met.GaugeFunc(obs.Name("stj_build_info",
+		"version", buildinfo.Version,
+		"go", buildinfo.GoVersion(),
+		"grid_order", fmt.Sprint(data.Builder().Grid().Order())),
+		func() int64 { return 1 })
+
 	s.mux.HandleFunc("GET /v1/healthz", s.route("healthz", false, s.handleHealthz))
 	s.mux.HandleFunc("GET /v1/datasets", s.route("datasets", false, s.handleDatasets))
+	s.mux.HandleFunc("GET /v1/metricz", s.route("metricz", false, s.handleMetricz))
 	s.mux.HandleFunc("POST /v1/relate", s.route("relate", true, s.handleRelate))
 	s.mux.HandleFunc("POST /v1/join", s.route("join", true, s.handleJoin))
 	// The PR-1 debug surface rides on the same server: metrics scrapes
-	// and live profiles come from the serving process itself.
-	debug := obs.Handler(met)
+	// and live profiles come from the serving process itself. The trace
+	// buffer mounts under the same /debug/ tree (nil-tracer safe).
+	debug := obs.Handler(met, obs.Mount{Pattern: "/debug/traces", Handler: cfg.Tracer.Handler()})
 	s.mux.Handle("/metrics", debug)
 	s.mux.Handle("/metrics.json", debug)
 	s.mux.Handle("/debug/", debug)
@@ -229,6 +265,21 @@ func (s *Server) route(name string, admit bool, h handlerFunc) http.HandlerFunc 
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
 		span := obs.StartSpan(lat)
+		// Every request gets a trace root span (one small allocation);
+		// whether children record was decided by the tracer's sampling
+		// coin. finish closes both timers exactly once per exit path and,
+		// when the trace is kept, plants its id as the latency bucket's
+		// exemplar — the histogram outlier links to its trace.
+		tctx, rsp := s.tracer.Start(r.Context(), "http."+name)
+		finish := func(code int) {
+			codeCtr(code).Inc()
+			rsp.SetInt("http_status", int64(code))
+			d := span.End()
+			rsp.End()
+			if rsp.Recording() || (s.slowThr > 0 && d >= s.slowThr) {
+				lat.SetExemplar(d.Seconds(), rsp.TraceID())
+			}
+		}
 		// Outermost panic barrier: whatever escapes the per-pair guards
 		// costs this request a 500, never the process. The handler has
 		// not written its response yet when it can still panic (payload
@@ -237,17 +288,18 @@ func (s *Server) route(name string, admit bool, h handlerFunc) http.HandlerFunc 
 		defer func() {
 			if rv := recover(); rv != nil {
 				s.handlerPanic(name, rv)
+				rsp.SetStr("panic", fmt.Sprint(rv))
 				if !wrote {
 					writeError(w, http.StatusInternalServerError, "internal error")
-					codeCtr(http.StatusInternalServerError).Inc()
+					finish(http.StatusInternalServerError)
+				} else {
+					finish(http.StatusOK)
 				}
-				span.End()
 			}
 		}()
 		if s.draining.Load() {
 			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
-			codeCtr(http.StatusServiceUnavailable).Inc()
-			span.End()
+			finish(http.StatusServiceUnavailable)
 			return
 		}
 		s.wg.Add(1)
@@ -255,7 +307,7 @@ func (s *Server) route(name string, admit bool, h handlerFunc) http.HandlerFunc 
 
 		// Tie the request to the drain lifecycle: when the grace period
 		// expires, rootCtx cancels every in-flight request context.
-		ctx, cancel := context.WithCancel(r.Context())
+		ctx, cancel := context.WithCancel(tctx)
 		defer cancel()
 		stop := context.AfterFunc(s.rootCtx, cancel)
 		defer stop()
@@ -265,8 +317,7 @@ func (s *Server) route(name string, admit bool, h handlerFunc) http.HandlerFunc 
 			if err != nil {
 				code := s.admissionCode(err)
 				writeError(w, code, err.Error())
-				codeCtr(code).Inc()
-				span.End()
+				finish(code)
 				return
 			}
 			defer release()
@@ -282,8 +333,7 @@ func (s *Server) route(name string, admit bool, h handlerFunc) http.HandlerFunc 
 			w.Header().Set("Content-Type", "application/json")
 			json.NewEncoder(w).Encode(payload)
 		}
-		codeCtr(code).Inc()
-		span.End()
+		finish(code)
 	}
 }
 
@@ -349,14 +399,31 @@ func (s *Server) handleHealthz(ctx context.Context, r *http.Request) (any, error
 	if s.draining.Load() {
 		status = "draining"
 	}
+	var degServed int64
+	for _, c := range s.degServed {
+		degServed += c.Value()
+	}
 	return HealthResponse{
-		Status:     status,
-		Datasets:   s.data.Len(),
-		InFlight:   s.met.Gauge("server_inflight").Value(),
-		Queued:     s.met.Gauge("server_queue_depth").Value(),
-		Degraded:   degraded,
-		Rebuilding: rebuilding,
+		Status: status,
+		Build: BuildInfo{
+			Version:   buildinfo.Version,
+			Go:        buildinfo.GoVersion(),
+			GridOrder: s.data.Builder().Grid().Order(),
+		},
+		Datasets:       s.data.Len(),
+		InFlight:       s.met.Gauge("server_inflight").Value(),
+		Queued:         s.met.Gauge("server_queue_depth").Value(),
+		Degraded:       degraded,
+		Rebuilding:     rebuilding,
+		DegradedServed: degServed,
 	}, nil
+}
+
+// handleMetricz serves the full metrics snapshot as JSON on the main
+// API port, so operators behind a firewall that only exposes the API
+// don't need the separate -metrics debug listener.
+func (s *Server) handleMetricz(ctx context.Context, r *http.Request) (any, error) {
+	return s.met.Snapshot(), nil
 }
 
 func (s *Server) handleDatasets(ctx context.Context, r *http.Request) (any, error) {
@@ -443,18 +510,25 @@ func (s *Server) handleRelate(ctx context.Context, r *http.Request) (any, error)
 	if err != nil {
 		return nil, err
 	}
+	rsp := trace.FromContext(ctx)
+	rsp.SetStr("dataset", req.Dataset)
 	if entry.Degraded {
 		// The entry has no approximations (post-corruption rebuild in
 		// flight); ST2 never reads them, so answers stay correct. An
 		// interval filter over empty lists would be silently wrong.
 		method = core.ST2
+		s.degServed["relate"].Inc()
+		rsp.SetStr("degraded", "true")
 	}
+	rsp.SetStr("method", method.String())
 	job := &probeJob{
 		entry:  entry,
 		method: method,
 		limit:  s.clampLimit(req.Limit),
 		done:   make(chan error, 1),
+		span:   rsp,
 	}
+	job.track = rsp.Recording() || (s.slowThr > 0 && s.cfg.SlowDir != "")
 	switch {
 	case req.Predicate != "" && req.Mask != "":
 		return nil, errf(http.StatusBadRequest, "give predicate or mask, not both")
@@ -501,6 +575,17 @@ func (s *Server) handleRelate(ctx context.Context, r *http.Request) (any, error)
 	case <-rctx.Done():
 		return nil, rctx.Err()
 	}
+	elapsed := time.Since(start)
+	rsp.SetInt("candidates", int64(job.candidates))
+	rsp.SetInt("evaluated", job.evaluated.Load())
+	rsp.SetInt("refined", job.refined.Load())
+	if slowObj, slowDur := job.slowest(); slowObj != nil {
+		rsp.SetInt("slow_candidate_id", int64(slowObj.ID))
+		rsp.SetInt("slow_candidate_ns", int64(slowDur))
+		if s.slowThr > 0 && elapsed >= s.slowThr {
+			s.dumpSlowPair("relate", rsp.TraceID(), job.probe, slowObj, slowDur)
+		}
+	}
 	matches := job.matches
 	if matches == nil {
 		matches = []RelateMatch{}
@@ -513,7 +598,7 @@ func (s *Server) handleRelate(ctx context.Context, r *http.Request) (any, error)
 		Matches:    matches,
 		Truncated:  job.truncated,
 		BatchSize:  job.batchSize,
-		ElapsedMS:  float64(time.Since(start)) / float64(time.Millisecond),
+		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
 	}, nil
 }
 
@@ -534,9 +619,15 @@ func (s *Server) handleJoin(ctx context.Context, r *http.Request) (any, error) {
 	if err != nil {
 		return nil, err
 	}
+	rsp := trace.FromContext(ctx)
+	rsp.SetStr("left", req.Left)
+	rsp.SetStr("right", req.Right)
 	if left.Degraded || right.Degraded {
 		method = core.ST2 // see handleRelate: degraded entries carry no approximations
+		s.degServed["join"].Inc()
+		rsp.SetStr("degraded", "true")
 	}
+	rsp.SetStr("method", method.String())
 	if req.Predicate != "" && req.Mask != "" {
 		return nil, errf(http.StatusBadRequest, "give predicate or mask, not both")
 	}
@@ -554,14 +645,18 @@ func (s *Server) handleJoin(ctx context.Context, r *http.Request) (any, error) {
 	start := time.Now()
 	// Candidate generation: synchronized R-tree traversal over the two
 	// once-built indexes, abandoned mid-tree when the deadline expires.
+	csp := rsp.Child("candidates")
 	lo, ro := left.Dataset.Objects, right.Dataset.Objects
 	var pairs []harness.Pair
 	err = left.Tree.JoinContext(rctx, right.Tree, func(a, b join.Entry) {
 		pairs = append(pairs, harness.Pair{R: lo[a.ID], S: ro[b.ID]})
 	})
+	csp.SetInt("pairs", int64(len(pairs)))
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
+	rsp.SetInt("candidates", int64(len(pairs)))
 
 	resp := JoinResponse{Left: req.Left, Right: req.Right, Candidates: len(pairs)}
 	var mu sync.Mutex
@@ -575,13 +670,14 @@ func (s *Server) handleJoin(ctx context.Context, r *http.Request) (any, error) {
 		resp.Pairs = append(resp.Pairs, p)
 	}
 
+	slowIdx, slowDur := -1, time.Duration(0)
 	switch {
 	case req.Predicate != "":
 		pred, perr := parseRelation(req.Predicate)
 		if perr != nil {
 			return nil, perr
 		}
-		err = s.sweepPairs(rctx, pairs, func(p harness.Pair) {
+		slowIdx, slowDur, err = s.sweepPairs(rctx, pairs, func(p harness.Pair) {
 			rr := core.RelatePred(method, p.R, p.S, pred)
 			mu.Lock()
 			resp.Evaluated++
@@ -601,7 +697,7 @@ func (s *Server) handleJoin(ctx context.Context, r *http.Request) (any, error) {
 		if merr != nil {
 			return nil, errf(http.StatusBadRequest, "mask: %v", merr)
 		}
-		err = s.sweepPairs(rctx, pairs, func(p harness.Pair) {
+		slowIdx, slowDur, err = s.sweepPairs(rctx, pairs, func(p harness.Pair) {
 			rr := core.RelateMask(method, p.R, p.S, mask)
 			mu.Lock()
 			resp.Evaluated++
@@ -653,11 +749,26 @@ func (s *Server) handleJoin(ctx context.Context, r *http.Request) (any, error) {
 			}
 		}
 		st.Publish(s.met, "server_join")
+		slowIdx, slowDur = st.SlowPair, st.SlowPairTime
 	}
 	if err != nil {
 		return nil, err
 	}
-	resp.ElapsedMS = float64(time.Since(start)) / float64(time.Millisecond)
+	elapsed := time.Since(start)
+	rsp.SetInt("evaluated", int64(resp.Evaluated))
+	rsp.SetInt("refined", int64(resp.Refined))
+	// Slow-pair forensics ride the root span even on unsampled traces:
+	// a slow request kept root-only still names its worst pair.
+	if slowDur > 0 && slowIdx >= 0 && slowIdx < len(pairs) {
+		p := pairs[slowIdx]
+		rsp.SetInt("slow_pair_r", int64(p.R.ID))
+		rsp.SetInt("slow_pair_s", int64(p.S.ID))
+		rsp.SetInt("slow_pair_ns", int64(slowDur))
+		if s.slowThr > 0 && elapsed >= s.slowThr {
+			s.dumpSlowPair("join", rsp.TraceID(), p.R, p.S, slowDur)
+		}
+	}
+	resp.ElapsedMS = float64(elapsed) / float64(time.Millisecond)
 	return resp, nil
 }
 
@@ -665,8 +776,12 @@ func (s *Server) handleJoin(ctx context.Context, r *http.Request) (any, error) {
 // shape, stopping at chunk granularity when ctx is done. Each pair runs
 // behind a recover barrier: a panicking pair is counted, repro-dumped
 // and reported as an error, and every other pair is still evaluated —
-// one poisonous geometry never kills the pool.
-func (s *Server) sweepPairs(ctx context.Context, pairs []harness.Pair, fn func(harness.Pair)) error {
+// one poisonous geometry never kills the pool. When the request's trace
+// is sampled each worker gets a child span with per-pair spans under
+// it, and when either tracing or the slow-query log is armed the pairs
+// are individually timed so the sweep reports its slowest pair
+// (slowIdx -1, slowDur 0 when untracked or empty).
+func (s *Server) sweepPairs(ctx context.Context, pairs []harness.Pair, fn func(harness.Pair)) (slowIdx int, slowDur time.Duration, err error) {
 	workers := s.cfg.JoinWorkers
 	if workers > len(pairs) {
 		workers = len(pairs)
@@ -674,18 +789,26 @@ func (s *Server) sweepPairs(ctx context.Context, pairs []harness.Pair, fn func(h
 	if workers < 1 {
 		workers = 1
 	}
+	rsp := trace.FromContext(ctx)
+	track := rsp.Recording() || (s.slowThr > 0 && s.cfg.SlowDir != "")
 	const chunk = 16
 	var cursor atomic.Int64
 	var panicked atomic.Int64
+	var mu sync.Mutex // guards slowIdx, slowDur
+	slowIdx = -1
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			wsp := rsp.Child("sweep.worker")
+			wsp.SetInt("worker", int64(w))
+			swept := 0
+			localIdx, localDur := -1, time.Duration(0)
 			for {
 				lo := int(cursor.Add(chunk)) - chunk
 				if lo >= len(pairs) {
-					return
+					break
 				}
 				hi := lo + chunk
 				if hi > len(pairs) {
@@ -694,19 +817,44 @@ func (s *Server) sweepPairs(ctx context.Context, pairs []harness.Pair, fn func(h
 				if ctx.Err() != nil {
 					continue
 				}
-				for _, p := range pairs[lo:hi] {
+				for i, p := range pairs[lo:hi] {
 					p := p
+					var t0 time.Time
+					if track {
+						t0 = time.Now()
+					}
 					if s.guardPair("join", p.R, p.S, func() { fn(p) }) {
 						panicked.Add(1)
+						continue
+					}
+					if track {
+						d := time.Since(t0)
+						if d > localDur {
+							localIdx, localDur = lo+i, d
+						}
+						if ps := wsp.ChildAt("pair", t0, d); ps != nil {
+							ps.SetInt("r_id", int64(p.R.ID))
+							ps.SetInt("s_id", int64(p.S.ID))
+						}
 					}
 				}
+				swept += hi - lo
 			}
-		}()
+			wsp.SetInt("pairs", int64(swept))
+			wsp.End()
+			if localDur > 0 {
+				mu.Lock()
+				if localDur > slowDur {
+					slowIdx, slowDur = localIdx, localDur
+				}
+				mu.Unlock()
+			}
+		}(w)
 	}
 	wg.Wait()
 	if n := panicked.Load(); n > 0 {
-		return errf(http.StatusInternalServerError,
+		return slowIdx, slowDur, errf(http.StatusInternalServerError,
 			"evaluation panicked on %d pair(s); repro dumped, see server log", n)
 	}
-	return ctx.Err()
+	return slowIdx, slowDur, ctx.Err()
 }

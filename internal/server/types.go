@@ -112,18 +112,32 @@ type DatasetInfo struct {
 	Status string `json:"status"`
 }
 
+// BuildInfo identifies the serving binary.
+type BuildInfo struct {
+	Version string `json:"version"`
+	Go      string `json:"go"`
+	// GridOrder is k of the shared 2^k × 2^k approximation grid — part
+	// of build identity because approximations from different grids are
+	// not comparable.
+	GridOrder uint `json:"grid_order"`
+}
+
 // HealthResponse is the /v1/healthz payload.
 type HealthResponse struct {
 	// Status is "ok", "degraded" (at least one dataset serving without
 	// its approximations) or "draining".
-	Status   string `json:"status"`
-	Datasets int    `json:"datasets"`
-	InFlight int64  `json:"in_flight"`
-	Queued   int64  `json:"queued"`
+	Status   string    `json:"status"`
+	Build    BuildInfo `json:"build"`
+	Datasets int       `json:"datasets"`
+	InFlight int64     `json:"in_flight"`
+	Queued   int64     `json:"queued"`
 	// Degraded and Rebuilding list datasets currently serving in
 	// degraded mode, split by whether a background rebuild is running.
 	Degraded   []string `json:"degraded,omitempty"`
 	Rebuilding []string `json:"rebuilding,omitempty"`
+	// DegradedServed counts requests (lifetime) answered by the forced
+	// ST2 pipeline because a dataset involved was degraded.
+	DegradedServed int64 `json:"degraded_served"`
 }
 
 // errorBody is the JSON error envelope of every non-2xx response.

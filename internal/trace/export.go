@@ -1,0 +1,251 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"time"
+)
+
+// SpanData is the immutable, serializable form of one span.
+type SpanData struct {
+	Name string `json:"name"`
+	// StartUnixNs is the wall-clock start; durations are measured on the
+	// monotonic clock before conversion.
+	StartUnixNs int64      `json:"start_unix_ns"`
+	DurNs       int64      `json:"dur_ns"`
+	Attrs       []Attr     `json:"attrs,omitempty"`
+	Children    []SpanData `json:"children,omitempty"`
+}
+
+// Depth returns the number of nested span levels rooted at d (a lone
+// span is depth 1).
+func (d SpanData) Depth() int {
+	max := 0
+	for _, c := range d.Children {
+		if n := c.Depth(); n > max {
+			max = n
+		}
+	}
+	return 1 + max
+}
+
+// SpanCount returns the total spans in the tree rooted at d.
+func (d SpanData) SpanCount() int {
+	n := 1
+	for _, c := range d.Children {
+		n += c.SpanCount()
+	}
+	return n
+}
+
+// Attr returns the value of the named attribute ("" when absent),
+// searching d's attributes only, last write wins.
+func (d SpanData) Attr(key string) string {
+	for i := len(d.Attrs) - 1; i >= 0; i-- {
+		if d.Attrs[i].Key == key {
+			return fmt.Sprint(d.Attrs[i].Value)
+		}
+	}
+	return ""
+}
+
+// IntAttr returns the named integer attribute.
+func (d SpanData) IntAttr(key string) (int64, bool) {
+	for i := len(d.Attrs) - 1; i >= 0; i-- {
+		if d.Attrs[i].Key == key {
+			switch v := d.Attrs[i].Value.(type) {
+			case int64:
+				return v, true
+			case float64: // round-tripped through JSON
+				return int64(v), true
+			}
+		}
+	}
+	return 0, false
+}
+
+// TraceData is the immutable, serializable form of one completed trace.
+type TraceData struct {
+	ID      string   `json:"id"` // 16 hex digits
+	Sampled bool     `json:"sampled"`
+	Slow    bool     `json:"slow,omitempty"`
+	DurNs   int64    `json:"dur_ns"`
+	Dropped int64    `json:"dropped_spans,omitempty"`
+	Root    SpanData `json:"root"`
+}
+
+// FormatID renders a trace id the way exports do.
+func FormatID(id uint64) string { return fmt.Sprintf("%016x", id) }
+
+// data converts the finished span tree. Spans are locked one at a time;
+// by the time the root ends, workers have ended their subtrees, and a
+// straggler mutating concurrently sees a consistent (if partial) copy.
+func (tr *traceState) data() TraceData {
+	return TraceData{
+		ID:      FormatID(tr.id),
+		Sampled: tr.sampled,
+		DurNs:   int64(tr.root.dur),
+		Dropped: tr.dropped.Load(),
+		Root:    tr.root.data(),
+	}
+}
+
+func (s *Span) data() SpanData {
+	s.mu.Lock()
+	d := SpanData{
+		Name:        s.name,
+		StartUnixNs: s.start.UnixNano(),
+		DurNs:       int64(s.dur),
+	}
+	if !s.ended {
+		d.DurNs = int64(time.Since(s.start))
+	}
+	if len(s.attrs) > 0 {
+		d.Attrs = append([]Attr(nil), s.attrs...)
+	}
+	children := append([]*Span(nil), s.children...)
+	s.mu.Unlock()
+	for _, c := range children {
+		d.Children = append(d.Children, c.data())
+	}
+	return d
+}
+
+// Traces returns the buffered completed traces, oldest first. Nil-safe.
+func (t *Tracer) Traces() []TraceData {
+	if t == nil {
+		return nil
+	}
+	n := t.next.Load()
+	size := uint64(len(t.ring))
+	lo := uint64(0)
+	if n > size {
+		lo = n - size
+	}
+	out := make([]TraceData, 0, n-lo)
+	for i := lo; i < n; i++ {
+		if td := t.ring[i%size].Load(); td != nil {
+			out = append(out, *td)
+		}
+	}
+	return out
+}
+
+// TraceByID returns one buffered trace by its hex id.
+func (t *Tracer) TraceByID(id string) (TraceData, bool) {
+	for _, td := range t.Traces() {
+		if td.ID == id {
+			return td, true
+		}
+	}
+	return TraceData{}, false
+}
+
+// --- Chrome trace format ---
+
+// chromeEvent is one complete ("X") event of the Chrome trace event
+// format, loadable in chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders traces in the Chrome trace event format: one
+// pid per trace, one tid lane per depth-1 subtree (so concurrent sweep
+// workers display as parallel tracks instead of interleaving).
+func WriteChromeTrace(w io.Writer, traces []TraceData) error {
+	out := chromeTrace{TraceEvents: []chromeEvent{}, DisplayTimeUnit: "ms"}
+	for pi, td := range traces {
+		args := map[string]any{"trace_id": td.ID, "sampled": td.Sampled}
+		if td.Slow {
+			args["slow"] = true
+		}
+		emitChrome(&out.TraceEvents, td.Root, pi+1, 0, args)
+		for li, c := range td.Root.Children {
+			emitChrome(&out.TraceEvents, c, pi+1, li+1, nil)
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// emitChrome writes span (without recursing past depth-1 children when
+// called on a root: the caller assigns those their own lanes) and its
+// whole subtree into the same lane.
+func emitChrome(events *[]chromeEvent, d SpanData, pid, tid int, extra map[string]any) {
+	args := extra
+	if len(d.Attrs) > 0 {
+		if args == nil {
+			args = make(map[string]any, len(d.Attrs))
+		}
+		for _, a := range d.Attrs {
+			args[a.Key] = a.Value
+		}
+	}
+	*events = append(*events, chromeEvent{
+		Name: d.Name, Cat: "stj", Ph: "X",
+		TS:  float64(d.StartUnixNs) / 1e3,
+		Dur: float64(d.DurNs) / 1e3,
+		PID: pid, TID: tid, Args: args,
+	})
+	if tid == 0 {
+		return // root lane: depth-1 children get their own lanes
+	}
+	for _, c := range d.Children {
+		emitChrome(events, c, pid, tid, nil)
+	}
+}
+
+// --- HTTP surface ---
+
+// Handler serves the trace buffer for the debug listener:
+//
+//	GET .../traces                 JSON array of buffered traces
+//	GET .../traces?id=<hex>        one trace
+//	GET .../traces?format=chrome   Chrome trace event format (all, or one
+//	                               with id=) — load in chrome://tracing
+//	GET .../traces?stats=1         tracer counters
+//
+// Nil-safe: a nil tracer serves empty results.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		q := r.URL.Query()
+		if q.Get("stats") != "" {
+			w.Header().Set("Content-Type", "application/json")
+			json.NewEncoder(w).Encode(t.Stats())
+			return
+		}
+		traces := t.Traces()
+		if id := q.Get("id"); id != "" {
+			td, ok := t.TraceByID(id)
+			if !ok {
+				http.Error(w, fmt.Sprintf("no buffered trace %q", id), http.StatusNotFound)
+				return
+			}
+			traces = []TraceData{td}
+		}
+		if q.Get("format") == "chrome" {
+			w.Header().Set("Content-Type", "application/json")
+			WriteChromeTrace(w, traces)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(traces)
+	})
+}

@@ -1,0 +1,435 @@
+package trace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// always returns a tracer that records every request.
+func always(capacity int) *Tracer {
+	return New(Config{Sample: 1, Capacity: capacity})
+}
+
+func TestNilTracerAndSpanAreInert(t *testing.T) {
+	var tr *Tracer
+	ctx, sp := tr.Start(context.Background(), "root")
+	if sp != nil {
+		t.Fatal("nil tracer returned a span")
+	}
+	if FromContext(ctx) != nil {
+		t.Fatal("nil tracer put a span in the context")
+	}
+	// Every span method must be nil-receiver safe.
+	sp.SetStr("k", "v")
+	sp.SetInt("n", 1)
+	if sp.Recording() {
+		t.Fatal("nil span records")
+	}
+	if sp.TraceID() != 0 {
+		t.Fatal("nil span has a trace id")
+	}
+	if c := sp.Child("x"); c != nil {
+		t.Fatal("nil span produced a child")
+	}
+	if c := sp.ChildAt("x", time.Now(), time.Millisecond); c != nil {
+		t.Fatal("nil span produced a retroactive child")
+	}
+	if d := sp.End(); d != 0 {
+		t.Fatal("nil span measured a duration")
+	}
+	if got := tr.Traces(); got != nil {
+		t.Fatalf("nil tracer has traces: %v", got)
+	}
+	if s := tr.Stats(); s != (Stats{}) {
+		t.Fatalf("nil tracer has stats: %+v", s)
+	}
+	tr.OnSlow(func(TraceData) {})
+}
+
+func TestSpanNestingAndAttrs(t *testing.T) {
+	tr := always(8)
+	ctx, root := tr.Start(context.Background(), "http.join")
+	if !root.Recording() {
+		t.Fatal("sample=1 trace not recording")
+	}
+	root.SetStr("left", "OLE")
+	root.SetInt("pairs", 42)
+
+	cctx, worker := StartChild(ctx, "sweep.worker")
+	if worker == nil || FromContext(cctx) != worker {
+		t.Fatal("StartChild did not thread the child span")
+	}
+	pair := worker.Child("pair")
+	pair.SetStr("stage", "refine")
+	now := time.Now()
+	pair.ChildAt("filter", now.Add(-3*time.Microsecond), 2*time.Microsecond)
+	pair.ChildAt("refine", now.Add(-time.Microsecond), time.Microsecond)
+	pair.End()
+	worker.End()
+	root.End()
+
+	traces := tr.Traces()
+	if len(traces) != 1 {
+		t.Fatalf("traces = %d, want 1", len(traces))
+	}
+	td := traces[0]
+	if !td.Sampled || td.Slow {
+		t.Fatalf("trace flags = %+v", td)
+	}
+	if got := td.Root.Depth(); got != 4 {
+		t.Fatalf("depth = %d, want 4 (root→worker→pair→stage)", got)
+	}
+	if got := td.Root.SpanCount(); got != 5 {
+		t.Fatalf("span count = %d, want 5", got)
+	}
+	if td.Root.Attr("left") != "OLE" {
+		t.Fatalf("root attrs = %+v", td.Root.Attrs)
+	}
+	if v, ok := td.Root.IntAttr("pairs"); !ok || v != 42 {
+		t.Fatalf("pairs attr = %d, %v", v, ok)
+	}
+	ps := td.Root.Children[0].Children[0]
+	if ps.Name != "pair" || ps.Attr("stage") != "refine" {
+		t.Fatalf("pair span = %+v", ps)
+	}
+	if len(ps.Children) != 2 || ps.Children[0].DurNs != int64(2*time.Microsecond) {
+		t.Fatalf("stage children = %+v", ps.Children)
+	}
+	if v, ok := td.Root.IntAttr("missing"); ok || v != 0 {
+		t.Fatal("IntAttr invented a value")
+	}
+}
+
+func TestProbabilisticSamplingDropsFastTraces(t *testing.T) {
+	tr := New(Config{Sample: 0, Capacity: 8})
+	_, root := tr.Start(context.Background(), "req")
+	if root == nil {
+		t.Fatal("root span missing: slow capture needs it")
+	}
+	if root.Recording() {
+		t.Fatal("sample=0 trace recording")
+	}
+	if c := root.Child("x"); c != nil {
+		t.Fatal("unsampled trace produced a child span")
+	}
+	root.End()
+	if got := tr.Traces(); len(got) != 0 {
+		t.Fatalf("unsampled fast trace kept: %v", got)
+	}
+	st := tr.Stats()
+	if st.Started != 1 || st.Kept != 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestAlwaysSampleSlow(t *testing.T) {
+	var hooked []TraceData
+	tr := New(Config{Sample: 0, SlowThreshold: time.Millisecond, Capacity: 8})
+	tr.OnSlow(func(td TraceData) { hooked = append(hooked, td) })
+
+	// Fast request: dropped.
+	_, fast := tr.Start(context.Background(), "fast")
+	fast.End()
+	// Slow request: kept (root-only) and reported.
+	_, slow := tr.Start(context.Background(), "slow")
+	slow.SetInt("slow_pair_index", 7)
+	time.Sleep(2 * time.Millisecond)
+	slow.End()
+
+	traces := tr.Traces()
+	if len(traces) != 1 || !traces[0].Slow || traces[0].Sampled {
+		t.Fatalf("traces = %+v", traces)
+	}
+	if traces[0].Root.Name != "slow" {
+		t.Fatalf("kept the wrong trace: %+v", traces[0])
+	}
+	if v, _ := traces[0].Root.IntAttr("slow_pair_index"); v != 7 {
+		t.Fatal("forensic attr lost on unsampled slow trace")
+	}
+	if len(hooked) != 1 || hooked[0].ID != traces[0].ID {
+		t.Fatalf("OnSlow hook saw %+v", hooked)
+	}
+	if st := tr.Stats(); st.Slow != 1 || st.Kept != 1 || st.Started != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRingWrapKeepsNewest(t *testing.T) {
+	tr := always(4)
+	for i := 0; i < 10; i++ {
+		_, sp := tr.Start(context.Background(), fmt.Sprintf("req-%d", i))
+		sp.End()
+	}
+	traces := tr.Traces()
+	if len(traces) != 4 {
+		t.Fatalf("buffered = %d, want 4", len(traces))
+	}
+	for i, td := range traces {
+		want := fmt.Sprintf("req-%d", 6+i)
+		if td.Root.Name != want {
+			t.Fatalf("slot %d = %s, want %s (oldest-first)", i, td.Root.Name, want)
+		}
+	}
+}
+
+func TestMaxSpansBudget(t *testing.T) {
+	tr := New(Config{Sample: 1, Capacity: 4, MaxSpans: 4})
+	_, root := tr.Start(context.Background(), "req")
+	made := 0
+	for i := 0; i < 10; i++ {
+		if c := root.Child("c"); c != nil {
+			made++
+			c.End()
+		}
+	}
+	root.End()
+	if made != 3 { // root consumes 1 of the 4-span budget
+		t.Fatalf("children created = %d, want 3", made)
+	}
+	td := tr.Traces()[0]
+	if td.Dropped != 7 {
+		t.Fatalf("dropped = %d, want 7", td.Dropped)
+	}
+	if st := tr.Stats(); st.DroppedSpans != 7 {
+		t.Fatalf("stats dropped = %d", st.DroppedSpans)
+	}
+}
+
+func TestEndIsIdempotent(t *testing.T) {
+	tr := always(4)
+	_, root := tr.Start(context.Background(), "req")
+	d1 := root.End()
+	d2 := root.End()
+	if d1 != d2 {
+		t.Fatalf("End not idempotent: %v then %v", d1, d2)
+	}
+	if len(tr.Traces()) != 1 {
+		t.Fatal("double End published twice")
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := always(8)
+	ctx, root := tr.Start(context.Background(), "http.join")
+	_, w1 := StartChild(ctx, "worker-0")
+	w1.Child("pair").End()
+	w1.End()
+	_, w2 := StartChild(ctx, "worker-1")
+	w2.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Traces()); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) != 4 {
+		t.Fatalf("events = %d, want 4", len(out.TraceEvents))
+	}
+	lanes := map[int]bool{}
+	for _, ev := range out.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event phase = %q, want X", ev.Ph)
+		}
+		lanes[ev.TID] = true
+	}
+	// Root on lane 0, the two workers on their own lanes.
+	if len(lanes) != 3 {
+		t.Fatalf("lanes = %v, want 3 distinct", lanes)
+	}
+	if out.TraceEvents[0].Args["trace_id"] == "" {
+		t.Fatal("root event lost its trace id")
+	}
+}
+
+func TestHandler(t *testing.T) {
+	tr := always(8)
+	ctx, root := tr.Start(context.Background(), "http.relate")
+	_, c := StartChild(ctx, "pair")
+	c.End()
+	root.End()
+	id := tr.Traces()[0].ID
+
+	h := tr.Handler()
+	get := func(url string) *httptest.ResponseRecorder {
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, httptest.NewRequest("GET", url, nil))
+		return rec
+	}
+
+	rec := get("/debug/traces")
+	var list []TraceData
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil || len(list) != 1 {
+		t.Fatalf("list = %v err = %v", list, err)
+	}
+	if list[0].Root.Children[0].Name != "pair" {
+		t.Fatalf("round-tripped trace = %+v", list[0])
+	}
+
+	rec = get("/debug/traces?id=" + id)
+	if err := json.Unmarshal(rec.Body.Bytes(), &list); err != nil || len(list) != 1 || list[0].ID != id {
+		t.Fatalf("by id: %v err = %v", list, err)
+	}
+	if rec = get("/debug/traces?id=ffffffffffffffff"); rec.Code != 404 {
+		t.Fatalf("missing id code = %d", rec.Code)
+	}
+
+	rec = get("/debug/traces?format=chrome")
+	var chrome map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &chrome); err != nil {
+		t.Fatalf("chrome export invalid: %v", err)
+	}
+	if _, ok := chrome["traceEvents"]; !ok {
+		t.Fatal("chrome export missing traceEvents")
+	}
+
+	rec = get("/debug/traces?stats=1")
+	var st Stats
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil || st.Started != 1 {
+		t.Fatalf("stats = %+v err = %v", st, err)
+	}
+
+	var nilTracer *Tracer
+	rec = httptest.NewRecorder()
+	nilTracer.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/traces", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil tracer handler code = %d", rec.Code)
+	}
+}
+
+// TestConcurrentSpanWriters is the race gate for the span lifecycle:
+// many goroutines hang children and attributes off one shared root
+// (exactly what sweep workers do) while snapshots run concurrently.
+func TestConcurrentSpanWriters(t *testing.T) {
+	tr := New(Config{Sample: 1, Capacity: 16, MaxSpans: 4096})
+	ctx, root := tr.Start(context.Background(), "req")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			_, wsp := StartChild(ctx, "worker")
+			wsp.SetInt("worker", int64(w))
+			for i := 0; i < 50; i++ {
+				ps := wsp.Child("pair")
+				ps.SetInt("index", int64(i))
+				now := time.Now()
+				ps.ChildAt("filter", now, time.Microsecond)
+				ps.End()
+				root.SetInt("touch", int64(w*100+i)) // contended root attrs
+			}
+			wsp.End()
+		}(w)
+	}
+	// Concurrent snapshots of a live trace (data() under span locks).
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			tr.Traces()
+		}
+	}()
+	wg.Wait()
+	root.End()
+	<-done
+
+	td := tr.Traces()[0]
+	if got := td.Root.SpanCount() + int(td.Dropped); got != 1+8+8*50*2 {
+		t.Fatalf("spans+dropped = %d, want %d", got, 1+8+8*50*2)
+	}
+}
+
+// TestConcurrentTracerPublish is the race gate for the ring buffer:
+// many goroutines finish traces while readers snapshot.
+func TestConcurrentTracerPublish(t *testing.T) {
+	tr := always(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				_, sp := tr.Start(context.Background(), "req")
+				sp.Child("c").End()
+				sp.End()
+			}
+		}()
+	}
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				for _, td := range tr.Traces() {
+					_ = td.Root.Depth()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if st := tr.Stats(); st.Started != 800 || st.Kept != 800 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := len(tr.Traces()); got != 8 {
+		t.Fatalf("buffered = %d, want ring size 8", got)
+	}
+}
+
+// BenchmarkSpanOps measures the intrinsic cost of span operations in
+// the three tracer states the hot path sees.
+func BenchmarkSpanOps(b *testing.B) {
+	b.Run("nil_tracer", func(b *testing.B) {
+		var tr *Tracer
+		ctx, root := tr.Start(context.Background(), "req")
+		for i := 0; i < b.N; i++ {
+			sp := FromContext(ctx)
+			c := sp.Child("pair")
+			c.SetInt("i", int64(i))
+			c.End()
+		}
+		root.End()
+	})
+	b.Run("unsampled", func(b *testing.B) {
+		tr := New(Config{Sample: 0, Capacity: 8})
+		ctx, root := tr.Start(context.Background(), "req")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := FromContext(ctx)
+			c := sp.Child("pair")
+			c.SetInt("i", int64(i))
+			c.End()
+		}
+		root.End()
+	})
+	b.Run("sampled", func(b *testing.B) {
+		tr := New(Config{Sample: 1, Capacity: 8, MaxSpans: 1 << 30})
+		ctx, root := tr.Start(context.Background(), "req")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sp := FromContext(ctx)
+			c := sp.Child("pair")
+			c.SetInt("i", int64(i))
+			c.End()
+		}
+		root.End()
+	})
+}
