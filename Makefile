@@ -1,7 +1,7 @@
 # Developer targets; `make check` is the pre-commit gate.
 GO ?= go
 
-.PHONY: build test race vet bench bench-json check serve difftest faulttest
+.PHONY: build test race vet bench bench-json check serve difftest faulttest e2e
 
 build:
 	$(GO) build ./...
@@ -15,9 +15,11 @@ test:
 # double as a race probe of the whole pipeline, and the resilience
 # layer (snapshot loads race background rebuilds; the fault seam is
 # armed from tests while workers run), and the trace ring buffer
-# (concurrent span writers racing trace readers).
+# (concurrent span writers racing trace readers), and the sharded
+# serving tier (scatter goroutines racing the breaker set and the
+# round-robin replica cursors).
 race:
-	$(GO) test -race ./internal/harness/ ./internal/obs/ ./internal/server/ ./internal/de9im/ ./internal/oracle/ ./internal/snapshot/ ./internal/fault/ ./internal/trace/
+	$(GO) test -race ./internal/harness/ ./internal/obs/ ./internal/server/ ./internal/de9im/ ./internal/oracle/ ./internal/snapshot/ ./internal/fault/ ./internal/trace/ ./internal/shard/ ./internal/shard/router/
 
 # Differential correctness run (see README "Correctness"): a fixed-seed
 # sweep of generated lattice pairs through every production path,
@@ -44,6 +46,7 @@ vet:
 # stay within 5% of plain.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkObservedOverhead|BenchmarkTraceOverhead' -benchmem .
+	$(GO) test -run xxx -bench BenchmarkRouterFanout -benchmem ./internal/shard/router/
 
 # One point of the benchmark trajectory (see README "Tracing & benchmark
 # trajectory"): a small fixed-seed benchrun suite written as JSON. CI
@@ -53,6 +56,15 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchrun -scale 0.05 -pairs 500 -trials 3 -label BENCH_SMOKE -out bench-smoke.json
 	head -c 400 bench-smoke.json; echo
+
+# Multi-process end-to-end smoke of the sharded serving tier (see
+# README "Sharded serving"): builds real topojoind + topojoinrouter
+# binaries, runs a 3-shard fleet (one shard replicated) against a
+# single-node reference, then SIGKILLs a replica (answers must stay
+# complete) and an unreplicated shard (response must be flagged
+# partial, healthz degraded — never an error or hang).
+e2e:
+	$(GO) test -count=1 -timeout 300s ./cmd/topojoinrouter/ -run TestE2EShardedFleet -v
 
 # Run the topology query service over a small generated workload
 # (see README "Serving").

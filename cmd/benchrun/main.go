@@ -6,7 +6,7 @@
 // appends a new BENCH_N.json produced by the same harness, so "faster"
 // is always a diff between two recorded points rather than an assertion.
 //
-//	benchrun -out BENCH_6.json                    # record the default suite
+//	benchrun -out BENCH_7.json                    # record the default suite
 //	benchrun -combos OLE:OPE -pairs 2000 -trials 3
 //	benchrun -scale 0.05 -out -                   # quick run to stdout
 //
@@ -41,8 +41,8 @@ func main() {
 		pairs  = flag.Int("pairs", 4000, "max candidate pairs swept per combo (0 = all)")
 		warmup = flag.Int("warmup", 1, "discarded warmup sweeps per pipeline")
 		trials = flag.Int("trials", 5, "measured sweeps per pipeline (median reported)")
-		out    = flag.String("out", "BENCH_6.json", "output path (- for stdout)")
-		label  = flag.String("label", "BENCH_6", "benchmark point label recorded in the artifact")
+		out    = flag.String("out", "BENCH_7.json", "output path (- for stdout)")
+		label  = flag.String("label", "BENCH_7", "benchmark point label recorded in the artifact")
 	)
 	flag.Parse()
 

@@ -26,6 +26,17 @@
 // same listener. SIGINT/SIGTERM starts a graceful drain: new requests
 // get 503, in-flight requests finish (or are cancelled when -grace
 // expires), then the process exits.
+//
+// With -shard-id and -keyrange the daemon serves as one shard of a
+// partitioned fleet behind a topojoinrouter: it registers only the
+// objects overlapping its Hilbert key range (boundary-straddling
+// objects are replicated onto every overlapped shard) and answers only
+// the candidate pairs it owns under the reference-point rule, so the
+// router's merged answers match a single full server exactly. Snapshots
+// go to a per-shard subdirectory: shards of one fleet can share a
+// -snapshots root.
+//
+//	topojoind -gen OLE,OPE -shard-id 0 -keyrange 0:1365  # shard 0 of 3
 package main
 
 import (
@@ -37,6 +48,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -47,6 +59,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/obs"
 	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/trace"
 )
 
@@ -71,6 +84,9 @@ func main() {
 		traceSample = flag.Float64("trace-sample", 0, "fraction of requests recording full span traces (0 disables, 1 traces all)")
 		traceSlow   = flag.Duration("trace-slow", 0, "keep any request's trace at or above this duration, sampled or not (0 disables)")
 		slowlog     = flag.String("slowlog", "", "directory receiving slow-query forensics: trace JSON + WKT pair dumps (needs -trace-slow)")
+		shardID     = flag.Int("shard-id", -1, "serve as shard N of a partitioned fleet (-1 = standalone; requires -keyrange)")
+		keyrange    = flag.String("keyrange", "", "Hilbert key range lo:hi (half-open) this shard owns (from topojoinrouter -print-plan)")
+		routeOrder  = flag.Uint("route-order", shard.DefaultRouteOrder, "Hilbert order of the fleet's routing grid (must match the router)")
 	)
 	flag.Parse()
 	if *data == "" && *gen == "" {
@@ -78,6 +94,11 @@ func main() {
 		os.Exit(2)
 	}
 	if err := fault.ArmFromEnv(os.Getenv(fault.EnvVar)); err != nil {
+		fmt.Fprintln(os.Stderr, "topojoind:", err)
+		os.Exit(2)
+	}
+	asg, err := shardAssignment(*shardID, *keyrange, *routeOrder, *space)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "topojoind:", err)
 		os.Exit(2)
 	}
@@ -95,17 +116,45 @@ func main() {
 		ReproDir:       *repro,
 		Tracer:         tracer,
 		SlowDir:        *slowlog,
+		Shard:          asg,
 	}, *grace, *snapshots, nil); err != nil {
 		fmt.Fprintln(os.Stderr, "topojoind:", err)
 		os.Exit(1)
 	}
 }
 
+// shardAssignment builds the fleet assignment from the shard flags
+// (nil when -shard-id is -1). The data space must agree with the
+// router's: the key range addresses cells of a grid over that space.
+func shardAssignment(id int, keyrange string, routeOrder uint, spaceSpec string) (*shard.Assignment, error) {
+	if id < 0 {
+		if keyrange != "" {
+			return nil, errors.New("-keyrange requires -shard-id")
+		}
+		return nil, nil
+	}
+	if keyrange == "" {
+		return nil, errors.New("-shard-id requires -keyrange")
+	}
+	space := datagen.Space()
+	if spaceSpec != "" {
+		var err error
+		if space, err = parseSpace(spaceSpec); err != nil {
+			return nil, err
+		}
+	}
+	rng, err := shard.ParseKeyRange(keyrange)
+	if err != nil {
+		return nil, err
+	}
+	return shard.NewAssignment(space, routeOrder, id, rng)
+}
+
 // buildRegistry assembles the dataset registry from -gen sets and/or a
 // -data directory. With snapDir, registrations are snapshot-aware:
 // valid snapshots warm-start, corrupt ones quarantine and serve
 // degraded while a background rebuild recovers them.
-func buildRegistry(data, gen string, seed int64, scale float64, order uint, spaceSpec, snapDir string, met *obs.Registry) (*server.Registry, error) {
+func buildRegistry(data, gen string, seed int64, scale float64, order uint, spaceSpec, snapDir string, asg *shard.Assignment, met *obs.Registry) (*server.Registry, error) {
 	space := datagen.Space()
 	if spaceSpec != "" {
 		var err error
@@ -116,6 +165,9 @@ func buildRegistry(data, gen string, seed int64, scale float64, order uint, spac
 	reg := server.NewRegistry(space, order)
 	reg.Instrument(met)
 	reg.SetLogf(logf)
+	if asg != nil {
+		reg.SetShard(asg)
+	}
 	if snapDir != "" {
 		if err := reg.EnableSnapshots(snapDir); err != nil {
 			return nil, err
@@ -180,7 +232,13 @@ func run(addr, data, gen string, seed int64, scale float64, order uint, spaceSpe
 	cfg.Metrics = obs.NewRegistry()
 	obs.RegisterRuntimeMetrics(cfg.Metrics)
 	cfg.Logf = logf
-	reg, err := buildRegistry(data, gen, seed, scale, order, spaceSpec, snapDir, cfg.Metrics)
+	if cfg.Shard != nil && snapDir != "" {
+		// Shards of one fleet can share a -snapshots root: each key
+		// range holds a different object subset, so snapshots must not
+		// collide across shards.
+		snapDir = filepath.Join(snapDir, fmt.Sprintf("shard-%d", cfg.Shard.Index()))
+	}
+	reg, err := buildRegistry(data, gen, seed, scale, order, spaceSpec, snapDir, cfg.Shard, cfg.Metrics)
 	if err != nil {
 		return err
 	}
@@ -193,6 +251,10 @@ func run(addr, data, gen string, seed int64, scale float64, order uint, spaceSpe
 	httpSrv := &http.Server{Handler: svc.Handler()}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
+	if a := cfg.Shard; a != nil {
+		fmt.Fprintf(os.Stderr, "topojoind: shard %d owning keyrange %s (route order %d)\n",
+			a.Index(), a.Range(), a.RouteOrder())
+	}
 	fmt.Fprintf(os.Stderr, "topojoind: serving %d datasets on http://%s (grace %v)\n",
 		reg.Len(), ln.Addr(), grace)
 	if ready != nil {

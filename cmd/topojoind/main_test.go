@@ -31,20 +31,20 @@ func TestParseSpace(t *testing.T) {
 }
 
 func TestBuildRegistry(t *testing.T) {
-	reg, err := buildRegistry("", "OLE, OPE", 5, 0.03, datagen.DefaultOrder, "", "", obs.NewRegistry())
+	reg, err := buildRegistry("", "OLE, OPE", 5, 0.03, datagen.DefaultOrder, "", "", nil, obs.NewRegistry())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if reg.Len() != 2 {
 		t.Fatalf("registry has %d datasets, want 2", reg.Len())
 	}
-	if _, err := buildRegistry("", "NOPE", 5, 0.03, datagen.DefaultOrder, "", "", obs.NewRegistry()); err == nil {
+	if _, err := buildRegistry("", "NOPE", 5, 0.03, datagen.DefaultOrder, "", "", nil, obs.NewRegistry()); err == nil {
 		t.Error("unknown synthetic set should fail")
 	}
-	if _, err := buildRegistry("", "", 5, 0.03, datagen.DefaultOrder, "", "", obs.NewRegistry()); err == nil {
+	if _, err := buildRegistry("", "", 5, 0.03, datagen.DefaultOrder, "", "", nil, obs.NewRegistry()); err == nil {
 		t.Error("no datasets should fail")
 	}
-	if _, err := buildRegistry("", "OLE", 5, 0.03, datagen.DefaultOrder, "bad", "", obs.NewRegistry()); err == nil {
+	if _, err := buildRegistry("", "OLE", 5, 0.03, datagen.DefaultOrder, "bad", "", nil, obs.NewRegistry()); err == nil {
 		t.Error("bad space spec should fail")
 	}
 }
@@ -55,7 +55,7 @@ func TestBuildRegistryFromDir(t *testing.T) {
 		[]byte("POLYGON ((10 10, 20 10, 20 20, 10 20))\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	reg, err := buildRegistry(dir, "", 5, 0.03, datagen.DefaultOrder, "", "", obs.NewRegistry())
+	reg, err := buildRegistry(dir, "", 5, 0.03, datagen.DefaultOrder, "", "", nil, obs.NewRegistry())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +127,7 @@ func TestRunBadListenAddr(t *testing.T) {
 func TestBuildRegistrySnapshotWarmStart(t *testing.T) {
 	snapDir := t.TempDir()
 	met1 := obs.NewRegistry()
-	if _, err := buildRegistry("", "OLE", 5, 0.03, datagen.DefaultOrder, "", snapDir, met1); err != nil {
+	if _, err := buildRegistry("", "OLE", 5, 0.03, datagen.DefaultOrder, "", snapDir, nil, met1); err != nil {
 		t.Fatal(err)
 	}
 	if got := met1.Counter("server_snapshot_writes_total").Value(); got != 1 {
@@ -137,7 +137,7 @@ func TestBuildRegistrySnapshotWarmStart(t *testing.T) {
 		t.Fatal("cold start must preprocess")
 	}
 	met2 := obs.NewRegistry()
-	reg, err := buildRegistry("", "OLE", 5, 0.03, datagen.DefaultOrder, "", snapDir, met2)
+	reg, err := buildRegistry("", "OLE", 5, 0.03, datagen.DefaultOrder, "", snapDir, nil, met2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,230 @@
+// Multi-process end-to-end test of the sharded serving tier: real
+// topojoind shard processes behind a real topojoinrouter process,
+// checked against a single full topojoind, then subjected to replica
+// and shard kills. This is the closest thing to production the test
+// suite has — everything crosses process boundaries over TCP.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/server"
+	"repro/internal/shard"
+)
+
+// buildBinaries compiles topojoind and topojoinrouter into dir.
+func buildBinaries(t *testing.T, dir string) (daemon, router string) {
+	t.Helper()
+	daemon = filepath.Join(dir, "topojoind")
+	router = filepath.Join(dir, "topojoinrouter")
+	for bin, pkg := range map[string]string{daemon: "repro/cmd/topojoind", router: "repro/cmd/topojoinrouter"} {
+		cmd := exec.Command("go", "build", "-o", bin, pkg)
+		cmd.Dir = "../.." // module root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	return daemon, router
+}
+
+// startProc launches bin and scans its stderr for the "on http://ADDR"
+// readiness line; the process is killed at test cleanup.
+func startProc(t *testing.T, bin string, args ...string) (addr string, cmd *exec.Cmd) {
+	t.Helper()
+	cmd = exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", filepath.Base(bin), err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "on http://"); i >= 0 {
+				a := line[i+len("on http://"):]
+				if j := strings.IndexByte(a, ' '); j >= 0 {
+					a = a[:j]
+				}
+				select {
+				case addrc <- a:
+				default:
+				}
+			}
+		}
+		io.Copy(io.Discard, stderr)
+	}()
+	select {
+	case addr = <-addrc:
+	case <-time.After(60 * time.Second):
+		t.Fatalf("%s did not become ready", filepath.Base(bin))
+	}
+	return addr, cmd
+}
+
+func ctxShort(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+// TestE2EShardedFleet spins up a 3-shard fleet (shard 0 with two
+// replicas) plus a single-node reference, and asserts:
+//
+//  1. the router's join matches the single node exactly;
+//  2. killing one replica of shard 0 still yields complete answers;
+//  3. killing the unreplicated shard 2 yields a flagged partial
+//     response and a degraded /v1/healthz — never an error or hang.
+func TestE2EShardedFleet(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e (use -short to skip)")
+	}
+	dir := t.TempDir()
+	daemonBin, routerBin := buildBinaries(t, dir)
+
+	const nShards = 3
+	plan, err := shard.NewPlan(datagen.Space(), shard.DefaultRouteOrder, nShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	genArgs := []string{"-gen", "OLE,OPE", "-scale", "0.05", "-addr", "localhost:0"}
+
+	// Shard replica layout: shard 0 ×2, shards 1 and 2 ×1.
+	var shardFlags []string
+	var shardURLs [][]string
+	var replicaCmds [][]*exec.Cmd
+	for i := 0; i < nShards; i++ {
+		args := append([]string{}, genArgs...)
+		args = append(args, "-shard-id", fmt.Sprint(i), "-keyrange", plan.Ranges()[i].String())
+		n := 1
+		if i == 0 {
+			n = 2
+		}
+		var urls []string
+		var cmds []*exec.Cmd
+		for r := 0; r < n; r++ {
+			addr, cmd := startProc(t, daemonBin, args...)
+			urls = append(urls, "http://"+addr)
+			cmds = append(cmds, cmd)
+		}
+		shardFlags = append(shardFlags, "-shard", strings.Join(urls, ","))
+		shardURLs = append(shardURLs, urls)
+		replicaCmds = append(replicaCmds, cmds)
+	}
+	singleAddr, _ := startProc(t, daemonBin, genArgs...)
+	routerArgs := append([]string{"-addr", "localhost:0"}, shardFlags...)
+	routerAddr, _ := startProc(t, routerBin, routerArgs...)
+
+	single := server.NewResilientClient("http://" + singleAddr)
+	routed := server.NewResilientClient("http://" + routerAddr)
+	req := server.JoinRequest{Left: "OLE", Right: "OPE", Predicate: "intersects", Limit: 100000}
+
+	want, err := single.Join(ctxShort(t), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want.Candidates == 0 || len(want.Pairs) == 0 {
+		t.Fatalf("degenerate reference answer: %+v", want)
+	}
+
+	check := func(name string, wantPartial bool) *server.JoinResponse {
+		t.Helper()
+		got, err := routed.Join(ctxShort(t), req)
+		if err != nil {
+			t.Fatalf("%s: routed join: %v", name, err)
+		}
+		if got.Partial != wantPartial {
+			t.Fatalf("%s: partial=%v missing=%v, want partial=%v",
+				name, got.Partial, got.MissingShards, wantPartial)
+		}
+		if !wantPartial {
+			if got.Candidates != want.Candidates || got.Holds != want.Holds {
+				t.Fatalf("%s: got candidates=%d holds=%d, want %d/%d",
+					name, got.Candidates, got.Holds, want.Candidates, want.Holds)
+			}
+			if !samePairSet(got.Pairs, want.Pairs) {
+				t.Fatalf("%s: routed pair set differs from single node", name)
+			}
+		}
+		return got
+	}
+
+	// Healthy fleet: exact match.
+	check("healthy", false)
+
+	// Kill one replica of shard 0: failover keeps answers complete.
+	replicaCmds[0][0].Process.Kill()
+	replicaCmds[0][0].Wait()
+	check("replica-killed", false)
+	h, err := routed.Health(ctxShort(t))
+	if err != nil {
+		t.Fatalf("healthz after replica kill: %v", err)
+	}
+	if h.Status != "degraded" || len(h.Shards) != nShards || h.Shards[0].Alive != 1 {
+		t.Fatalf("healthz after replica kill: status=%q shards=%+v", h.Status, h.Shards)
+	}
+
+	// Kill the unreplicated shard 2: flagged partial, never an error.
+	// Record its owned share first — counters sum exactly across
+	// shards, so the partial answer must be the full one minus it.
+	share, err := server.NewResilientClient(shardURLs[2][0]).Join(ctxShort(t), req)
+	if err != nil {
+		t.Fatalf("direct join on shard 2: %v", err)
+	}
+	replicaCmds[2][0].Process.Kill()
+	replicaCmds[2][0].Wait()
+	got := check("shard-killed", true)
+	if len(got.MissingShards) != 1 || got.MissingShards[0] != 2 {
+		t.Fatalf("missing shards = %v, want [2]", got.MissingShards)
+	}
+	if got.Candidates != want.Candidates-share.Candidates || got.Holds != want.Holds-share.Holds {
+		t.Fatalf("partial answer candidates=%d holds=%d, want full (%d/%d) minus shard 2's share (%d/%d)",
+			got.Candidates, got.Holds, want.Candidates, want.Holds, share.Candidates, share.Holds)
+	}
+	h, err = routed.Health(ctxShort(t))
+	if err != nil {
+		t.Fatalf("healthz after shard kill: %v", err)
+	}
+	if h.Status != "degraded" || h.Shards[2].Status != "dead" {
+		t.Fatalf("healthz after shard kill: status=%q shard2=%+v", h.Status, h.Shards[2])
+	}
+}
+
+func samePairSet(a, b []server.JoinPair) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	key := func(p server.JoinPair) string {
+		return fmt.Sprintf("%d|%d|%s", p.LeftID, p.RightID, p.Relation)
+	}
+	ka := make([]string, len(a))
+	kb := make([]string, len(b))
+	for i := range a {
+		ka[i], kb[i] = key(a[i]), key(b[i])
+	}
+	sort.Strings(ka)
+	sort.Strings(kb)
+	for i := range ka {
+		if ka[i] != kb[i] {
+			return false
+		}
+	}
+	return true
+}

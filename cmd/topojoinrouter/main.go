@@ -1,0 +1,193 @@
+// Command topojoinrouter is the scatter-gather front-end of a sharded
+// topojoind fleet: it partitions the data space into contiguous Hilbert
+// key ranges (one per shard), fans /v1/relate and /v1/join out to the
+// shards a query can touch, and merges the per-shard answers into
+// responses that match a single full server exactly — shards evaluate
+// only the candidate pairs they own under the reference-point rule, so
+// merged counters and result multisets need no router-side dedup.
+//
+// Each -shard flag names one shard's replicas (comma-separated base
+// URLs, tried with failover and per-host circuit breaking); shards are
+// numbered in flag order. The fleet's key ranges come from the same
+// plan the router computes, printed with -print-plan:
+//
+//	topojoinrouter -print-plan 3                 # shard key ranges
+//	topojoind -gen OLE,OPE -shard-id 0 -keyrange 0:1366 &
+//	topojoind -gen OLE,OPE -shard-id 1 -keyrange 1366:2731 &
+//	topojoind -gen OLE,OPE -shard-id 2 -keyrange 2731:4096 &
+//	topojoinrouter -shard http://localhost:8081 \
+//	               -shard http://localhost:8082 \
+//	               -shard http://localhost:8083
+//
+// A query touching a shard whose replicas are all down degrades: the
+// response is flagged partial with the missing shard indexes, never an
+// error. /v1/healthz aggregates per-shard replica health; /v1/metricz
+// serves the router metric families (scatter fanout, per-shard request
+// outcomes, partial responses).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/shard"
+	"repro/internal/shard/router"
+	"repro/internal/trace"
+)
+
+func main() {
+	var shards [][]string
+	var (
+		addr        = flag.String("addr", "localhost:8090", "listen address")
+		routeOrder  = flag.Uint("route-order", shard.DefaultRouteOrder, "Hilbert order of the routing grid (must match the shards)")
+		space       = flag.String("space", "", "data space minX,minY,maxX,maxY (default: synthetic suite space; must match the shards)")
+		timeout     = flag.Duration("timeout", 10*time.Second, "default per-request deadline")
+		maxTimeout  = flag.Duration("max-timeout", time.Minute, "ceiling on client-requested deadlines")
+		grace       = flag.Duration("grace", 10*time.Second, "graceful shutdown drain period")
+		printPlan   = flag.Int("print-plan", 0, "print the key ranges of an N-shard plan and exit")
+		traceSample = flag.Float64("trace-sample", 0, "fraction of requests recording full span traces (0 disables, 1 traces all)")
+		traceSlow   = flag.Duration("trace-slow", 0, "keep any request's trace at or above this duration, sampled or not (0 disables)")
+	)
+	flag.Func("shard", "one shard's replica base URLs, comma-separated (repeat per shard, in shard-index order)", func(v string) error {
+		var replicas []string
+		for _, u := range strings.Split(v, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				replicas = append(replicas, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(replicas) == 0 {
+			return fmt.Errorf("empty replica list")
+		}
+		shards = append(shards, replicas)
+		return nil
+	})
+	flag.Parse()
+
+	sp := datagen.Space()
+	if *space != "" {
+		var err error
+		if sp, err = parseSpace(*space); err != nil {
+			fmt.Fprintln(os.Stderr, "topojoinrouter:", err)
+			os.Exit(2)
+		}
+	}
+	if *printPlan > 0 {
+		plan, err := shard.NewPlan(sp, *routeOrder, *printPlan)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "topojoinrouter:", err)
+			os.Exit(2)
+		}
+		for i, rng := range plan.Ranges() {
+			fmt.Printf("shard %d: -shard-id %d -keyrange %s\n", i, i, rng)
+		}
+		return
+	}
+	if len(shards) == 0 {
+		fmt.Fprintln(os.Stderr, "topojoinrouter: at least one -shard is required")
+		os.Exit(2)
+	}
+	var tracer *trace.Tracer
+	if *traceSample > 0 || *traceSlow > 0 {
+		tracer = trace.New(trace.Config{Sample: *traceSample, SlowThreshold: *traceSlow})
+	}
+	if err := run(*addr, sp, *routeOrder, shards, router.Config{
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		Tracer:         tracer,
+	}, *grace, nil); err != nil {
+		fmt.Fprintln(os.Stderr, "topojoinrouter:", err)
+		os.Exit(1)
+	}
+}
+
+func parseSpace(s string) (geom.MBR, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return geom.MBR{}, fmt.Errorf("space: want minX,minY,maxX,maxY, got %q", s)
+	}
+	var v [4]float64
+	for i, p := range parts {
+		f, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return geom.MBR{}, fmt.Errorf("space: %w", err)
+		}
+		v[i] = f
+	}
+	return geom.MBR{MinX: v[0], MinY: v[1], MaxX: v[2], MaxY: v[3]}, nil
+}
+
+func logf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// run serves until SIGINT/SIGTERM, then drains within grace. ready,
+// when non-nil, receives the bound address once the listener is up
+// (tests).
+func run(addr string, space geom.MBR, routeOrder uint, shards [][]string, cfg router.Config, grace time.Duration, ready chan<- string) error {
+	plan, err := shard.NewPlan(space, routeOrder, len(shards))
+	if err != nil {
+		return err
+	}
+	cfg.Plan = plan
+	cfg.Shards = shards
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+		obs.RegisterRuntimeMetrics(cfg.Metrics)
+	}
+	cfg.Logf = logf
+	rt, err := router.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Handler: rt.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.Serve(ln) }()
+	for i, rng := range plan.Ranges() {
+		fmt.Fprintf(os.Stderr, "topojoinrouter: shard %d keyrange %s -> %s\n",
+			i, rng, strings.Join(shards[i], ", "))
+	}
+	fmt.Fprintf(os.Stderr, "topojoinrouter: routing %d shards on http://%s (grace %v)\n",
+		len(shards), ln.Addr(), grace)
+	if ready != nil {
+		ready <- ln.Addr().String()
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop()
+	fmt.Fprintln(os.Stderr, "topojoinrouter: draining...")
+
+	gctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	drainErr := rt.Shutdown(gctx)
+	if err := httpSrv.Shutdown(gctx); err != nil && drainErr == nil {
+		drainErr = err
+	}
+	if drainErr != nil {
+		return fmt.Errorf("shutdown: %w", drainErr)
+	}
+	fmt.Fprintln(os.Stderr, "topojoinrouter: drained cleanly")
+	return nil
+}

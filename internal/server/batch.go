@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/de9im"
+	"repro/internal/geom"
 	"repro/internal/join"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -36,6 +37,11 @@ type probeJob struct {
 	pred   de9im.Relation
 	mask   de9im.Mask
 	limit  int
+	// owns, when non-nil, is the shard-mode ownership filter: probe ×
+	// candidate combinations whose reference point lies outside the
+	// serving shard's key range are dropped before evaluation (another
+	// shard, also holding both geometries, answers them).
+	owns func(probe, cand geom.MBR) bool
 
 	// span is the request's trace root span; track arms per-candidate
 	// timing (sampled trace or slow-query log). Candidate spans hang
@@ -183,6 +189,9 @@ func (b *batcher) processGroup(jobs []*probeJob) {
 		j.batchSize = len(jobs)
 		objs := j.entry.Dataset.Objects
 		err := j.entry.Tree.QueryContext(j.ctx, j.probe.MBR, func(e join.Entry) {
+			if j.owns != nil && !j.owns(j.probe.MBR, e.Box) {
+				return
+			}
 			tasks = append(tasks, task{job: j, obj: objs[e.ID]})
 			j.candidates++
 		})

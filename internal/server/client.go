@@ -8,8 +8,18 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/trace"
 )
+
+// TraceHeader is the request header propagating a trace id across
+// service hops: the client injects the caller's current trace id (hex,
+// see trace.FormatID) and the receiving server adopts it as the id of
+// its own root span, so router- and shard-side spans of one logical
+// request correlate in either process's /debug/traces buffer.
+const TraceHeader = "X-Stj-Trace"
 
 // Client is a small Go client for the topology query service. The zero
 // HTTP client is replaced with http.DefaultClient; contexts carry
@@ -20,19 +30,26 @@ type Client struct {
 	HTTPClient *http.Client
 	// Retry, when non-nil, makes the client self-healing: bounded
 	// retries with full-jitter backoff on 429/503/transport errors
-	// (honoring Retry-After), per-attempt timeouts, and a circuit
-	// breaker that fails fast with ErrCircuitOpen while the service is
-	// down. Nil keeps the historical single-attempt behavior.
+	// (honoring Retry-After), per-attempt timeouts, and a per-host
+	// circuit breaker that fails fast with ErrCircuitOpen while a host
+	// is down. Nil keeps the historical single-attempt behavior.
 	Retry *RetryPolicy
 
-	breaker breaker
+	// breakers holds one circuit breaker per target host, shared with
+	// every clone the client hands out via At: consecutive failures
+	// against one host open only that host's breaker, so a dead shard
+	// replica cannot blind the client to its healthy siblings. Lazily
+	// initialized (race-safe) for hand-rolled Client literals.
+	breakers atomic.Pointer[breakerSet]
 }
 
 // NewClient creates a client for a service at baseURL, e.g.
 // "http://localhost:8080". The client makes single attempts; see
 // NewResilientClient.
 func NewClient(baseURL string) *Client {
-	return &Client{BaseURL: baseURL, HTTPClient: http.DefaultClient}
+	c := &Client{BaseURL: baseURL, HTTPClient: http.DefaultClient}
+	c.breakers.Store(newBreakerSet())
+	return c
 }
 
 // NewResilientClient is NewClient with the default RetryPolicy.
@@ -40,6 +57,29 @@ func NewResilientClient(baseURL string) *Client {
 	c := NewClient(baseURL)
 	c.Retry = &RetryPolicy{}
 	return c
+}
+
+// At returns a clone of the client targeting baseURL. The clone shares
+// the transport, the retry policy and the per-host breaker set, so a
+// router can hold one resilient client and address any replica through
+// it while failure isolation stays per host.
+func (c *Client) At(baseURL string) *Client {
+	nc := &Client{BaseURL: baseURL, HTTPClient: c.HTTPClient, Retry: c.Retry}
+	nc.breakers.Store(c.breakerSet())
+	return nc
+}
+
+// breakerSet returns the client's breaker registry, creating it on
+// first use (CAS keeps concurrent first calls agreeing on one set).
+func (c *Client) breakerSet() *breakerSet {
+	if s := c.breakers.Load(); s != nil {
+		return s
+	}
+	s := newBreakerSet()
+	if c.breakers.CompareAndSwap(nil, s) {
+		return s
+	}
+	return c.breakers.Load()
 }
 
 // APIError is a non-2xx service response.
@@ -94,6 +134,13 @@ func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) e
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the caller's trace id so the serving side's root span
+	// adopts it (route() parses TraceHeader) — a router's slow-query
+	// trace then shares its id with the shard-side span tree that
+	// burned the time.
+	if id := trace.FromContext(ctx).TraceID(); id != 0 {
+		req.Header.Set(TraceHeader, trace.FormatID(id))
 	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {

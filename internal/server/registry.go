@@ -26,6 +26,7 @@ import (
 	"repro/internal/geom"
 	"repro/internal/join"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/snapshot"
 	"repro/internal/wkt"
 )
@@ -62,6 +63,13 @@ type Registry struct {
 	snapDir string
 	met     *obs.Registry
 	logf    func(format string, args ...any)
+
+	// shard, when set, restricts every registration to the objects whose
+	// MBR overlaps the assignment's key range (boundary-straddling
+	// objects are held by every overlapped shard). Registered objects
+	// keep their GLOBAL ids — the index in the full source slice — so
+	// per-shard answers merge against single-node answers verbatim.
+	shard *shard.Assignment
 
 	mu         sync.RWMutex
 	entries    map[string]*Entry
@@ -119,11 +127,51 @@ func ValidateName(name string) error {
 // Builder exposes the shared approximation builder.
 func (g *Registry) Builder() *april.Builder { return g.builder }
 
+// SetShard puts the registry in shard mode: subsequent registrations
+// keep only the objects overlapping a's key range. Must be called
+// before any dataset is registered.
+func (g *Registry) SetShard(a *shard.Assignment) { g.shard = a }
+
+// ownedSubset filters polys down to the shard's share, returning the
+// subset and each kept polygon's index in the original slice (its
+// global object id). A registry without a shard assignment returns
+// (polys, nil): ids stay positional.
+func (g *Registry) ownedSubset(polys []*geom.Polygon) ([]*geom.Polygon, []int) {
+	if g.shard == nil {
+		return polys, nil
+	}
+	owned := make([]*geom.Polygon, 0, len(polys))
+	ids := make([]int, 0, len(polys))
+	for i, p := range polys {
+		if g.shard.Overlaps(p.Bounds()) {
+			owned = append(owned, p)
+			ids = append(ids, i)
+		}
+	}
+	return owned, ids
+}
+
+// gid maps a subset index to its global object id (identity when the
+// registry is not sharded).
+func gid(ids []int, i int) int {
+	if ids == nil {
+		return i
+	}
+	return ids[i]
+}
+
 // Add preprocesses polygons into a named dataset and builds its R-tree.
 // Objects too large for the base grid fall back to the adaptive coarser
 // orders rather than failing the whole dataset.
 func (g *Registry) Add(name, entity string, polys []*geom.Polygon) (*Entry, error) {
-	e, err := g.build(name, entity, polys)
+	owned, ids := g.ownedSubset(polys)
+	return g.add(name, entity, owned, ids)
+}
+
+// add registers an already-subset polygon slice (ids carry the global
+// object ids, nil for unsharded registries).
+func (g *Registry) add(name, entity string, polys []*geom.Polygon, ids []int) (*Entry, error) {
+	e, err := g.build(name, entity, polys, ids)
 	if err != nil {
 		return nil, err
 	}
@@ -136,14 +184,14 @@ func (g *Registry) Add(name, entity string, polys []*geom.Polygon) (*Entry, erro
 // build preprocesses polygons into a complete (non-degraded) entry
 // without registering it; rasterization cost is counted so warm starts
 // can assert they skipped it.
-func (g *Registry) build(name, entity string, polys []*geom.Polygon) (*Entry, error) {
+func (g *Registry) build(name, entity string, polys []*geom.Polygon, ids []int) (*Entry, error) {
 	if err := ValidateName(name); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	ds := &dataset.Dataset{Name: name, Entity: entity, Objects: make([]*core.Object, 0, len(polys))}
 	for i, p := range polys {
-		o, err := core.NewObjectAdaptive(i, p, g.builder)
+		o, err := core.NewObjectAdaptive(gid(ids, i), p, g.builder)
 		if err != nil {
 			return nil, fmt.Errorf("server: dataset %s: %w", name, err)
 		}

@@ -53,8 +53,12 @@ func (g *Registry) Register(name, entity string, polys []*geom.Polygon) (*Entry,
 //     rebuild the real indexes in the background, swapping them in and
 //     re-snapshotting when done.
 func (g *Registry) register(name, entity string, polys []*geom.Polygon) (*Entry, error) {
+	// Shard-mode subsetting happens once, here: every path below —
+	// warm start, cold build, degraded serving, background rebuild —
+	// works on the owned subset with its global ids.
+	polys, ids := g.ownedSubset(polys)
 	if g.snapDir == "" {
-		return g.Add(name, entity, polys)
+		return g.add(name, entity, polys, ids)
 	}
 	if err := ValidateName(name); err != nil {
 		return nil, err
@@ -67,7 +71,7 @@ func (g *Registry) register(name, entity string, polys []*geom.Polygon) (*Entry,
 	snap, rerr := snapshot.Read(path)
 	switch {
 	case rerr == nil:
-		if e, ok := g.tryWarmStart(name, entity, snap, polys); ok {
+		if e, ok := g.tryWarmStart(name, entity, snap, polys, ids); ok {
 			return e, nil
 		}
 		// Grid or contents mismatch: the snapshot is internally valid
@@ -84,14 +88,14 @@ func (g *Registry) register(name, entity string, polys []*geom.Polygon) (*Entry,
 		} else {
 			g.logf("server: %v — quarantined to %s", rerr, qpath)
 		}
-		return g.serveDegraded(name, entity, polys)
+		return g.serveDegraded(name, entity, polys, ids)
 	default:
 		// I/O trouble reading the snapshot (permissions, device): treat
 		// like a cold start rather than failing the dataset.
 		g.logf("server: snapshot %s unreadable (%v), rebuilding from source", path, rerr)
 	}
 
-	e, err := g.Add(name, entity, polys)
+	e, err := g.add(name, entity, polys, ids)
 	if err != nil {
 		return nil, err
 	}
@@ -100,8 +104,13 @@ func (g *Registry) register(name, entity string, polys []*geom.Polygon) (*Entry,
 }
 
 // tryWarmStart registers the snapshot contents if they match the
-// registry's grid and the source polygon count; reports success.
-func (g *Registry) tryWarmStart(name, entity string, snap *snapshot.Snapshot, polys []*geom.Polygon) (*Entry, bool) {
+// registry's grid and the (owned subset of the) source polygons;
+// reports success. Snapshots store objects positionally, so in shard
+// mode the decoded ids are remapped to the global ids recomputed from
+// source — the subset is deterministic, and the per-object MBR
+// comparison below rejects a snapshot of a different subset (e.g. one
+// written under another key range).
+func (g *Registry) tryWarmStart(name, entity string, snap *snapshot.Snapshot, polys []*geom.Polygon, ids []int) (*Entry, bool) {
 	grid := g.builder.Grid()
 	if snap.Space != grid.Space() || snap.Order != grid.Order() {
 		return nil, false
@@ -112,6 +121,12 @@ func (g *Registry) tryWarmStart(name, entity string, snap *snapshot.Snapshot, po
 	start := time.Now()
 	ds := snap.Dataset
 	ds.Entity = entity
+	for j, o := range ds.Objects {
+		if o.MBR != polys[j].Bounds() {
+			return nil, false
+		}
+		o.ID = gid(ids, j)
+	}
 	e := &Entry{Dataset: ds, Tree: buildTree(ds), BuildTime: time.Since(start)}
 	if err := g.insert(name, e); err != nil {
 		return nil, false
@@ -124,12 +139,12 @@ func (g *Registry) tryWarmStart(name, entity string, snap *snapshot.Snapshot, po
 // serveDegraded registers an MBR-only entry (no approximations built —
 // cheap) and kicks off the background rebuild. Queries against it are
 // answered by the ST2 pipeline: sound, just slower.
-func (g *Registry) serveDegraded(name, entity string, polys []*geom.Polygon) (*Entry, error) {
-	e, err := g.AddDegraded(name, entity, polys)
+func (g *Registry) serveDegraded(name, entity string, polys []*geom.Polygon, ids []int) (*Entry, error) {
+	e, err := g.addDegraded(name, entity, polys, ids)
 	if err != nil {
 		return nil, err
 	}
-	g.startRebuild(name, entity, polys)
+	g.startRebuild(name, entity, polys, ids)
 	return e, nil
 }
 
@@ -139,13 +154,18 @@ func (g *Registry) serveDegraded(name, entity string, polys []*geom.Polygon) (*E
 // pipeline (an empty conservative list would make the APRIL filter
 // unsound: empty overlap reads as "definitely disjoint").
 func (g *Registry) AddDegraded(name, entity string, polys []*geom.Polygon) (*Entry, error) {
+	owned, ids := g.ownedSubset(polys)
+	return g.addDegraded(name, entity, owned, ids)
+}
+
+func (g *Registry) addDegraded(name, entity string, polys []*geom.Polygon, ids []int) (*Entry, error) {
 	if err := ValidateName(name); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	ds := &dataset.Dataset{Name: name, Entity: entity, Objects: make([]*core.Object, 0, len(polys))}
 	for i, p := range polys {
-		ds.Objects = append(ds.Objects, &core.Object{ID: i, Poly: p, MBR: p.Bounds()})
+		ds.Objects = append(ds.Objects, &core.Object{ID: gid(ids, i), Poly: p, MBR: p.Bounds()})
 	}
 	e := &Entry{Dataset: ds, Tree: buildTree(ds), BuildTime: time.Since(start), Degraded: true}
 	if err := g.insert(name, e); err != nil {
@@ -159,7 +179,7 @@ func (g *Registry) AddDegraded(name, entity string, polys []*geom.Polygon) (*Ent
 // startRebuild launches the background re-preprocessing of a degraded
 // dataset behind a recover barrier: a panicking rebuild is recorded and
 // the dataset stays degraded; the process never dies.
-func (g *Registry) startRebuild(name, entity string, polys []*geom.Polygon) {
+func (g *Registry) startRebuild(name, entity string, polys []*geom.Polygon, ids []int) {
 	g.mu.Lock()
 	if g.rebuilding[name] {
 		g.mu.Unlock()
@@ -185,7 +205,7 @@ func (g *Registry) startRebuild(name, entity string, polys []*geom.Polygon) {
 		if err := fault.Check("registry.rebuild"); err != nil {
 			panic(err)
 		}
-		e, err := g.build(name, entity, polys)
+		e, err := g.build(name, entity, polys, ids)
 		if err != nil {
 			g.count("server_rebuild_failures_total", 1)
 			g.logf("server: rebuild of %s failed (dataset stays degraded): %v", name, err)

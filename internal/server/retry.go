@@ -133,7 +133,33 @@ func (p *RetryPolicy) backoff(attempt int, retryAfter time.Duration) time.Durati
 	return d
 }
 
-// breaker is the client's consecutive-failure circuit breaker.
+// breakerSet is the client's per-host circuit-breaker registry: one
+// breaker per target host, created on first contact. Tracking failures
+// per host (instead of one global counter) means a dead shard replica
+// opens only its own breaker — calls routed to healthy replicas of the
+// same logical shard keep flowing.
+type breakerSet struct {
+	mu sync.Mutex
+	m  map[string]*breaker
+}
+
+func newBreakerSet() *breakerSet {
+	return &breakerSet{m: make(map[string]*breaker)}
+}
+
+// get returns the breaker for host, creating it on first use.
+func (s *breakerSet) get(host string) *breaker {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.m[host]
+	if !ok {
+		b = &breaker{}
+		s.m[host] = b
+	}
+	return b
+}
+
+// breaker is one host's consecutive-failure circuit breaker.
 type breaker struct {
 	mu        sync.Mutex
 	fails     int
@@ -182,13 +208,14 @@ func retryable(err error) bool {
 	return errors.As(err, &tr)
 }
 
-// doRetry runs one API call under the client's retry policy and
-// breaker.
+// doRetry runs one API call under the client's retry policy and the
+// target host's breaker.
 func (c *Client) doRetry(ctx context.Context, method, path string, in, out any) error {
 	p := c.Retry.withDefaults()
+	br := c.breakerSet().get(c.BaseURL)
 	var lastErr error
 	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
-		if p.BreakerThreshold >= 0 && !c.breaker.allow(p.now()) {
+		if p.BreakerThreshold >= 0 && !br.allow(p.now()) {
 			return ErrCircuitOpen
 		}
 		actx, cancel := ctx, context.CancelFunc(func() {})
@@ -198,7 +225,7 @@ func (c *Client) doRetry(ctx context.Context, method, path string, in, out any) 
 		err := c.doOnce(actx, method, path, in, out)
 		cancel()
 		if err == nil {
-			c.breaker.success()
+			br.success()
 			return nil
 		}
 		// An attempt killed by its own per-attempt timeout is a slow
@@ -207,7 +234,7 @@ func (c *Client) doRetry(ctx context.Context, method, path string, in, out any) 
 		if ctx.Err() == nil && actx.Err() != nil {
 			err = &TransportError{Err: err}
 		}
-		c.breaker.failure(p.now(), p.BreakerThreshold, p.BreakerCooldown)
+		br.failure(p.now(), p.BreakerThreshold, p.BreakerCooldown)
 		lastErr = err
 		if ctx.Err() != nil || !retryable(err) || attempt == p.MaxAttempts-1 {
 			return lastErr

@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"repro/internal/trace"
 )
 
 // fastPolicy returns a policy whose sleeps are instant and recorded.
@@ -222,5 +224,78 @@ func TestPerAttemptTimeoutRetries(t *testing.T) {
 	}
 	if calls.Load() < 2 {
 		t.Fatal("hung first attempt was not retried")
+	}
+}
+
+// TestBreakerIsPerHost: a dead host must open only its own breaker —
+// clones handed out by At share the breaker set, but failures against
+// one base URL never block calls to another. This is what lets a
+// router keep one resilient client for a whole replica fleet.
+func TestBreakerIsPerHost(t *testing.T) {
+	var liveCalls atomic.Int64
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		liveCalls.Add(1)
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer live.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		writeError(w, http.StatusServiceUnavailable, "down")
+	}))
+	defer dead.Close()
+
+	p, _ := fastPolicy()
+	p.MaxAttempts = 1
+	p.BreakerThreshold = 1 // first failure opens the host's breaker
+	base := NewClient("")
+	base.Retry = p
+	deadC, liveC := base.At(dead.URL), base.At(live.URL)
+
+	if _, err := deadC.Health(context.Background()); !IsTemporary(err) {
+		t.Fatalf("dead host: %v", err)
+	}
+	if _, err := deadC.Health(context.Background()); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("dead host breaker should be open, got %v", err)
+	}
+	// The live host's breaker is untouched: calls keep flowing.
+	for i := 0; i < 3; i++ {
+		if _, err := liveC.Health(context.Background()); err != nil {
+			t.Fatalf("live host call %d: %v", i, err)
+		}
+	}
+	if liveCalls.Load() != 3 {
+		t.Fatalf("live host saw %d calls, want 3", liveCalls.Load())
+	}
+	// A fresh clone for the dead host shares the open breaker state.
+	if _, err := base.At(dead.URL).Health(context.Background()); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("shared breaker set: clone got %v, want ErrCircuitOpen", err)
+	}
+}
+
+// TestClientInjectsTraceHeader: a context carrying a span must stamp
+// its trace id onto outgoing requests (and a bare context must not).
+func TestClientInjectsTraceHeader(t *testing.T) {
+	var got atomic.Value
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		got.Store(r.Header.Get(TraceHeader))
+		w.Write([]byte(`{"status":"ok"}`))
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	if _, err := c.Health(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if h, _ := got.Load().(string); h != "" {
+		t.Fatalf("untraced request carried %s=%q", TraceHeader, h)
+	}
+
+	tracer := trace.New(trace.Config{Sample: 1})
+	ctx, sp := tracer.Start(context.Background(), "test")
+	if _, err := c.Health(ctx); err != nil {
+		t.Fatal(err)
+	}
+	sp.End()
+	if h, _ := got.Load().(string); h != trace.FormatID(sp.TraceID()) {
+		t.Fatalf("traced request carried %q, want %q", h, trace.FormatID(sp.TraceID()))
 	}
 }

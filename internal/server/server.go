@@ -15,13 +15,12 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/de9im"
-	"repro/internal/geojson"
 	"repro/internal/geom"
 	"repro/internal/harness"
 	"repro/internal/join"
 	"repro/internal/obs"
+	"repro/internal/shard"
 	"repro/internal/trace"
-	"repro/internal/wkt"
 )
 
 // Config tunes the service; zero values select the documented defaults.
@@ -71,6 +70,15 @@ type Config struct {
 	// regression-corpus format (same as ReproDir panic dumps), so a
 	// latency outlier becomes a replayable input.
 	SlowDir string
+	// Shard, when non-nil, runs the server as one shard of a
+	// partitioned deployment: candidate pairs whose reference point
+	// (the min corner of the two MBRs' intersection) falls outside the
+	// shard's key range are dropped before evaluation, so boundary
+	// pairs replicated across shards are answered by exactly one of
+	// them and a scatter-gather merge reproduces the single-node
+	// result. The registry serving this config must be filtered with
+	// the same assignment (Registry.SetShard).
+	Shard *shard.Assignment
 	// Logf receives the server's operational log lines (recovered
 	// panics, degraded-mode transitions); default discards them.
 	Logf func(format string, args ...any)
@@ -142,6 +150,9 @@ type Server struct {
 
 	tracer  *trace.Tracer
 	slowThr time.Duration
+	// owns is the shard-mode ownership predicate over candidate MBR
+	// pairs (nil when the server owns the whole keyspace).
+	owns func(a, b geom.MBR) bool
 	// degServed counts requests answered by the forced ST2 pipeline
 	// while a dataset involved was degraded, per route.
 	degServed map[string]*obs.Counter
@@ -169,6 +180,9 @@ func New(data *Registry, cfg Config) *Server {
 			"relate": met.Counter(obs.Name("server_degraded_requests_total", "route", "relate")),
 			"join":   met.Counter(obs.Name("server_degraded_requests_total", "route", "join")),
 		},
+	}
+	if cfg.Shard != nil {
+		s.owns = cfg.Shard.Owns
 	}
 	s.installSlowLog()
 	s.rootCtx, s.rootCancel = context.WithCancelCause(context.Background())
@@ -269,8 +283,18 @@ func (s *Server) route(name string, admit bool, h handlerFunc) http.HandlerFunc 
 		// whether children record was decided by the tracer's sampling
 		// coin. finish closes both timers exactly once per exit path and,
 		// when the trace is kept, plants its id as the latency bucket's
-		// exemplar — the histogram outlier links to its trace.
-		tctx, rsp := s.tracer.Start(r.Context(), "http."+name)
+		// exemplar — the histogram outlier links to its trace. A caller
+		// that already carries a trace (the scatter-gather router)
+		// propagates its id via TraceHeader; adopting it as this root's
+		// id stitches the two processes' span trees together.
+		var tctx context.Context
+		var rsp *trace.Span
+		if pid, ok := trace.ParseID(r.Header.Get(TraceHeader)); ok {
+			tctx, rsp = s.tracer.StartRemote(r.Context(), "http."+name, pid)
+			rsp.SetStr("remote_parent", "true")
+		} else {
+			tctx, rsp = s.tracer.Start(r.Context(), "http."+name)
+		}
 		finish := func(code int) {
 			codeCtr(code).Inc()
 			rsp.SetInt("http_status", int64(code))
@@ -403,6 +427,10 @@ func (s *Server) handleHealthz(ctx context.Context, r *http.Request) (any, error
 	for _, c := range s.degServed {
 		degServed += c.Value()
 	}
+	var si *ShardInfo
+	if a := s.cfg.Shard; a != nil {
+		si = &ShardInfo{Index: a.Index(), KeyRange: a.Range().String(), RouteOrder: a.RouteOrder()}
+	}
 	return HealthResponse{
 		Status: status,
 		Build: BuildInfo{
@@ -416,6 +444,7 @@ func (s *Server) handleHealthz(ctx context.Context, r *http.Request) (any, error
 		Degraded:       degraded,
 		Rebuilding:     rebuilding,
 		DegradedServed: degServed,
+		Shard:          si,
 	}, nil
 }
 
@@ -462,29 +491,14 @@ func parseRelation(name string) (de9im.Relation, error) {
 	return 0, errf(http.StatusBadRequest, "unknown predicate %q", name)
 }
 
-// probeGeometry extracts the probe polygon from a relate request.
+// probeGeometry extracts the probe polygon from a relate request,
+// mapping decode failures to 400s.
 func probeGeometry(req *RelateRequest) (*geom.Polygon, error) {
-	switch {
-	case req.WKT != "" && len(req.GeoJSON) > 0:
-		return nil, errf(http.StatusBadRequest, "give wkt or geojson, not both")
-	case req.WKT != "":
-		p, err := wkt.ParsePolygon(req.WKT)
-		if err != nil {
-			return nil, errf(http.StatusBadRequest, "wkt: %v", err)
-		}
-		return p, nil
-	case len(req.GeoJSON) > 0:
-		fs, err := geojson.ParseFeatureCollection(req.GeoJSON)
-		if err != nil {
-			return nil, errf(http.StatusBadRequest, "geojson: %v", err)
-		}
-		if len(fs) != 1 || len(fs[0].Geometry.Polys) != 1 {
-			return nil, errf(http.StatusBadRequest, "probe must be a single polygon")
-		}
-		return fs[0].Geometry.Polys[0], nil
-	default:
-		return nil, errf(http.StatusBadRequest, "missing probe geometry (wkt or geojson)")
+	p, err := req.Geometry()
+	if err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
 	}
+	return p, nil
 }
 
 func (s *Server) clampLimit(limit int) int {
@@ -527,6 +541,7 @@ func (s *Server) handleRelate(ctx context.Context, r *http.Request) (any, error)
 		limit:  s.clampLimit(req.Limit),
 		done:   make(chan error, 1),
 		span:   rsp,
+		owns:   s.owns,
 	}
 	job.track = rsp.Recording() || (s.slowThr > 0 && s.cfg.SlowDir != "")
 	switch {
@@ -649,6 +664,13 @@ func (s *Server) handleJoin(ctx context.Context, r *http.Request) (any, error) {
 	lo, ro := left.Dataset.Objects, right.Dataset.Objects
 	var pairs []harness.Pair
 	err = left.Tree.JoinContext(rctx, right.Tree, func(a, b join.Entry) {
+		// Shard mode: skip candidate pairs this shard does not own
+		// under the reference-point rule — the shard holding the
+		// intersection's min corner evaluates them instead, so each
+		// boundary pair is answered exactly once fleet-wide.
+		if s.owns != nil && !s.owns(a.Box, b.Box) {
+			return
+		}
 		pairs = append(pairs, harness.Pair{R: lo[a.ID], S: ro[b.ID]})
 	})
 	csp.SetInt("pairs", int64(len(pairs)))

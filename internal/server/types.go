@@ -1,6 +1,14 @@
 package server
 
-import "encoding/json"
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"repro/internal/geojson"
+	"repro/internal/geom"
+	"repro/internal/wkt"
+)
 
 // Wire types of the HTTP JSON API, shared by the handlers and the Go
 // client. All durations cross the wire as integer milliseconds so
@@ -36,6 +44,34 @@ type RelateRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
+// Geometry decodes the probe geometry of the request (exactly one of
+// WKT or GeoJSON must be set). Shared by the server's relate handler
+// and the scatter-gather router, which needs the probe's MBR to pick
+// the shards worth asking.
+func (req *RelateRequest) Geometry() (*geom.Polygon, error) {
+	switch {
+	case req.WKT != "" && len(req.GeoJSON) > 0:
+		return nil, errors.New("give wkt or geojson, not both")
+	case req.WKT != "":
+		p, err := wkt.ParsePolygon(req.WKT)
+		if err != nil {
+			return nil, fmt.Errorf("wkt: %w", err)
+		}
+		return p, nil
+	case len(req.GeoJSON) > 0:
+		fs, err := geojson.ParseFeatureCollection(req.GeoJSON)
+		if err != nil {
+			return nil, fmt.Errorf("geojson: %w", err)
+		}
+		if len(fs) != 1 || len(fs[0].Geometry.Polys) != 1 {
+			return nil, errors.New("probe must be a single polygon")
+		}
+		return fs[0].Geometry.Polys[0], nil
+	default:
+		return nil, errors.New("missing probe geometry (wkt or geojson)")
+	}
+}
+
 // RelateMatch is one dataset object matched by a relate probe.
 type RelateMatch struct {
 	ID int `json:"id"`
@@ -60,6 +96,12 @@ type RelateResponse struct {
 	// concurrent probes against the same dataset share one sweep).
 	BatchSize int     `json:"batch_size"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Partial marks a scatter-gather answer that is missing the listed
+	// shards (all their replicas were down): the matches present are
+	// exact, but shards in MissingShards contributed nothing. Single-node
+	// servers never set these.
+	Partial       bool  `json:"partial,omitempty"`
+	MissingShards []int `json:"missing_shards,omitempty"`
 }
 
 // JoinRequest evaluates a dataset-pair topology join.
@@ -96,6 +138,10 @@ type JoinResponse struct {
 	Pairs     []JoinPair `json:"pairs,omitempty"`
 	Truncated bool       `json:"truncated,omitempty"`
 	ElapsedMS float64    `json:"elapsed_ms"`
+	// Partial / MissingShards as in RelateResponse: set only by a router
+	// when every replica of one or more shards was unreachable.
+	Partial       bool  `json:"partial,omitempty"`
+	MissingShards []int `json:"missing_shards,omitempty"`
 }
 
 // DatasetInfo describes one registered dataset.
@@ -122,10 +168,37 @@ type BuildInfo struct {
 	GridOrder uint `json:"grid_order"`
 }
 
+// ShardInfo identifies the key-range slice a shard-mode server owns.
+type ShardInfo struct {
+	Index    int    `json:"index"`
+	KeyRange string `json:"key_range"`
+	// RouteOrder is the Hilbert order of the routing grid the key range
+	// addresses — must match across the fleet and the router.
+	RouteOrder uint `json:"route_order"`
+}
+
+// ShardHealth is one shard's aggregate health as seen by a router.
+type ShardHealth struct {
+	Index    int    `json:"index"`
+	KeyRange string `json:"key_range"`
+	// Replicas / Alive count configured vs currently-responding hosts.
+	Replicas int `json:"replicas"`
+	Alive    int `json:"alive"`
+	// Status is "ok", "degraded" (alive but fewer than Replicas, or a
+	// replica reports dataset degradation) or "dead" (no replica
+	// answered).
+	Status string `json:"status"`
+	// Datasets is the dataset count of the first live replica.
+	Datasets int `json:"datasets,omitempty"`
+	// Error is the last probe error when no replica answered.
+	Error string `json:"error,omitempty"`
+}
+
 // HealthResponse is the /v1/healthz payload.
 type HealthResponse struct {
 	// Status is "ok", "degraded" (at least one dataset serving without
-	// its approximations) or "draining".
+	// its approximations; on a router: at least one shard not fully
+	// healthy) or "draining".
 	Status   string    `json:"status"`
 	Build    BuildInfo `json:"build"`
 	Datasets int       `json:"datasets"`
@@ -138,6 +211,10 @@ type HealthResponse struct {
 	// DegradedServed counts requests (lifetime) answered by the forced
 	// ST2 pipeline because a dataset involved was degraded.
 	DegradedServed int64 `json:"degraded_served"`
+	// Shard is set by shard-mode servers: the key-range slice served.
+	Shard *ShardInfo `json:"shard,omitempty"`
+	// Shards is set by routers: per-shard aggregate health.
+	Shards []ShardHealth `json:"shards,omitempty"`
 }
 
 // errorBody is the JSON error envelope of every non-2xx response.

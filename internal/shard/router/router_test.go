@@ -1,0 +1,480 @@
+package router
+
+import (
+	"context"
+	"math/rand"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/geom"
+	"repro/internal/obs"
+	"repro/internal/oracle"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/trace"
+	"repro/internal/wkt"
+)
+
+const (
+	gridOrder      = 9 // approximation grid (2^9 cells per side): small and fast
+	testRouteOrder = 4 // routing grid: 256 cells over 3 shards
+)
+
+// corpus flattens n oracle-generated multipolygon pairs into left/right
+// polygon sets and returns a data space containing all of them. The
+// oracle generator clusters geometries around the origin, so plenty of
+// pairs straddle shard boundaries of any grid over the space.
+func corpus(t testing.TB, n int, seed int64) (left, right []*geom.Polygon, space geom.MBR) {
+	rng := rand.New(rand.NewSource(seed))
+	space = geom.MBR{MinX: 1e18, MinY: 1e18, MaxX: -1e18, MaxY: -1e18}
+	grow := func(b geom.MBR) {
+		if b.MinX < space.MinX {
+			space.MinX = b.MinX
+		}
+		if b.MinY < space.MinY {
+			space.MinY = b.MinY
+		}
+		if b.MaxX > space.MaxX {
+			space.MaxX = b.MaxX
+		}
+		if b.MaxY > space.MaxY {
+			space.MaxY = b.MaxY
+		}
+	}
+	for i := 0; i < n; i++ {
+		p := oracle.GeneratePair(rng)
+		for _, poly := range p.A.Polys {
+			left = append(left, poly)
+			grow(poly.Bounds())
+		}
+		for _, poly := range p.B.Polys {
+			right = append(right, poly)
+			grow(poly.Bounds())
+		}
+	}
+	space = geom.MBR{MinX: space.MinX - 1, MinY: space.MinY - 1,
+		MaxX: space.MaxX + 1, MaxY: space.MaxY + 1}
+	return left, right, space
+}
+
+// newNode starts one in-process server: a full single-node server when
+// asg is nil, a shard otherwise.
+func newNode(t testing.TB, space geom.MBR, asg *shard.Assignment,
+	left, right []*geom.Polygon, tracer *trace.Tracer) *httptest.Server {
+	reg := server.NewRegistry(space, gridOrder)
+	if asg != nil {
+		reg.SetShard(asg)
+	}
+	if _, err := reg.Add("left", "l", left); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg.Add("right", "r", right); err != nil {
+		t.Fatal(err)
+	}
+	svc := server.New(reg, server.Config{Shard: asg, Tracer: tracer})
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() { ts.Close(); svc.Close() })
+	return ts
+}
+
+// newFleet builds nShards shard servers plus a router over them.
+// replicasOf(i) > 1 gives shard i that many identical replicas.
+func newFleet(t testing.TB, space geom.MBR, nShards int, left, right []*geom.Polygon,
+	replicasOf func(int) int, rcfg Config) (*Router, *httptest.Server, [][]*httptest.Server) {
+	plan, err := shard.NewPlan(space, testRouteOrder, nShards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var urls [][]string
+	var nodes [][]*httptest.Server
+	for i := 0; i < nShards; i++ {
+		asg := plan.Assignment(i)
+		n := 1
+		if replicasOf != nil {
+			n = replicasOf(i)
+		}
+		var shardURLs []string
+		var shardNodes []*httptest.Server
+		for r := 0; r < n; r++ {
+			ts := newNode(t, space, asg, left, right, nil)
+			shardURLs = append(shardURLs, ts.URL)
+			shardNodes = append(shardNodes, ts)
+		}
+		urls = append(urls, shardURLs)
+		nodes = append(nodes, shardNodes)
+	}
+	rcfg.Plan = plan
+	rcfg.Shards = urls
+	if rcfg.Retry == nil {
+		// Keep failover fast under test: one attempt per replica, no
+		// backoff sleeps, breaker effectively disabled so a shard killed
+		// mid-test is re-probed every call.
+		rcfg.Retry = &server.RetryPolicy{MaxAttempts: 1, BreakerThreshold: -1}
+	}
+	rt, err := New(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	return rt, rts, nodes
+}
+
+func sortPairs(ps []server.JoinPair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].LeftID != ps[j].LeftID {
+			return ps[i].LeftID < ps[j].LeftID
+		}
+		if ps[i].RightID != ps[j].RightID {
+			return ps[i].RightID < ps[j].RightID
+		}
+		return ps[i].Relation < ps[j].Relation
+	})
+}
+
+func samePairs(t *testing.T, tag string, got, want []server.JoinPair) {
+	t.Helper()
+	sortPairs(got)
+	sortPairs(want)
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d pairs, want %d", tag, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: pair %d = %+v, want %+v", tag, i, got[i], want[i])
+		}
+	}
+}
+
+// TestScatterGatherJoinMatchesSingleNode is the dedup proof for the
+// sharded tier: the router's merged join — counters, relation tallies
+// and the full result-pair multiset — must equal a single server
+// holding the whole corpus, boundary-straddling geometries included,
+// in every query mode.
+func TestScatterGatherJoinMatchesSingleNode(t *testing.T) {
+	left, right, space := corpus(t, 40, 421)
+	single := newNode(t, space, nil, left, right, nil)
+	_, rts, nodes := newFleet(t, space, 3, left, right, nil, Config{})
+
+	ctx := context.Background()
+	sc := server.NewClient(single.URL)
+	rc := server.NewClient(rts.URL)
+
+	// Replication sanity: at least one boundary-straddling object must
+	// be held by two shards, or this test is not exercising dedup.
+	total := 0
+	for _, shardNodes := range nodes {
+		ds, err := server.NewClient(shardNodes[0].URL).Datasets(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range ds {
+			total += d.Objects
+		}
+	}
+	if total <= len(left)+len(right) {
+		t.Fatalf("fleet holds %d objects, single node %d: no replication — corpus too easy",
+			total, len(left)+len(right))
+	}
+
+	reqs := []server.JoinRequest{
+		{Left: "left", Right: "right", Limit: 100000},
+		{Left: "left", Right: "right", Limit: 100000, Predicate: "intersects"},
+		{Left: "left", Right: "right", Limit: 100000, Mask: "T********"},
+	}
+	for _, req := range reqs {
+		tag := "find"
+		if req.Predicate != "" {
+			tag = "pred"
+		} else if req.Mask != "" {
+			tag = "mask"
+		}
+		want, err := sc.Join(ctx, req)
+		if err != nil {
+			t.Fatalf("%s: single: %v", tag, err)
+		}
+		got, err := rc.Join(ctx, req)
+		if err != nil {
+			t.Fatalf("%s: routed: %v", tag, err)
+		}
+		if want.Candidates == 0 {
+			t.Fatalf("%s: corpus produced no candidate pairs", tag)
+		}
+		if got.Partial || len(got.MissingShards) != 0 {
+			t.Fatalf("%s: healthy fleet answered partially: %+v", tag, got)
+		}
+		if got.Candidates != want.Candidates || got.Evaluated != want.Evaluated ||
+			got.Refined != want.Refined || got.Holds != want.Holds {
+			t.Fatalf("%s: counters: routed %d/%d/%d/%d, single %d/%d/%d/%d", tag,
+				got.Candidates, got.Evaluated, got.Refined, got.Holds,
+				want.Candidates, want.Evaluated, want.Refined, want.Holds)
+		}
+		if len(got.Relations) != len(want.Relations) {
+			t.Fatalf("%s: relations: routed %v, single %v", tag, got.Relations, want.Relations)
+		}
+		for rel, n := range want.Relations {
+			if got.Relations[rel] != n {
+				t.Fatalf("%s: relations[%s]: routed %d, single %d", tag, rel, got.Relations[rel], n)
+			}
+		}
+		samePairs(t, tag, got.Pairs, want.Pairs)
+	}
+}
+
+// TestScatterGatherRelateMatchesSingleNode: relate probes through the
+// router (which fans out only to the shards the probe's MBR can touch)
+// must match single-node answers exactly.
+func TestScatterGatherRelateMatchesSingleNode(t *testing.T) {
+	left, right, space := corpus(t, 30, 97)
+	single := newNode(t, space, nil, left, right, nil)
+	_, rts, _ := newFleet(t, space, 3, left, right, nil, Config{})
+
+	ctx := context.Background()
+	sc := server.NewClient(single.URL)
+	rc := server.NewClient(rts.URL)
+
+	probes := left
+	if len(probes) > 12 {
+		probes = probes[:12]
+	}
+	for pi, probe := range probes {
+		for _, req := range []server.RelateRequest{
+			{Dataset: "right", WKT: wkt.MarshalPolygon(probe), Limit: 100000},
+			{Dataset: "right", WKT: wkt.MarshalPolygon(probe), Limit: 100000, Predicate: "intersects"},
+		} {
+			want, err := sc.Relate(ctx, req)
+			if err != nil {
+				t.Fatalf("probe %d: single: %v", pi, err)
+			}
+			got, err := rc.Relate(ctx, req)
+			if err != nil {
+				t.Fatalf("probe %d: routed: %v", pi, err)
+			}
+			if got.Partial {
+				t.Fatalf("probe %d: healthy fleet answered partially", pi)
+			}
+			if got.Candidates != want.Candidates || got.Evaluated != want.Evaluated ||
+				got.Refined != want.Refined {
+				t.Fatalf("probe %d: counters: routed %d/%d/%d, single %d/%d/%d", pi,
+					got.Candidates, got.Evaluated, got.Refined,
+					want.Candidates, want.Evaluated, want.Refined)
+			}
+			g, w := got.Matches, want.Matches
+			sort.Slice(w, func(i, j int) bool { return w[i].ID < w[j].ID })
+			if len(g) != len(w) {
+				t.Fatalf("probe %d: %d matches, want %d", pi, len(g), len(w))
+			}
+			for i := range g {
+				if g[i] != w[i] {
+					t.Fatalf("probe %d: match %d = %+v, want %+v", pi, i, g[i], w[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReplicaFailover: killing one replica of a replicated shard must
+// leave answers complete (not partial) — the router fails over to the
+// surviving replica.
+func TestReplicaFailover(t *testing.T) {
+	left, right, space := corpus(t, 20, 7)
+	single := newNode(t, space, nil, left, right, nil)
+	rt, rts, nodes := newFleet(t, space, 3, left, right,
+		func(i int) int {
+			if i == 1 {
+				return 2
+			}
+			return 1
+		}, Config{})
+
+	ctx := context.Background()
+	sc := server.NewClient(single.URL)
+	rc := server.NewClient(rts.URL)
+	req := server.JoinRequest{Left: "left", Right: "right", Limit: 100000}
+	want, err := sc.Join(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	nodes[1][0].Close() // kill one replica of the replicated shard
+
+	// Ask repeatedly so the round-robin start index lands on the dead
+	// replica too: every answer must still be complete.
+	for i := 0; i < 4; i++ {
+		got, err := rc.Join(ctx, req)
+		if err != nil {
+			t.Fatalf("join %d: %v", i, err)
+		}
+		if got.Partial || len(got.MissingShards) != 0 {
+			t.Fatalf("join %d: replicated shard degraded the answer: %+v", i, got)
+		}
+		if got.Candidates != want.Candidates || got.Evaluated != want.Evaluated {
+			t.Fatalf("join %d: counters diverged after failover", i)
+		}
+		samePairs(t, "failover", got.Pairs, want.Pairs)
+	}
+
+	h, err := rc.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" {
+		t.Fatalf("router health = %q, want degraded (one replica down)", h.Status)
+	}
+	if len(h.Shards) != 3 || h.Shards[1].Alive != 1 || h.Shards[1].Replicas != 2 ||
+		h.Shards[1].Status != "degraded" {
+		t.Fatalf("shard health = %+v", h.Shards)
+	}
+	if v := rt.Metrics().Counter(obs.Name("router_shard_requests_total", "shard", "1", "outcome", "failover")).Value(); v == 0 {
+		t.Fatal("failover outcome never counted for shard 1")
+	}
+}
+
+// TestDeadShardPartial: killing the only replica of a shard must yield
+// flagged partial responses — never an error, never a hang — and the
+// router's health must report the shard dead.
+func TestDeadShardPartial(t *testing.T) {
+	left, right, space := corpus(t, 20, 55)
+	rt, rts, nodes := newFleet(t, space, 3, left, right, nil, Config{})
+
+	ctx := context.Background()
+	rc := server.NewClient(rts.URL)
+	req := server.JoinRequest{Left: "left", Right: "right", Limit: 100000}
+
+	// Direct per-shard answers while everything is alive: the partial
+	// answer after the kill must equal the sum of the survivors.
+	var liveCand [3]int
+	for i, shardNodes := range nodes {
+		jr, err := server.NewClient(shardNodes[0].URL).Join(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		liveCand[i] = jr.Candidates
+	}
+
+	nodes[2][0].Close()
+
+	got, err := rc.Join(ctx, req)
+	if err != nil {
+		t.Fatalf("dead shard must degrade, not fail: %v", err)
+	}
+	if !got.Partial || len(got.MissingShards) != 1 || got.MissingShards[0] != 2 {
+		t.Fatalf("partial flags = %v %v, want true [2]", got.Partial, got.MissingShards)
+	}
+	if want := liveCand[0] + liveCand[1]; got.Candidates != want {
+		t.Fatalf("partial candidates = %d, want %d (sum of survivors)", got.Candidates, want)
+	}
+
+	h, err := rc.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "degraded" || h.Shards[2].Status != "dead" {
+		t.Fatalf("health after kill = %q, shard2 %q; want degraded/dead", h.Status, h.Shards[2].Status)
+	}
+	if v := rt.Metrics().Counter(obs.Name("router_partial_responses_total", "route", "join")).Value(); v == 0 {
+		t.Fatal("partial response never counted")
+	}
+	if v := rt.Metrics().Counter(obs.Name("router_shard_requests_total", "shard", "2", "outcome", "dead")).Value(); v == 0 {
+		t.Fatal("dead outcome never counted for shard 2")
+	}
+}
+
+// TestTracePropagation: a traced router request must show up in the
+// shard-side tracer under the SAME trace id (the X-Stj-Trace header
+// crossed the RPC), with the shard's root span marked remote.
+func TestTracePropagation(t *testing.T) {
+	left, right, space := corpus(t, 10, 3)
+	rtTracer := trace.New(trace.Config{Sample: 1})
+	shardTracer := trace.New(trace.Config{Sample: 1})
+
+	plan, err := shard.NewPlan(space, testRouteOrder, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg := plan.Assignment(0)
+	ts := newNode(t, space, asg, left, right, shardTracer)
+	rt, err := New(Config{Plan: plan, Shards: [][]string{{ts.URL}}, Tracer: rtTracer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	defer rts.Close()
+
+	rc := server.NewClient(rts.URL)
+	if _, err := rc.Join(context.Background(), server.JoinRequest{Left: "left", Right: "right"}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The shard publishes its trace when its root span ends, which can
+	// race the response arriving at the test; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		rtTraces, shardTraces := rtTracer.Traces(), shardTracer.Traces()
+		if len(rtTraces) > 0 && len(shardTraces) > 0 {
+			want := rtTraces[0].ID
+			var found bool
+			for _, td := range shardTraces {
+				if td.ID == want {
+					found = true
+					if !strings.HasPrefix(td.Root.Name, "http.") {
+						t.Fatalf("shard root span = %q", td.Root.Name)
+					}
+					if td.Root.Attr("remote_parent") != "true" {
+						t.Fatal("shard root span not marked remote_parent")
+					}
+				}
+			}
+			if found {
+				return
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no shard trace adopted the router's id (router %d traces, shard %d)",
+				len(rtTracer.Traces()), len(shardTracer.Traces()))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRouterConfigValidation: shard map and plan must agree.
+func TestRouterConfigValidation(t *testing.T) {
+	space := geom.MBR{MinX: 0, MinY: 0, MaxX: 100, MaxY: 100}
+	plan, err := shard.NewPlan(space, testRouteOrder, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{Plan: plan, Shards: [][]string{{"http://a"}}}); err == nil {
+		t.Error("shard count mismatch must fail")
+	}
+	if _, err := New(Config{Plan: plan, Shards: [][]string{{"http://a"}, {}}}); err == nil {
+		t.Error("empty replica list must fail")
+	}
+	if _, err := New(Config{Shards: [][]string{{"http://a"}}}); err == nil {
+		t.Error("missing plan must fail")
+	}
+}
+
+// BenchmarkRouterFanout measures the router's scatter-gather overhead:
+// a fixed join fanned out over 3 in-process shards, merged, end to end
+// over HTTP.
+func BenchmarkRouterFanout(b *testing.B) {
+	left, right, space := corpus(b, 30, 2026)
+	_, rts, _ := newFleet(b, space, 3, left, right, nil, Config{})
+	rc := server.NewClient(rts.URL)
+	ctx := context.Background()
+	req := server.JoinRequest{Left: "left", Right: "right", Limit: 100000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		jr, err := rc.Join(ctx, req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if jr.Partial {
+			b.Fatal("partial answer from a healthy fleet")
+		}
+	}
+}

@@ -29,6 +29,7 @@ package trace
 import (
 	"context"
 	"math/rand/v2"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -142,19 +143,51 @@ func (t *Tracer) Stats() Stats {
 // context carries the span for StartChild/FromContext further down the
 // stack. A nil tracer returns (ctx, nil) unchanged.
 func (t *Tracer) Start(ctx context.Context, name string) (context.Context, *Span) {
+	return t.start(ctx, name, 0)
+}
+
+// StartRemote is Start adopting a remote parent's trace id: the new
+// root span (and all its children) carries the caller's id instead of
+// a fresh one, so spans recorded on both sides of an RPC — the router's
+// scatter spans and the shard's handler tree — correlate by id across
+// process boundaries. The sampling decision stays local: each process
+// applies its own policy, and slow capture works regardless. An id of
+// 0 falls back to Start.
+func (t *Tracer) StartRemote(ctx context.Context, name string, parent uint64) (context.Context, *Span) {
+	return t.start(ctx, name, parent)
+}
+
+func (t *Tracer) start(ctx context.Context, name string, id uint64) (context.Context, *Span) {
 	if t == nil {
 		return ctx, nil
 	}
 	t.started.Add(1)
+	if id == 0 {
+		id = rand.Uint64() | 1 // never 0: 0 means "no trace" to exemplars
+	}
 	tr := &traceState{
 		tracer:  t,
-		id:      rand.Uint64() | 1, // never 0: 0 means "no trace" to exemplars
+		id:      id,
 		sampled: t.cfg.Sample > 0 && rand.Float64() < t.cfg.Sample,
 	}
 	sp := &Span{name: name, start: time.Now(), trace: tr}
 	tr.root = sp
 	tr.spans.Store(1)
 	return ContextWithSpan(ctx, sp), sp
+}
+
+// ParseID parses a propagated trace id (the hex form FormatID renders,
+// leading zeros accepted); reports false for "", malformed tokens and
+// the reserved id 0.
+func ParseID(s string) (uint64, bool) {
+	if s == "" {
+		return 0, false
+	}
+	id, err := strconv.ParseUint(s, 16, 64)
+	if err != nil || id == 0 {
+		return 0, false
+	}
+	return id, true
 }
 
 // traceState is the per-request shared state behind a span tree.
