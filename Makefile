@@ -1,7 +1,7 @@
 # Developer targets; `make check` is the pre-commit gate.
 GO ?= go
 
-.PHONY: build test race vet bench bench-json check serve difftest faulttest e2e
+.PHONY: build test race vet bench bench-json bench-compare check serve difftest faulttest e2e
 
 build:
 	$(GO) build ./...
@@ -43,8 +43,11 @@ vet:
 
 # Regression telemetry for the instrumented pipeline (see README
 # "Observability"): the observed path and the disabled tracer must each
-# stay within 5% of plain.
+# stay within 5% of plain. The ZeroAlloc guards pin the hot path —
+# interval kernels, scratch refinement, the full observed sweep — to
+# zero heap allocations per pair (see README "Performance").
 bench:
+	$(GO) test -count=1 -run ZeroAlloc ./internal/interval/ ./internal/de9im/ ./internal/core/
 	$(GO) test -run xxx -bench 'BenchmarkObservedOverhead|BenchmarkTraceOverhead' -benchmem .
 	$(GO) test -run xxx -bench BenchmarkRouterFanout -benchmem ./internal/shard/router/
 
@@ -56,6 +59,15 @@ bench:
 bench-json:
 	$(GO) run ./cmd/benchrun -scale 0.05 -pairs 500 -trials 3 -label BENCH_SMOKE -out bench-smoke.json
 	head -c 400 bench-smoke.json; echo
+
+# Benchmark comparison smoke (see README "Performance"): re-runs the
+# default suite at the checked-in baseline's workload parameters and
+# diffs against BENCH_7.json with `-regress 0` — gating on the harness
+# completing and the deterministic verdict fingerprints matching, never
+# on absolute timings (machines differ). A fingerprint drift means the
+# pipelines changed verdicts: a correctness failure, not a perf one.
+bench-compare:
+	$(GO) run ./cmd/benchrun -trials 1 -warmup 1 -label BENCH_CI -out bench-ci.json -compare BENCH_7.json -regress 0
 
 # Multi-process end-to-end smoke of the sharded serving tier (see
 # README "Sharded serving"): builds real topojoind + topojoinrouter

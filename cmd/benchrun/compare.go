@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// loadReport parses a previously recorded BENCH_N.json artifact.
+func loadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compareReports prints the per-combo, per-pipeline deltas of cur
+// against base and enforces two gates:
+//
+//   - Fingerprints: every combo's pair count and each pipeline's
+//     mbr/if/refined verdict split must match exactly. The fingerprint
+//     is a pure function of the workload, so a mismatch means the two
+//     artifacts measured different work (or a correctness change slipped
+//     in) and no timing comparison is meaningful.
+//   - Regression threshold: with regressPct > 0, any pipeline whose
+//     ns/pair exceeds the baseline by more than regressPct percent fails
+//     the comparison. regressPct <= 0 disables the timing gate (the CI
+//     smoke job runs fingerprint-only: absolute timings are not
+//     comparable across machines).
+//
+// The returned error is non-nil if any gate fails.
+func compareReports(cur, base *Report, regressPct float64, w io.Writer) error {
+	fmt.Fprintf(w, "comparing %s (current) against %s (baseline)\n", cur.Bench, base.Bench)
+	baseCombos := make(map[string]*ComboReport, len(base.Combos))
+	for i := range base.Combos {
+		baseCombos[base.Combos[i].Combo] = &base.Combos[i]
+	}
+	var failures []string
+	for _, cc := range cur.Combos {
+		bc, ok := baseCombos[cc.Combo]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("combo %s missing from baseline", cc.Combo))
+			continue
+		}
+		fmt.Fprintf(w, "%s (%d pairs)\n", cc.Combo, cc.Pairs)
+		if cc.Pairs != bc.Pairs {
+			failures = append(failures, fmt.Sprintf(
+				"combo %s: pair count %d != baseline %d", cc.Combo, cc.Pairs, bc.Pairs))
+			continue
+		}
+		basePipes := make(map[string]*PipelineResult, len(bc.Pipelines))
+		for i := range bc.Pipelines {
+			basePipes[bc.Pipelines[i].Method] = &bc.Pipelines[i]
+		}
+		for _, cp := range cc.Pipelines {
+			bp, ok := basePipes[cp.Method]
+			if !ok {
+				failures = append(failures, fmt.Sprintf(
+					"combo %s: pipeline %s missing from baseline", cc.Combo, cp.Method))
+				continue
+			}
+			fmt.Fprintf(w, "  %-5s  ns/pair %10.1f -> %10.1f (%s)   refine %10.1f -> %10.1f (%s)   allocs %7.1f -> %6.1f\n",
+				cp.Method,
+				bp.NsPerPair, cp.NsPerPair, pct(bp.NsPerPair, cp.NsPerPair),
+				bp.RefineNsPerPair, cp.RefineNsPerPair, pct(bp.RefineNsPerPair, cp.RefineNsPerPair),
+				bp.AllocsPerPair, cp.AllocsPerPair)
+			if cp.MBRSettled != bp.MBRSettled || cp.IFSettled != bp.IFSettled || cp.Refined != bp.Refined {
+				failures = append(failures, fmt.Sprintf(
+					"combo %s %s: verdict fingerprint %d/%d/%d != baseline %d/%d/%d",
+					cc.Combo, cp.Method,
+					cp.MBRSettled, cp.IFSettled, cp.Refined,
+					bp.MBRSettled, bp.IFSettled, bp.Refined))
+			}
+			if regressPct > 0 && bp.NsPerPair > 0 &&
+				cp.NsPerPair > bp.NsPerPair*(1+regressPct/100) {
+				failures = append(failures, fmt.Sprintf(
+					"combo %s %s: ns/pair %.1f regressed more than %.1f%% over baseline %.1f",
+					cc.Combo, cp.Method, cp.NsPerPair, regressPct, bp.NsPerPair))
+			}
+		}
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintf(w, "FAIL: %s\n", f)
+		}
+		return fmt.Errorf("%d comparison failure(s)", len(failures))
+	}
+	fmt.Fprintf(w, "fingerprints match (%d combos)\n", len(cur.Combos))
+	return nil
+}
+
+// pct formats the relative change from base to cur.
+func pct(base, cur float64) string {
+	if base == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(cur-base)/base)
+}

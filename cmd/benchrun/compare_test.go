@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoPointReports() (cur, base *Report) {
+	mk := func(label string, ns, refine, allocs float64) *Report {
+		return &Report{
+			Bench: label,
+			Combos: []ComboReport{{
+				Combo: "OLE-OPE", Pairs: 284,
+				Pipelines: []PipelineResult{{
+					Method: "ST2", NsPerPair: ns, RefineNsPerPair: refine,
+					AllocsPerPair: allocs, MBRSettled: 10, IFSettled: 0, Refined: 274,
+				}},
+			}},
+		}
+	}
+	return mk("BENCH_8", 100000, 99000, 3), mk("BENCH_7", 200000, 198000, 214)
+}
+
+func TestCompareMatchingFingerprints(t *testing.T) {
+	cur, base := twoPointReports()
+	var buf strings.Builder
+	if err := compareReports(cur, base, 0, &buf); err != nil {
+		t.Fatalf("compare failed: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	for _, want := range []string{"OLE-OPE (284 pairs)", "ST2", "-50.0%", "fingerprints match"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareFingerprintMismatch(t *testing.T) {
+	cur, base := twoPointReports()
+	cur.Combos[0].Pipelines[0].Refined = 273 // one verdict drifted
+	cur.Combos[0].Pipelines[0].IFSettled = 1
+	var buf strings.Builder
+	if err := compareReports(cur, base, 0, &buf); err == nil {
+		t.Fatalf("verdict drift not detected:\n%s", buf.String())
+	}
+	if !strings.Contains(buf.String(), "verdict fingerprint") {
+		t.Errorf("failure not attributed to fingerprint:\n%s", buf.String())
+	}
+}
+
+func TestComparePairCountMismatch(t *testing.T) {
+	cur, base := twoPointReports()
+	cur.Combos[0].Pairs = 300
+	var buf strings.Builder
+	if err := compareReports(cur, base, 0, &buf); err == nil {
+		t.Fatal("pair count drift not detected")
+	}
+}
+
+func TestCompareRegressionThreshold(t *testing.T) {
+	cur, base := twoPointReports()
+	cur.Combos[0].Pipelines[0].NsPerPair = base.Combos[0].Pipelines[0].NsPerPair * 1.5
+	var buf strings.Builder
+	// 50% slower: passes a 60% budget, fails a 10% budget, and passes
+	// with the timing gate disabled.
+	if err := compareReports(cur, base, 60, &buf); err != nil {
+		t.Fatalf("within budget but failed: %v", err)
+	}
+	if err := compareReports(cur, base, 10, &buf); err == nil {
+		t.Fatal("regression past threshold not detected")
+	}
+	if err := compareReports(cur, base, 0, &buf); err != nil {
+		t.Fatalf("timing gate disabled but failed: %v", err)
+	}
+}
+
+func TestCompareMissingBaselineCombo(t *testing.T) {
+	cur, base := twoPointReports()
+	base.Combos[0].Combo = "OBE-OPE"
+	var buf strings.Builder
+	if err := compareReports(cur, base, 0, &buf); err == nil {
+		t.Fatal("missing baseline combo not detected")
+	}
+}

@@ -41,8 +41,10 @@ func main() {
 		pairs  = flag.Int("pairs", 4000, "max candidate pairs swept per combo (0 = all)")
 		warmup = flag.Int("warmup", 1, "discarded warmup sweeps per pipeline")
 		trials = flag.Int("trials", 5, "measured sweeps per pipeline (median reported)")
-		out    = flag.String("out", "BENCH_7.json", "output path (- for stdout)")
-		label  = flag.String("label", "BENCH_7", "benchmark point label recorded in the artifact")
+		out     = flag.String("out", "BENCH_8.json", "output path (- for stdout)")
+		label   = flag.String("label", "BENCH_8", "benchmark point label recorded in the artifact")
+		compare = flag.String("compare", "", "baseline BENCH_N.json to diff against (prints per-combo deltas, verifies fingerprints)")
+		regress = flag.Float64("regress", 0, "with -compare: fail if any pipeline's ns/pair regresses more than this percent (<= 0 gates on fingerprints only)")
 	)
 	flag.Parse()
 
@@ -68,14 +70,25 @@ func main() {
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "benchrun: wrote %s (%d combos × %d pipelines)\n",
+			*out, len(rep.Combos), core.NumMethods)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "benchrun:", err)
-		os.Exit(1)
+	if *compare != "" {
+		base, err := loadReport(*compare)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
+		if err := compareReports(rep, base, *regress, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchrun:", err)
+			os.Exit(1)
+		}
 	}
-	fmt.Fprintf(os.Stderr, "benchrun: wrote %s (%d combos × %d pipelines)\n",
-		*out, len(rep.Combos), core.NumMethods)
 }
 
 // config is one benchmark recording: the deterministic workload

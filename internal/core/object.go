@@ -14,6 +14,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/april"
 	"repro/internal/de9im"
@@ -29,6 +30,9 @@ type Object struct {
 	Poly   *geom.Polygon
 	MBR    geom.MBR
 	Approx april.Approx
+
+	prepOnce sync.Once
+	prep     *de9im.Prepared
 }
 
 // NewObject precomputes the MBR and APRIL approximation of a polygon.
@@ -44,10 +48,40 @@ func NewObject(id int, p *geom.Polygon, b *april.Builder) (*Object, error) {
 // engine.
 func (o *Object) multi() *geom.MultiPolygon { return geom.NewMultiPolygon(o.Poly) }
 
+// Prepared returns the object's DE-9IM acceleration structures (locator,
+// edge tables, sweep index), built on first use and cached for the
+// object's lifetime. An object typically survives MBR-filtering against
+// many partners; caching makes the per-pair refinement cost independent
+// of geometry size for everything except the sweep itself. Safe for
+// concurrent callers.
+func (o *Object) Prepared() *de9im.Prepared {
+	o.prepOnce.Do(func() { o.prep = de9im.Prepare(o.multi()) })
+	return o.prep
+}
+
+// refineScratch pools noding scratches for the default Refine entry
+// point, which has no caller-owned state to hang one off.
+var refineScratch = sync.Pool{New: func() any { return new(de9im.Scratch) }}
+
 // Refine computes the DE-9IM matrix of the pair's exact geometries: the
-// refinement step of every pipeline.
+// refinement step of every pipeline. It reuses the objects' cached
+// Prepared structures and a pooled scratch; loop-heavy callers that want
+// a private scratch use NewScratchRefiner or a Sweeper instead.
 func Refine(r, s *Object) de9im.Matrix {
-	return de9im.Relate(r.multi(), s.multi())
+	sc := refineScratch.Get().(*de9im.Scratch)
+	m := de9im.RelateScratch(r.Prepared(), s.Prepared(), sc)
+	refineScratch.Put(sc)
+	return m
+}
+
+// NewScratchRefiner returns a Refiner bound to its own private noding
+// scratch: zero allocations per call in steady state, but not safe for
+// concurrent use — give each worker its own.
+func NewScratchRefiner() Refiner {
+	sc := new(de9im.Scratch)
+	return func(r, s *Object) de9im.Matrix {
+		return de9im.RelateScratch(r.Prepared(), s.Prepared(), sc)
+	}
 }
 
 // NewObjectAdaptive is NewObject with the adaptive-order approximation

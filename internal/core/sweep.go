@@ -1,0 +1,59 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/de9im"
+)
+
+// Sweeper runs the observed find-relation path over many pairs with zero
+// steady-state allocations. FindRelationObservedWith builds a fresh
+// timing closure per pair; over a million-pair sweep those closures (and
+// the pooled-scratch round trips inside the default Refine) are pure
+// overhead. A Sweeper binds the timed refiner, the noding scratch, and
+// the per-pair accounting once, so the sweep loop's only work is the
+// pipeline itself.
+//
+// A Sweeper is not safe for concurrent use: parallel sweeps give each
+// worker its own (they are cheap — one scratch and two closures).
+type Sweeper struct {
+	method     Method
+	sink       PipelineSink
+	sc         de9im.Scratch
+	refineTime time.Duration
+	timed      Refiner // bound once to timedRefine
+}
+
+// NewSweeper returns a sweeper for pipeline m reporting per-pair events
+// to sink (nil sink skips observation, matching FindRelationObserved).
+func NewSweeper(m Method, sink PipelineSink) *Sweeper {
+	sw := &Sweeper{method: m, sink: sink}
+	sw.timed = sw.timedRefine
+	return sw
+}
+
+// timedRefine is the sweeper's refinement step: the objects' cached
+// Prepared structures plus the sweeper's own scratch, with the stage
+// time accumulated for the sink.
+func (sw *Sweeper) timedRefine(r, s *Object) de9im.Matrix {
+	t0 := time.Now()
+	m := de9im.RelateScratch(r.Prepared(), s.Prepared(), &sw.sc)
+	sw.refineTime += time.Since(t0)
+	return m
+}
+
+// FindRelation evaluates one pair through the sweeper's pipeline,
+// delivering the same event FindRelationObserved would: the settled
+// result, the verdict stage, and filter/refine durations with filter =
+// total − refine.
+func (sw *Sweeper) FindRelation(r, s *Object) Result {
+	if sw.sink == nil {
+		return FindRelationWith(sw.method, r, s, sw.timed)
+	}
+	start := time.Now()
+	sw.refineTime = 0
+	res := FindRelationWith(sw.method, r, s, sw.timed)
+	total := time.Since(start)
+	sw.sink.ObservePair(sw.method, res, verdictOf(res), total-sw.refineTime, sw.refineTime)
+	return res
+}

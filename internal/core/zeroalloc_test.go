@@ -1,0 +1,34 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestZeroAllocSweeper pins the whole observed hot path — MBR filter,
+// intermediate filter, scratch-based refinement, sink delivery — to zero
+// heap allocations per pair once objects are warm (wired into
+// `make bench`). This is the loop every sweep and every serving request
+// runs; one allocation here is millions per join.
+func TestZeroAllocSweeper(t *testing.T) {
+	b := testBuilder(t)
+	rng := rand.New(rand.NewSource(23))
+	pairs := testPairs(t, b, rng)
+	for _, m := range Methods {
+		sweep := NewSweeper(m, NopSink{})
+		// Warm up: build every Prepared, force interior points via the
+		// probe fallbacks, and grow the scratch.
+		for _, p := range pairs {
+			sweep.FindRelation(p[0], p[1])
+		}
+		allocs := testing.AllocsPerRun(20, func() {
+			for _, p := range pairs {
+				sweep.FindRelation(p[0], p[1])
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("%s: sweep over %d warm pairs allocates %v per run, want 0",
+				m, len(pairs), allocs)
+		}
+	}
+}

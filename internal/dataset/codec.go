@@ -127,13 +127,24 @@ func Read(r io.Reader) (*Dataset, error) {
 	if capHint > 1<<16 {
 		capHint = 1 << 16
 	}
-	d := &Dataset{Name: name, Entity: entity, Objects: make([]*core.Object, 0, capHint)}
+	// Rings stream straight into one columnar arena; objects are
+	// materialized after Finish, when the slab views and cached bounds
+	// exist.
+	var ab geom.ArenaBuilder
+	approxes := make([]april.Approx, 0, capHint)
 	for i := uint32(0); i < n; i++ {
-		o, err := readObject(br, int(i))
+		ap, err := readObjectInto(&ab, br)
 		if err != nil {
 			return nil, fmt.Errorf("dataset %s: object %d: %w", name, i, err)
 		}
-		d.Objects = append(d.Objects, o)
+		approxes = append(approxes, ap)
+	}
+	arena := ab.Finish()
+	d := &Dataset{Name: name, Entity: entity, Arena: arena,
+		Objects: make([]*core.Object, 0, len(approxes))}
+	for i, ap := range approxes {
+		p := arena.Polygon(i)
+		d.Objects = append(d.Objects, &core.Object{ID: i, Poly: p, MBR: p.Bounds(), Approx: ap})
 	}
 	return d, nil
 }
@@ -155,60 +166,53 @@ func readString(r io.Reader) (string, error) {
 // avoids adversarial multi-gigabyte allocations.
 const maxRingVertices = 1 << 20
 
-func readObject(r io.Reader, id int) (*core.Object, error) {
+// readObjectInto streams one object's rings into the arena builder and
+// returns its decoded approximation, with the same validation as the old
+// heap reader. On error the builder holds a partial polygon and must be
+// discarded (Read fails the whole dataset anyway).
+func readObjectInto(b *geom.ArenaBuilder, r io.Reader) (april.Approx, error) {
 	var rings uint16
 	if err := binary.Read(r, binary.LittleEndian, &rings); err != nil {
-		return nil, err
+		return april.Approx{}, err
 	}
 	if rings == 0 {
-		return nil, fmt.Errorf("object has no rings")
+		return april.Approx{}, fmt.Errorf("object has no rings")
 	}
-	readRing := func() (geom.Ring, error) {
+	b.BeginPolygon()
+	for ri := uint16(0); ri < rings; ri++ {
 		var n uint32
 		if err := binary.Read(r, binary.LittleEndian, &n); err != nil {
-			return nil, err
+			return april.Approx{}, err
 		}
 		if n > maxRingVertices {
-			return nil, fmt.Errorf("implausible ring size %d", n)
+			return april.Approx{}, fmt.Errorf("implausible ring size %d", n)
 		}
-		ring := make(geom.Ring, n)
-		for i := range ring {
+		b.BeginRing()
+		for i := uint32(0); i < n; i++ {
 			var xb, yb uint64
 			if err := binary.Read(r, binary.LittleEndian, &xb); err != nil {
-				return nil, err
+				return april.Approx{}, err
 			}
 			if err := binary.Read(r, binary.LittleEndian, &yb); err != nil {
-				return nil, err
+				return april.Approx{}, err
 			}
-			ring[i] = geom.Point{X: math.Float64frombits(xb), Y: math.Float64frombits(yb)}
-		}
-		return ring, nil
-	}
-	shell, err := readRing()
-	if err != nil {
-		return nil, err
-	}
-	holes := make([]geom.Ring, rings-1)
-	for i := range holes {
-		if holes[i], err = readRing(); err != nil {
-			return nil, err
+			b.Vertex(math.Float64frombits(xb), math.Float64frombits(yb))
 		}
 	}
 	var alen uint32
 	if err := binary.Read(r, binary.LittleEndian, &alen); err != nil {
-		return nil, err
+		return april.Approx{}, err
 	}
 	if alen > 1<<28 {
-		return nil, fmt.Errorf("implausible approximation size %d", alen)
+		return april.Approx{}, fmt.Errorf("implausible approximation size %d", alen)
 	}
 	abuf := make([]byte, alen)
 	if _, err := io.ReadFull(r, abuf); err != nil {
-		return nil, err
+		return april.Approx{}, err
 	}
 	ap, _, err := april.DecodeApprox(abuf)
 	if err != nil {
-		return nil, err
+		return april.Approx{}, err
 	}
-	poly := geom.NewPolygon(shell, holes...)
-	return &core.Object{ID: id, Poly: poly, MBR: poly.Bounds(), Approx: ap}, nil
+	return ap, nil
 }

@@ -18,20 +18,36 @@ type Dataset struct {
 	Name    string
 	Entity  string // human-readable entity type, e.g. "EU Lakes"
 	Objects []*core.Object
+	// Arena is the columnar slab backing every object's geometry: one
+	// flat coordinate array plus offset tables, built once at
+	// preprocessing or load time. Objects' polygons are views into it.
+	// Nil only for datasets assembled object-by-object outside this
+	// package (legacy heap layout); all loaders here populate it.
+	Arena *geom.Arena
 }
 
-// Precompute builds a Dataset: every polygon gets its MBR and APRIL
-// approximation.
+// Precompute builds a Dataset: the polygons are flattened into one
+// columnar arena, and every object gets its MBR and APRIL approximation.
 func Precompute(name, entity string, polys []*geom.Polygon, b *april.Builder) (*Dataset, error) {
-	ds := &Dataset{Name: name, Entity: entity, Objects: make([]*core.Object, 0, len(polys))}
-	for i, p := range polys {
-		o, err := core.NewObject(i, p, b)
+	arena := geom.BuildArena(polys)
+	ds := &Dataset{Name: name, Entity: entity, Arena: arena,
+		Objects: make([]*core.Object, 0, len(polys))}
+	for i := range polys {
+		o, err := core.NewObject(i, arena.Polygon(i), b)
 		if err != nil {
 			return nil, fmt.Errorf("dataset %s: %w", name, err)
 		}
 		ds.Objects = append(ds.Objects, o)
 	}
 	return ds, nil
+}
+
+// FromPrecomputed assembles a Dataset from already-built objects and the
+// arena backing their geometries. This is the snapshot warm-start entry
+// point: the decoder streams the geometry section into the arena and
+// hands both over directly, with no rebuild-then-reflatten round trip.
+func FromPrecomputed(name, entity string, objs []*core.Object, arena *geom.Arena) *Dataset {
+	return &Dataset{Name: name, Entity: entity, Objects: objs, Arena: arena}
 }
 
 // Len returns the number of objects.

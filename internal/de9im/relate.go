@@ -1,6 +1,11 @@
 package de9im
 
-import "repro/internal/geom"
+import (
+	"slices"
+	"sync"
+
+	"repro/internal/geom"
+)
 
 // Relate computes the DE-9IM matrix of the ordered pair (r, s).
 func Relate(r, s *geom.MultiPolygon) Matrix {
@@ -12,27 +17,58 @@ func RelatePolygons(r, s *geom.Polygon) Matrix {
 	return Relate(geom.NewMultiPolygon(r), geom.NewMultiPolygon(s))
 }
 
-// Prepared wraps a geometry with the acceleration structures Relate needs:
-// a slab-indexed point locator and lazily computed per-component interior
-// points. Preparing once is useful when the same object participates in
-// many pairs.
+// Prepared wraps a geometry with every pair-independent acceleration
+// structure Relate needs: a slab-indexed point locator, the boundary
+// edge table with per-edge bounding boxes, a minX-sorted edge index for
+// the noding sweep, cached bounds, and lazily computed per-component
+// interior points. Preparing once amortizes all of it across the many
+// pairs an object participates in; a Prepared is immutable after
+// construction and safe for concurrent use (interior points are guarded
+// by a sync.Once).
 type Prepared struct {
 	Geom    *geom.MultiPolygon
 	locator *geom.Locator
+	bounds  geom.MBR
+	edges   []prepEdge // boundary edges in Geom.Edges order
+	byMinX  []int32    // edge indices sorted by (minX, index)
+	intOnce sync.Once
 	intPts  []geom.Point
 }
 
-// Prepare builds the locator for g.
+// Prepare builds the locator and edge tables for g.
 func Prepare(g *geom.MultiPolygon) *Prepared {
-	return &Prepared{Geom: g, locator: geom.NewLocator(g)}
+	p := prepareTopology(g)
+	p.locator = geom.NewLocator(g)
+	return p
 }
 
-// interiorPoints computes one interior point per polygon component, caching
-// the result.
-func (p *Prepared) interiorPoints() []geom.Point {
-	if p.intPts == nil {
-		p.intPts = geom.InteriorPoints(p.Geom)
+// prepareTopology builds everything except the locator — enough for
+// noding (NodedSegments), which never point-locates.
+func prepareTopology(g *geom.MultiPolygon) *Prepared {
+	p := &Prepared{Geom: g, bounds: g.Bounds()}
+	g.Edges(func(a, b geom.Point) { p.edges = append(p.edges, newPrepEdge(a, b)) })
+	p.byMinX = make([]int32, len(p.edges))
+	for i := range p.byMinX {
+		p.byMinX[i] = int32(i)
 	}
+	slices.SortFunc(p.byMinX, func(a, b int32) int {
+		xa, xb := p.edges[a].minX, p.edges[b].minX
+		switch {
+		case xa < xb:
+			return -1
+		case xa > xb:
+			return 1
+		default:
+			return int(a - b)
+		}
+	})
+	return p
+}
+
+// interiorPoints computes one interior point per polygon component,
+// caching the result. Safe under concurrent callers.
+func (p *Prepared) interiorPoints() []geom.Point {
+	p.intOnce.Do(func() { p.intPts = geom.InteriorPoints(p.Geom) })
 	return p.intPts
 }
 
@@ -56,7 +92,69 @@ func probe(pt geom.Point, other, own *geom.Locator) geom.Location {
 	return loc
 }
 
-// RelatePrepared computes the DE-9IM matrix from prepared geometries.
+// classifyMid folds the location of one noded-segment midpoint into the
+// side flags.
+func classifyMid(mid geom.Point, loc *geom.Locator, in, on, out *bool) {
+	switch loc.Locate(mid) {
+	case geom.Inside:
+		*in = true
+	case geom.OnBoundary:
+		*on = true
+	default:
+		*out = true
+	}
+}
+
+// classifySide classifies the midpoint of every noded sub-segment of one
+// boundary against the other geometry's locator. cuts must be sorted by
+// (edge, t); the walk uses a single cursor over the contiguous per-edge
+// runs, so it allocates nothing. Early-exits once all three flags are set.
+func classifySide(edges []prepEdge, cuts []cut, loc *geom.Locator, in, on, out *bool) {
+	c := 0
+	for i := range edges {
+		if *in && *on && *out {
+			return
+		}
+		lo := c
+		for c < len(cuts) && cuts[c].edge == int32(i) {
+			c++
+		}
+		e := &edges[i]
+		run := cuts[lo:c]
+		if len(run) == 0 {
+			classifyMid(geom.Midpoint(e.a, e.b), loc, in, on, out)
+			continue
+		}
+		// Same dedup chain as forEachNodedSub, with the midpoint taken
+		// inline instead of through callbacks.
+		prev := 0.0
+		for _, ct := range run {
+			if ct.t-prev > 1e-12 {
+				classifySub(e, prev, ct.t, loc, in, on, out)
+				prev = ct.t
+			}
+		}
+		classifySub(e, prev, 1, loc, in, on, out)
+	}
+}
+
+func classifySub(e *prepEdge, t0, t1 float64, loc *geom.Locator, in, on, out *bool) {
+	if t1-t0 > 1e-12 {
+		mid := geom.Midpoint(geom.Lerp(e.a, e.b, t0), geom.Lerp(e.a, e.b, t1))
+		classifyMid(mid, loc, in, on, out)
+	}
+}
+
+// RelatePrepared computes the DE-9IM matrix from prepared geometries,
+// allocating a fresh scratch.
+func RelatePrepared(r, s *Prepared) Matrix {
+	return RelateScratch(r, s, nil)
+}
+
+// RelateScratch computes the DE-9IM matrix from prepared geometries using
+// the caller's reusable scratch (nil means allocate one). With a warm
+// scratch and warm Prepared values the steady state allocates nothing —
+// the zero-alloc guard test pins this.
 //
 // Derivation: after noding the boundaries against each other, every noded
 // boundary segment of one geometry lies entirely in the interior, on the
@@ -67,7 +165,7 @@ func probe(pt geom.Point, other, own *geom.Locator) geom.Location {
 // the segment flags sufficient for all B-row and B-column entries.
 // Area entries (II, IE, EI) follow from the flags plus per-component
 // interior-point probes; DESIGN.md §4 sketches the completeness argument.
-func RelatePrepared(r, s *Prepared) Matrix {
+func RelateScratch(r, s *Prepared, sc *Scratch) Matrix {
 	var m Matrix
 	for i := range m {
 		m[i] = DimF
@@ -84,28 +182,14 @@ func RelatePrepared(r, s *Prepared) Matrix {
 		return m
 	}
 
-	nr := nodeBoundaries(r.Geom, s.Geom)
+	if sc == nil {
+		sc = new(Scratch)
+	}
+	anyPoint := sc.node(r, s)
 
 	var rIn, rOn, rOut, sIn, sOn, sOut bool
-	classify := func(edges []edgeRec, loc *geom.Locator, in, on, out *bool) {
-		for i := range edges {
-			if *in && *on && *out {
-				return
-			}
-			edges[i].forEachNodedMidpoint(func(mid geom.Point) {
-				switch loc.Locate(mid) {
-				case geom.Inside:
-					*in = true
-				case geom.OnBoundary:
-					*on = true
-				default:
-					*out = true
-				}
-			})
-		}
-	}
-	classify(nr.rEdges, s.locator, &rIn, &rOn, &rOut)
-	classify(nr.sEdges, r.locator, &sIn, &sOn, &sOut)
+	classifySide(r.edges, sc.rCuts, s.locator, &rIn, &rOn, &rOut)
+	classifySide(s.edges, sc.sCuts, r.locator, &sIn, &sOn, &sOut)
 
 	// Boundary rows/columns.
 	if rIn {
@@ -123,7 +207,7 @@ func RelatePrepared(r, s *Prepared) Matrix {
 	switch {
 	case rOn || sOn:
 		m[BB] = Dim1
-	case nr.anyPoint:
+	case anyPoint:
 		m[BB] = Dim0
 	}
 

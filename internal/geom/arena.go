@@ -1,0 +1,207 @@
+package geom
+
+import "unsafe"
+
+// Arena is a pointer-free columnar store for a whole collection of
+// polygons: every vertex of every ring lives in one flat interleaved
+// []float64 coordinate slab, with ring and polygon extents recorded in
+// offset tables. Ring and Polygon values handed out by the arena are
+// views into the slab, so a dataset of N polygons costs a handful of
+// allocations instead of a heap graph of N*(rings+1) objects — the
+// refinement engine then walks contiguous cache lines instead of
+// chasing pointers, and the slab itself is the serialization unit
+// (bit-exact with the snapshot geometry section, mmap-friendly).
+//
+// Arenas are immutable after Finish and safe for concurrent readers.
+type Arena struct {
+	coords  []float64 // interleaved x0 y0 x1 y1 ... for all rings back-to-back
+	ringOff []int32   // ring r spans vertices [ringOff[r], ringOff[r+1])
+	polyOff []int32   // polygon p owns rings [polyOff[p], polyOff[p+1]); shell first
+	polys   []Polygon // materialized headers whose Shell/Holes alias the slab
+	holes   []Ring    // shared backing slab for every polys[i].Holes slice
+}
+
+// Point is serialized as two float64s; the ring views below rely on the
+// struct having exactly that layout.
+var _ [16]byte = [unsafe.Sizeof(Point{})]byte{}
+
+// Len returns the number of polygons in the arena.
+func (a *Arena) Len() int { return len(a.polys) }
+
+// Polygon returns the i-th polygon. The returned value aliases the
+// arena's slabs and stays valid for the arena's lifetime.
+func (a *Arena) Polygon(i int) *Polygon { return &a.polys[i] }
+
+// NumRings returns the total ring count over all polygons.
+func (a *Arena) NumRings() int { return len(a.ringOff) - 1 }
+
+// NumVertices returns the total vertex count over all rings.
+func (a *Arena) NumVertices() int { return len(a.coords) / 2 }
+
+// Coords exposes the raw coordinate slab (interleaved x, y pairs, ring
+// by ring in storage order). Mutating it corrupts every polygon view.
+func (a *Arena) Coords() []float64 { return a.coords }
+
+// Bytes returns the arena's slab footprint in bytes: the quantity that
+// memory-bandwidth-bound sweeps actually stream.
+func (a *Arena) Bytes() int {
+	return 8*len(a.coords) + 4*(len(a.ringOff)+len(a.polyOff)) +
+		len(a.polys)*int(unsafe.Sizeof(Polygon{})) + len(a.holes)*int(unsafe.Sizeof(Ring(nil)))
+}
+
+// ring returns the vertex view of vertices [lo, hi) of the slab. A
+// []Point and a []float64 of twice the length have identical layout
+// (asserted above), so the view is a reinterpretation, not a copy.
+func (a *Arena) ring(lo, hi int32) Ring {
+	if hi == lo {
+		return nil
+	}
+	return unsafe.Slice((*Point)(unsafe.Pointer(&a.coords[2*lo])), hi-lo)
+}
+
+// ArenaBuilder accumulates polygons into an Arena. The zero value is
+// ready to use. Building is strictly append-only: BeginPolygon starts a
+// polygon, BeginRing starts its next ring (first ring is the shell),
+// Vertex appends coordinates, and Finish seals the arena — normalizing
+// ring orientation (shell CCW, holes CW) and caching bounds exactly as
+// NewPolygon would, so an arena-built polygon is indistinguishable from
+// a heap-built one.
+type ArenaBuilder struct {
+	coords  []float64
+	ringOff []int32
+	polyOff []int32
+	done    bool
+}
+
+// Grow pre-reserves capacity for the given totals; purely an
+// optimization for loaders that know their sizes up front.
+func (b *ArenaBuilder) Grow(polys, rings, vertices int) {
+	if cap(b.coords)-len(b.coords) < 2*vertices {
+		c := make([]float64, len(b.coords), len(b.coords)+2*vertices)
+		copy(c, b.coords)
+		b.coords = c
+	}
+	if cap(b.ringOff)-len(b.ringOff) < rings+1 {
+		r := make([]int32, len(b.ringOff), len(b.ringOff)+rings+1)
+		copy(r, b.ringOff)
+		b.ringOff = r
+	}
+	if cap(b.polyOff)-len(b.polyOff) < polys+1 {
+		p := make([]int32, len(b.polyOff), len(b.polyOff)+polys+1)
+		copy(p, b.polyOff)
+		b.polyOff = p
+	}
+}
+
+func (b *ArenaBuilder) init() {
+	if len(b.ringOff) == 0 {
+		b.ringOff = append(b.ringOff, 0)
+		b.polyOff = append(b.polyOff, 0)
+	}
+}
+
+// BeginPolygon starts a new polygon; its rings follow via BeginRing.
+func (b *ArenaBuilder) BeginPolygon() {
+	b.init()
+	b.polyOff = append(b.polyOff, b.polyOff[len(b.polyOff)-1])
+}
+
+// BeginRing starts the current polygon's next ring (shell first).
+func (b *ArenaBuilder) BeginRing() {
+	b.init()
+	b.ringOff = append(b.ringOff, b.ringOff[len(b.ringOff)-1])
+	b.polyOff[len(b.polyOff)-1]++
+}
+
+// Vertex appends one vertex to the current ring.
+func (b *ArenaBuilder) Vertex(x, y float64) {
+	b.coords = append(b.coords, x, y)
+	b.ringOff[len(b.ringOff)-1]++
+}
+
+// AddPolygon copies a heap polygon into the arena (re-flattening its
+// rings into the slab). Ring order and vertex values are preserved
+// bit-for-bit; orientation is normalized at Finish like NewPolygon.
+func (b *ArenaBuilder) AddPolygon(p *Polygon) {
+	b.BeginPolygon()
+	b.BeginRing()
+	for _, pt := range p.Shell {
+		b.Vertex(pt.X, pt.Y)
+	}
+	for _, h := range p.Holes {
+		b.BeginRing()
+		for _, pt := range h {
+			b.Vertex(pt.X, pt.Y)
+		}
+	}
+}
+
+// NumPolygons returns the number of polygons started so far.
+func (b *ArenaBuilder) NumPolygons() int {
+	if len(b.polyOff) == 0 {
+		return 0
+	}
+	return len(b.polyOff) - 1
+}
+
+// Finish seals the builder into an immutable Arena: every ring is
+// oriented (shell CCW, holes CW, reversed in place in the slab) and
+// every polygon's bounds are cached. The builder must not be reused
+// afterwards; Finish panics on a second call or on a polygon with no
+// rings (loaders validate ring counts before appending).
+func (b *ArenaBuilder) Finish() *Arena {
+	if b.done {
+		panic("geom: ArenaBuilder.Finish called twice")
+	}
+	b.done = true
+	b.init()
+	a := &Arena{coords: b.coords, ringOff: b.ringOff, polyOff: b.polyOff}
+	nPolys := len(a.polyOff) - 1
+	nHoles := (len(a.ringOff) - 1) - nPolys
+	a.polys = make([]Polygon, nPolys)
+	a.holes = make([]Ring, 0, nHoles)
+	for p := 0; p < nPolys; p++ {
+		r0, r1 := a.polyOff[p], a.polyOff[p+1]
+		if r0 == r1 {
+			panic("geom: arena polygon with no rings")
+		}
+		shell := a.ring(a.ringOff[r0], a.ringOff[r0+1])
+		if !shell.IsCCW() {
+			shell.Reverse()
+		}
+		h0 := len(a.holes)
+		for r := r0 + 1; r < r1; r++ {
+			h := a.ring(a.ringOff[r], a.ringOff[r+1])
+			if h.IsCCW() {
+				h.Reverse()
+			}
+			a.holes = append(a.holes, h)
+		}
+		var holes []Ring
+		if len(a.holes) > h0 {
+			holes = a.holes[h0:len(a.holes):len(a.holes)]
+		}
+		a.polys[p] = Polygon{
+			Shell:  shell,
+			Holes:  holes,
+			bounds: shell.Bounds(),
+			hasBox: true,
+		}
+	}
+	return a
+}
+
+// BuildArena re-flattens a slice of heap polygons into one arena.
+func BuildArena(polys []*Polygon) *Arena {
+	var b ArenaBuilder
+	rings, verts := 0, 0
+	for _, p := range polys {
+		rings += 1 + len(p.Holes)
+		verts += p.NumVertices()
+	}
+	b.Grow(len(polys), rings, verts)
+	for _, p := range polys {
+		b.AddPolygon(p)
+	}
+	return b.Finish()
+}

@@ -1,0 +1,149 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// randTestPoly builds a random star-shaped polygon (valid, non-self-
+// intersecting) with nv shell vertices and optionally one triangular
+// hole, in a mix of orientations so Finish's normalization is exercised.
+func randTestPoly(rng *rand.Rand, nv int, withHole bool) *Polygon {
+	cx, cy := rng.Float64()*100, rng.Float64()*100
+	shell := make(Ring, nv)
+	for i := range shell {
+		ang := 2 * math.Pi * float64(i) / float64(nv)
+		rad := 5 + 4*rng.Float64()
+		shell[i] = Point{cx + rad*math.Cos(ang), cy + rad*math.Sin(ang)}
+	}
+	if rng.Intn(2) == 0 {
+		shell.Reverse() // mix CW and CCW inputs
+	}
+	var holes []Ring
+	if withHole {
+		h := Ring{
+			{cx - 0.5, cy - 0.5},
+			{cx + 0.5, cy - 0.5},
+			{cx, cy + 0.5},
+		}
+		if rng.Intn(2) == 0 {
+			h.Reverse()
+		}
+		holes = append(holes, h)
+	}
+	return NewPolygon(shell, holes...)
+}
+
+func TestArenaRoundTripEqualsHeap(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		heap := make([]*Polygon, n)
+		for i := range heap {
+			heap[i] = randTestPoly(rng, 3+rng.Intn(12), rng.Intn(3) == 0)
+		}
+		a := BuildArena(heap)
+		if a.Len() != n {
+			t.Fatalf("arena.Len() = %d, want %d", a.Len(), n)
+		}
+		wantVerts, wantRings := 0, 0
+		for i, hp := range heap {
+			ap := a.Polygon(i)
+			wantVerts += hp.NumVertices()
+			wantRings += 1 + len(hp.Holes)
+			if !reflect.DeepEqual(append(Ring{}, hp.Shell...), append(Ring{}, ap.Shell...)) {
+				t.Fatalf("trial %d poly %d: shell mismatch\nheap  %v\narena %v", trial, i, hp.Shell, ap.Shell)
+			}
+			if len(hp.Holes) != len(ap.Holes) {
+				t.Fatalf("trial %d poly %d: hole count %d vs %d", trial, i, len(hp.Holes), len(ap.Holes))
+			}
+			for j := range hp.Holes {
+				if !reflect.DeepEqual(append(Ring{}, hp.Holes[j]...), append(Ring{}, ap.Holes[j]...)) {
+					t.Fatalf("trial %d poly %d hole %d mismatch", trial, i, j)
+				}
+			}
+			if hp.Bounds() != ap.Bounds() {
+				t.Fatalf("trial %d poly %d: bounds %v vs %v", trial, i, hp.Bounds(), ap.Bounds())
+			}
+			if hp.Area() != ap.Area() {
+				t.Fatalf("trial %d poly %d: area %v vs %v", trial, i, hp.Area(), ap.Area())
+			}
+		}
+		if a.NumVertices() != wantVerts {
+			t.Fatalf("NumVertices = %d, want %d", a.NumVertices(), wantVerts)
+		}
+		if a.NumRings() != wantRings {
+			t.Fatalf("NumRings = %d, want %d", a.NumRings(), wantRings)
+		}
+	}
+}
+
+// TestArenaViewsAliasSlab proves the columnar claim: every ring view is
+// a window into the one coordinate slab, not a copy.
+func TestArenaViewsAliasSlab(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	heap := []*Polygon{randTestPoly(rng, 6, true), randTestPoly(rng, 5, false)}
+	a := BuildArena(heap)
+	coords := a.Coords()
+	if len(coords) != 2*a.NumVertices() {
+		t.Fatalf("slab has %d floats, want %d", len(coords), 2*a.NumVertices())
+	}
+	// Mutating the slab must be visible through the polygon views.
+	p0 := a.Polygon(0)
+	coords[0] = 12345.5
+	coords[1] = -1.25
+	if got := p0.Shell[0]; got != (Point{12345.5, -1.25}) {
+		t.Fatalf("shell does not alias slab: got %v", got)
+	}
+}
+
+// TestArenaOrientation checks Finish normalizes orientation exactly like
+// NewPolygon: shells CCW, holes CW.
+func TestArenaOrientation(t *testing.T) {
+	shell := Ring{{0, 0}, {0, 4}, {4, 4}, {4, 0}} // CW input
+	hole := Ring{{1, 1}, {3, 1}, {2, 3}}          // CCW input
+	var b ArenaBuilder
+	b.BeginPolygon()
+	b.BeginRing()
+	for _, p := range shell {
+		b.Vertex(p.X, p.Y)
+	}
+	b.BeginRing()
+	for _, p := range hole {
+		b.Vertex(p.X, p.Y)
+	}
+	a := b.Finish()
+	got := a.Polygon(0)
+	if !got.Shell.IsCCW() {
+		t.Errorf("shell not CCW after Finish")
+	}
+	if got.Holes[0].IsCCW() {
+		t.Errorf("hole not CW after Finish")
+	}
+	want := NewPolygon(shell.Clone(), hole.Clone())
+	if !reflect.DeepEqual(append(Ring{}, want.Shell...), append(Ring{}, got.Shell...)) {
+		t.Errorf("shell differs from NewPolygon: %v vs %v", got.Shell, want.Shell)
+	}
+	if !reflect.DeepEqual(append(Ring{}, want.Holes[0]...), append(Ring{}, got.Holes[0]...)) {
+		t.Errorf("hole differs from NewPolygon: %v vs %v", got.Holes[0], want.Holes[0])
+	}
+}
+
+// TestArenaEmptyAndSingle covers degenerate builder states.
+func TestArenaEmptyAndSingle(t *testing.T) {
+	var b ArenaBuilder
+	a := b.Finish()
+	if a.Len() != 0 || a.NumVertices() != 0 || a.NumRings() != 0 {
+		t.Fatalf("empty arena not empty: %d polys, %d rings, %d verts",
+			a.Len(), a.NumRings(), a.NumVertices())
+	}
+	one := BuildArena([]*Polygon{NewPolygon(Ring{{0, 0}, {1, 0}, {0, 1}})})
+	if one.Len() != 1 || one.Polygon(0).NumVertices() != 3 {
+		t.Fatalf("single-polygon arena malformed")
+	}
+	if one.Bytes() <= 0 {
+		t.Fatalf("Bytes() = %d, want > 0", one.Bytes())
+	}
+}

@@ -134,14 +134,16 @@ func noteSlow(st *MethodStats, idx int, d time.Duration) {
 
 // RunFindRelation sweeps method m over the pairs through the observed
 // pipeline, timing the filter and refinement stages separately at the
-// pair level (Fig. 8b reports them split).
+// pair level (Fig. 8b reports them split). The sweep runs on a
+// core.Sweeper, so the steady state allocates nothing per pair.
 func RunFindRelation(m core.Method, pairs []Pair) MethodStats {
 	st := MethodStats{Method: m, Pairs: len(pairs)}
 	sink := &statsSink{st: &st}
+	sweep := core.NewSweeper(m, sink)
 	start := time.Now()
 	for i, p := range pairs {
 		sink.begin()
-		core.FindRelationObserved(m, p.R, p.S, sink)
+		sweep.FindRelation(p.R, p.S)
 		if d, ok := sink.settled(); ok {
 			noteSlow(&st, i, d)
 		}

@@ -91,6 +91,7 @@ func RunFindRelationParallelCtx(ctx context.Context, m core.Method, pairs []Pair
 			wsp.SetInt("worker", int64(w))
 			swept := 0
 			sink := &statsSink{st: self}
+			sweep := core.NewSweeper(m, sink)
 			for {
 				lo := int(cursor.Add(chunk)) - chunk
 				if lo >= len(pairs) {
@@ -106,7 +107,7 @@ func RunFindRelationParallelCtx(ctx context.Context, m core.Method, pairs []Pair
 				}
 				for i, p := range pairs[lo:hi] {
 					sink.begin()
-					if pv, stack := evalPairGuarded(m, p, sink, lo+i, visit); pv != nil {
+					if pv, stack := evalPairGuarded(sweep, p, lo+i, visit); pv != nil {
 						skipped.Add(1) // no verdict: keep Pairs honest
 						pmu.Lock()
 						if perr == nil {
@@ -168,14 +169,14 @@ func recordPairSpan(wsp *trace.Span, idx int, p Pair, sink *statsSink, total tim
 // recover barrier: a panic — degenerate geometry, a bug in a pipeline
 // stage, a fault injected by a test — is captured and returned instead
 // of unwinding through the worker and killing the process.
-func evalPairGuarded(m core.Method, p Pair, sink *statsSink, idx int, visit func(int, core.Result)) (pv any, stack string) {
+func evalPairGuarded(sweep *core.Sweeper, p Pair, idx int, visit func(int, core.Result)) (pv any, stack string) {
 	defer func() {
 		if r := recover(); r != nil {
 			pv = r
 			stack = string(debug.Stack())
 		}
 	}()
-	res := core.FindRelationObserved(m, p.R, p.S, sink)
+	res := sweep.FindRelation(p.R, p.S)
 	if visit != nil {
 		visit(idx, res)
 	}

@@ -158,9 +158,11 @@ func TestParallelPanicIsolated(t *testing.T) {
 
 	poisoned := make([]Pair, len(pairs))
 	copy(poisoned, pairs)
-	bad := *pairs[3].R
-	bad.Poly = nil // OP2 always refines; nil geometry panics there
-	poisoned[3] = Pair{R: &bad, S: pairs[3].S}
+	// A fresh Object (never copy one: it caches its Prepared behind a
+	// sync.Once) with the same filter inputs but no geometry: OP2 always
+	// refines, and refining a nil polygon panics.
+	bad := &core.Object{ID: pairs[3].R.ID, MBR: pairs[3].R.MBR, Approx: pairs[3].R.Approx}
+	poisoned[3] = Pair{R: bad, S: pairs[3].S}
 
 	st, err := RunFindRelationParallel(core.OP2, poisoned, 4)
 	var pe *PanicError
@@ -179,9 +181,8 @@ func TestParallelPanicIsolated(t *testing.T) {
 
 	// Several poisoned pairs: all recovered, count accumulates.
 	for _, i := range []int{0, 5, 9} {
-		b := *pairs[i].R
-		b.Poly = nil
-		poisoned[i] = Pair{R: &b, S: pairs[i].S}
+		b := &core.Object{ID: pairs[i].R.ID, MBR: pairs[i].R.MBR, Approx: pairs[i].R.Approx}
+		poisoned[i] = Pair{R: b, S: pairs[i].S}
 	}
 	_, err = RunFindRelationParallel(core.OP2, poisoned, 4)
 	if !errors.As(err, &pe) || pe.Count != 4 {

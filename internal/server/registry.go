@@ -189,9 +189,11 @@ func (g *Registry) build(name, entity string, polys []*geom.Polygon, ids []int) 
 		return nil, err
 	}
 	start := time.Now()
-	ds := &dataset.Dataset{Name: name, Entity: entity, Objects: make([]*core.Object, 0, len(polys))}
-	for i, p := range polys {
-		o, err := core.NewObjectAdaptive(gid(ids, i), p, g.builder)
+	arena := geom.BuildArena(polys)
+	ds := &dataset.Dataset{Name: name, Entity: entity, Arena: arena,
+		Objects: make([]*core.Object, 0, len(polys))}
+	for i := range polys {
+		o, err := core.NewObjectAdaptive(gid(ids, i), arena.Polygon(i), g.builder)
 		if err != nil {
 			return nil, fmt.Errorf("server: dataset %s: %w", name, err)
 		}

@@ -163,8 +163,11 @@ func (g *Registry) addDegraded(name, entity string, polys []*geom.Polygon, ids [
 		return nil, err
 	}
 	start := time.Now()
-	ds := &dataset.Dataset{Name: name, Entity: entity, Objects: make([]*core.Object, 0, len(polys))}
-	for i, p := range polys {
+	arena := geom.BuildArena(polys)
+	ds := &dataset.Dataset{Name: name, Entity: entity, Arena: arena,
+		Objects: make([]*core.Object, 0, len(polys))}
+	for i := range polys {
+		p := arena.Polygon(i)
 		ds.Objects = append(ds.Objects, &core.Object{ID: gid(ids, i), Poly: p, MBR: p.Bounds()})
 	}
 	e := &Entry{Dataset: ds, Tree: buildTree(ds), BuildTime: time.Since(start), Degraded: true}

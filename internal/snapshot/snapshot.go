@@ -473,18 +473,22 @@ func decodeSections(sections [nSections][]byte) (*Snapshot, error) {
 	if capHint > 1<<16 {
 		capHint = 1 << 16
 	}
-	objs := make([]*core.Object, 0, capHint)
+	// Geometry blobs stream directly into one columnar arena (the
+	// warm-start path: decode once, no rebuild-then-reflatten); objects
+	// are materialized after Finish, when slab views and cached bounds
+	// exist, and only then checked against the stored tree MBRs.
+	var ab geom.ArenaBuilder
 	geomR := &reader{buf: sections[secGeom-1]}
 	aprilR := &reader{buf: sections[secApril-1]}
 	treeR := &reader{buf: sections[secTree-1]}
+	approxes := make([]april.Approx, 0, capHint)
 	entries := make([]join.Entry, 0, capHint)
 	for i := uint32(0); i < count; i++ {
 		blob, err := geomR.bytes()
 		if err != nil {
 			return nil, fmt.Errorf("geom object %d: %w", i, err)
 		}
-		poly, err := store.DecodePolygon(blob)
-		if err != nil {
+		if err := store.DecodePolygonInto(&ab, blob); err != nil {
 			return nil, fmt.Errorf("geom object %d: %w", i, err)
 		}
 		enc, err := aprilR.bytes()
@@ -509,11 +513,7 @@ func decodeSections(sections [nSections][]byte) (*Snapshot, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tree object %d: %w", i, err)
 		}
-		mbr := poly.Bounds()
-		if box != mbr {
-			return nil, fmt.Errorf("tree object %d: stored MBR disagrees with geometry", i)
-		}
-		objs = append(objs, &core.Object{ID: int(i), Poly: poly, MBR: mbr, Approx: ap})
+		approxes = append(approxes, ap)
 		entries = append(entries, join.Entry{Box: box, ID: int32(i)})
 	}
 	for i, r := range []*reader{geomR, aprilR, treeR} {
@@ -521,7 +521,17 @@ func decodeSections(sections [nSections][]byte) (*Snapshot, error) {
 			return nil, fmt.Errorf("section %d: %w", i+2, err)
 		}
 	}
-	snap.Dataset = &dataset.Dataset{Name: snap.Name, Entity: snap.Entity, Objects: objs}
+	arena := ab.Finish()
+	objs := make([]*core.Object, 0, len(approxes))
+	for i, ap := range approxes {
+		poly := arena.Polygon(i)
+		mbr := poly.Bounds()
+		if entries[i].Box != mbr {
+			return nil, fmt.Errorf("tree object %d: stored MBR disagrees with geometry", i)
+		}
+		objs = append(objs, &core.Object{ID: i, Poly: poly, MBR: mbr, Approx: ap})
+	}
+	snap.Dataset = dataset.FromPrecomputed(snap.Name, snap.Entity, objs, arena)
 	snap.Entries = entries
 	return snap, nil
 }

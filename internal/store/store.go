@@ -158,6 +158,44 @@ func EncodePolygon(p *geom.Polygon) []byte {
 	return buf
 }
 
+// DecodePolygonInto parses a blob written by EncodePolygon directly into
+// an arena builder, with the same bounds checks and error strings as
+// DecodePolygon. This is the warm-start path: a snapshot's geometry
+// section streams straight into one columnar slab, with no intermediate
+// heap polygon to build and re-flatten. Orientation is normalized by the
+// builder's Finish exactly as NewPolygon would, so the decoded views are
+// bit-identical to DecodePolygon's output. On error the builder holds a
+// partial polygon and must be discarded.
+func DecodePolygonInto(b *geom.ArenaBuilder, buf []byte) error {
+	if len(buf) < 4 {
+		return fmt.Errorf("truncated header")
+	}
+	rings := binary.LittleEndian.Uint32(buf)
+	if rings == 0 {
+		return fmt.Errorf("polygon with no rings")
+	}
+	off := 4
+	b.BeginPolygon()
+	for r := uint32(0); r < rings; r++ {
+		if off+4 > len(buf) {
+			return fmt.Errorf("truncated ring header")
+		}
+		n := int(binary.LittleEndian.Uint32(buf[off:]))
+		off += 4
+		if off+16*n > len(buf) {
+			return fmt.Errorf("truncated ring data")
+		}
+		b.BeginRing()
+		for i := 0; i < n; i++ {
+			x := math.Float64frombits(binary.LittleEndian.Uint64(buf[off:]))
+			y := math.Float64frombits(binary.LittleEndian.Uint64(buf[off+8:]))
+			b.Vertex(x, y)
+			off += 16
+		}
+	}
+	return nil
+}
+
 // DecodePolygon parses a blob written by EncodePolygon. Every length is
 // bounds-checked against the buffer, so truncated or bit-rotted blobs
 // fail with an error instead of panicking — the snapshot loader depends
