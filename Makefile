@@ -27,6 +27,7 @@ race:
 # full shrunk-repro regression corpus. Bounded (~10s) so it can gate CI.
 difftest:
 	$(GO) test ./internal/oracle/ -count=1 -oracle.pairs=10000 -oracle.seed=1
+	$(GO) test ./internal/server/ -count=1 -run TestMutationDifferentialOracle
 
 # Fault-injection suite (see README "Resilience"): every injected
 # corruption — torn header, truncated section, bit flip, ENOSPC
@@ -47,9 +48,10 @@ vet:
 # interval kernels, scratch refinement, the full observed sweep — to
 # zero heap allocations per pair (see README "Performance").
 bench:
-	$(GO) test -count=1 -run ZeroAlloc ./internal/interval/ ./internal/de9im/ ./internal/core/
+	$(GO) test -count=1 -run ZeroAlloc ./internal/interval/ ./internal/de9im/ ./internal/core/ ./internal/server/
 	$(GO) test -run xxx -bench 'BenchmarkObservedOverhead|BenchmarkTraceOverhead' -benchmem .
 	$(GO) test -run xxx -bench BenchmarkRouterFanout -benchmem ./internal/shard/router/
+	$(GO) test -run xxx -bench 'BenchmarkIngest|BenchmarkCompact' -benchmem ./internal/server/
 
 # One point of the benchmark trajectory (see README "Tracing & benchmark
 # trajectory"): a small fixed-seed benchrun suite written as JSON. CI
@@ -74,9 +76,13 @@ bench-compare:
 # binaries, runs a 3-shard fleet (one shard replicated) against a
 # single-node reference, then SIGKILLs a replica (answers must stay
 # complete) and an unreplicated shard (response must be flagged
-# partial, healthz degraded — never an error or hang).
+# partial, healthz degraded — never an error or hang). The ingest
+# drill SIGKILLs a real topojoind mid-compaction (fault-delayed
+# fsync, torn .tmp on disk) and asserts every restart resumes from
+# the last complete index epoch.
 e2e:
 	$(GO) test -count=1 -timeout 300s ./cmd/topojoinrouter/ -run TestE2EShardedFleet -v
+	$(GO) test -count=1 -timeout 300s ./cmd/topojoind/ -run TestE2EIngestCrashRecovery -v
 
 # Run the topology query service over a small generated workload
 # (see README "Serving").

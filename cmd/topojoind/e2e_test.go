@@ -1,0 +1,224 @@
+// Multi-process crash drill for the dynamic-dataset path: a real
+// topojoind process takes ingest over HTTP, compacts an epoch to disk,
+// gets SIGKILLed mid-compaction (fault-delayed fsync, torn .tmp on
+// disk), and every restart must warm-start from the last *complete*
+// epoch — never the torn write, never a cold rebuild that forgets
+// compacted mutations.
+package main
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/datagen"
+	"repro/internal/server"
+)
+
+func buildDaemon(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "topojoind")
+	cmd := exec.Command("go", "build", "-o", bin, "repro/cmd/topojoind")
+	cmd.Dir = "../.."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// startDaemon launches bin with extra env and scans stderr for the
+// readiness line. The caller kills it; cleanup is a safety net.
+func startDaemon(t *testing.T, bin string, env []string, args ...string) (string, *exec.Cmd) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Env = append(os.Environ(), env...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+	addrc := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, "on http://"); i >= 0 {
+				a := line[i+len("on http://"):]
+				if j := strings.IndexByte(a, ' '); j >= 0 {
+					a = a[:j]
+				}
+				select {
+				case addrc <- a:
+				default:
+				}
+			}
+		}
+		io.Copy(io.Discard, stderr)
+	}()
+	select {
+	case addr := <-addrc:
+		return addr, cmd
+	case <-time.After(120 * time.Second):
+		t.Fatal("topojoind did not become ready")
+		return "", nil
+	}
+}
+
+func TestE2EIngestCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+	snapDir := filepath.Join(dir, "snapshots")
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	// Geometry inside the synthetic suite's data space.
+	sp := datagen.Space()
+	w := (sp.MaxX - sp.MinX) / 100
+	rect := func(fx, fy float64) string {
+		x := sp.MinX + fx*(sp.MaxX-sp.MinX)
+		y := sp.MinY + fy*(sp.MaxY-sp.MinY)
+		return fmt.Sprintf("POLYGON ((%g %g, %g %g, %g %g, %g %g))",
+			x, y, x+w, y, x+w, y+w, x, y+w)
+	}
+	probe := server.RelateRequest{Dataset: "OLE", WKT: rect(0.4, 0.4), Limit: 100000}
+	args := []string{"-addr", "127.0.0.1:0", "-gen", "OLE", "-scale", "0.02",
+		"-seed", "7", "-snapshots", snapDir, "-compact-threshold", "0"}
+	matchIDs := func(c *server.Client) []int {
+		t.Helper()
+		resp, err := c.Relate(ctx, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]int, len(resp.Matches))
+		for i, m := range resp.Matches {
+			ids[i] = m.ID
+		}
+		sort.Ints(ids)
+		return ids
+	}
+	epochOf := func(c *server.Client) uint64 {
+		t.Helper()
+		infos, err := c.Datasets(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, in := range infos {
+			if in.Name == "OLE" {
+				return in.Epoch
+			}
+		}
+		t.Fatal("dataset OLE missing")
+		return 0
+	}
+
+	// Run 1: ingest two objects into the probe area, delete one base
+	// object the probe also covers (if any), compact to epoch 1.
+	addr, proc := startDaemon(t, bin, nil, args...)
+	c := server.NewClient("http://" + addr)
+	insA, err := c.Insert(ctx, "OLE", server.IngestRequest{WKT: rect(0.401, 0.401)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(ctx, "OLE", server.IngestRequest{WKT: rect(0.405, 0.405)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete(ctx, "OLE", insA.ID); err != nil {
+		t.Fatal(err)
+	}
+	comp, err := c.Compact(ctx, "OLE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp.Epoch != 1 {
+		t.Fatalf("compacted epoch = %d, want 1", comp.Epoch)
+	}
+	baseline := matchIDs(c)
+	proc.Process.Kill() // hard kill: durability must not depend on drain
+	proc.Wait()
+
+	// Run 2: warm start from epoch 1, then crash mid-compaction. The
+	// fault delays the snapshot fsync so the .tmp is on disk, torn,
+	// when SIGKILL lands.
+	addr, proc = startDaemon(t, bin,
+		[]string{"STJ_FAULTS=snapshot.write.sync=delay:60s"}, args...)
+	c = server.NewClient("http://" + addr)
+	if got := epochOf(c); got != 1 {
+		t.Fatalf("run 2 epoch = %d, want warm start from 1", got)
+	}
+	if got := matchIDs(c); !equalInts(got, baseline) {
+		t.Fatalf("run 2 answers %v != baseline %v", got, baseline)
+	}
+	if _, err := c.Insert(ctx, "OLE", server.IngestRequest{WKT: rect(0.41, 0.41)}); err != nil {
+		t.Fatal(err)
+	}
+	go c.Compact(ctx, "OLE") // hangs in the delayed fsync; killed below
+	tmp := filepath.Join(snapDir, "OLE"+".snap.tmp")
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := os.Stat(tmp); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("epoch-2 .tmp never appeared")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	proc.Process.Kill() // SIGKILL mid-compaction
+	proc.Wait()
+	if _, err := os.Stat(tmp); err != nil {
+		t.Fatalf("torn .tmp gone after kill: %v", err)
+	}
+
+	// Run 3: the torn epoch-2 write must be invisible — the daemon
+	// resumes from the complete epoch-1 snapshot with its answers
+	// intact, and the uncompacted run-2 insert is gone (volatile by
+	// design). Ingest keeps working after recovery.
+	addr, proc = startDaemon(t, bin, nil, args...)
+	c = server.NewClient("http://" + addr)
+	if got := epochOf(c); got != 1 {
+		t.Fatalf("run 3 epoch = %d, want recovery at 1", got)
+	}
+	if got := matchIDs(c); !equalInts(got, baseline) {
+		t.Fatalf("run 3 answers %v != baseline %v", got, baseline)
+	}
+	if strays, _ := filepath.Glob(filepath.Join(snapDir, "*.corrupt-*")); len(strays) != 0 {
+		t.Fatalf("recovery quarantined something: %v", strays)
+	}
+	if _, err := c.Insert(ctx, "OLE", server.IngestRequest{WKT: rect(0.42, 0.42)}); err != nil {
+		t.Fatalf("ingest after crash recovery: %v", err)
+	}
+	if comp, err = c.Compact(ctx, "OLE"); err != nil || comp.Epoch != 2 {
+		t.Fatalf("compact after recovery: epoch=%d err=%v", comp.Epoch, err)
+	}
+	proc.Process.Kill()
+	proc.Wait()
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

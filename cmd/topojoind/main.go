@@ -84,6 +84,7 @@ func main() {
 		traceSample = flag.Float64("trace-sample", 0, "fraction of requests recording full span traces (0 disables, 1 traces all)")
 		traceSlow   = flag.Duration("trace-slow", 0, "keep any request's trace at or above this duration, sampled or not (0 disables)")
 		slowlog     = flag.String("slowlog", "", "directory receiving slow-query forensics: trace JSON + WKT pair dumps (needs -trace-slow)")
+		compactThr  = flag.Int("compact-threshold", server.DefaultCompactThreshold, "pending mutations before a background compaction rolls a new index epoch (0 disables auto-compaction)")
 		shardID     = flag.Int("shard-id", -1, "serve as shard N of a partitioned fleet (-1 = standalone; requires -keyrange)")
 		keyrange    = flag.String("keyrange", "", "Hilbert key range lo:hi (half-open) this shard owns (from topojoinrouter -print-plan)")
 		routeOrder  = flag.Uint("route-order", shard.DefaultRouteOrder, "Hilbert order of the fleet's routing grid (must match the router)")
@@ -106,6 +107,7 @@ func main() {
 	if *traceSample > 0 || *traceSlow > 0 {
 		tracer = trace.New(trace.Config{Sample: *traceSample, SlowThreshold: *traceSlow})
 	}
+	compactThreshold = *compactThr
 	if err := run(*addr, *data, *gen, *seed, *scale, *order, *space, server.Config{
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
@@ -163,6 +165,7 @@ func buildRegistry(data, gen string, seed int64, scale float64, order uint, spac
 		}
 	}
 	reg := server.NewRegistry(space, order)
+	reg.SetCompactThreshold(compactThreshold)
 	reg.Instrument(met)
 	reg.SetLogf(logf)
 	if asg != nil {
@@ -219,6 +222,11 @@ func parseSpace(s string) (geom.MBR, error) {
 	}
 	return geom.MBR{MinX: v[0], MinY: v[1], MaxX: v[2], MaxY: v[3]}, nil
 }
+
+// compactThreshold is the -compact-threshold flag value; a package var
+// (not a run parameter) so tests driving buildRegistry/run directly get
+// the default without threading one more argument everywhere.
+var compactThreshold = server.DefaultCompactThreshold
 
 // logf routes operational log lines (quarantines, rebuilds, recovered
 // panics) to stderr.

@@ -51,7 +51,11 @@ func DecodeApprox(buf []byte) (Approx, int, error) {
 }
 
 // Builder constructs approximations over a fixed grid; the Hilbert curve
-// order always matches the grid order.
+// order always matches the grid order. A Builder is immutable after
+// construction and safe for concurrent use: Build allocates all of its
+// working state per call, so the serving tier shares one Builder
+// between ingest rasterization, cold builds, and background rebuilds
+// without locking.
 type Builder struct {
 	grid  raster.Grid
 	curve hilbert.Curve

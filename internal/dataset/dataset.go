@@ -53,6 +53,57 @@ func FromPrecomputed(name, entity string, objs []*core.Object, arena *geom.Arena
 // Len returns the number of objects.
 func (d *Dataset) Len() int { return len(d.Objects) }
 
+// Merge folds a mutation delta into a fresh dataset: base objects
+// whose position bit is set in dead are dropped, the survivors keep
+// their ids, MBRs and APRIL approximations (geometry is identical, so
+// nothing is re-rasterized), and the delta objects are appended in
+// order. All geometry lands in one new columnar arena — contiguous
+// runs of surviving base objects are moved with ArenaBuilder.AppendRange
+// (slab copies, no per-vertex work); only delta objects are
+// re-flattened. This is the offline half of an epoch compaction; the
+// result is immutable like any built dataset.
+func (d *Dataset) Merge(dead []uint64, delta []*core.Object) *Dataset {
+	deadBit := func(i int) bool {
+		w := i >> 6
+		return w < len(dead) && dead[w]&(1<<(uint(i)&63)) != 0
+	}
+	var b geom.ArenaBuilder
+	// The slab fast path requires the arena's polygons to be positional
+	// with the object array (true for every dataset built here); fall
+	// back to per-vertex appends otherwise.
+	slab := d.Arena != nil && d.Arena.Len() == len(d.Objects)
+	live := make([]*core.Object, 0, len(d.Objects)+len(delta))
+	for i := 0; i < len(d.Objects); {
+		if deadBit(i) {
+			i++
+			continue
+		}
+		j := i
+		for j < len(d.Objects) && !deadBit(j) {
+			j++
+		}
+		if slab {
+			b.AppendRange(d.Arena, i, j)
+		} else {
+			for k := i; k < j; k++ {
+				b.AddPolygon(d.Objects[k].Poly)
+			}
+		}
+		live = append(live, d.Objects[i:j]...)
+		i = j
+	}
+	for _, o := range delta {
+		b.AddPolygon(o.Poly)
+		live = append(live, o)
+	}
+	arena := b.Finish()
+	objs := make([]*core.Object, len(live))
+	for i, o := range live {
+		objs[i] = &core.Object{ID: o.ID, Poly: arena.Polygon(i), MBR: o.MBR, Approx: o.Approx}
+	}
+	return &Dataset{Name: d.Name, Entity: d.Entity, Objects: objs, Arena: arena}
+}
+
 // MBRs returns the bounding boxes of all objects, in object order.
 func (d *Dataset) MBRs() []geom.MBR {
 	out := make([]geom.MBR, len(d.Objects))

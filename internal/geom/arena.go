@@ -136,6 +136,34 @@ func (b *ArenaBuilder) AddPolygon(p *Polygon) {
 	}
 }
 
+// AppendRange bulk-copies polygons [lo, hi) of a finished arena into
+// the builder: one coordinate-slab copy plus rebased offset-table
+// appends, with no per-vertex or per-ring loop over the geometry
+// itself. This is the epoch-compaction fast path — contiguous runs of
+// surviving base objects move into the new arena at memcpy speed; only
+// the (few) delta objects pay the per-vertex AddPolygon cost. Vertex
+// values and ring order are preserved bit-for-bit.
+func (b *ArenaBuilder) AppendRange(a *Arena, lo, hi int) {
+	b.init()
+	if lo < 0 || hi > a.Len() || lo >= hi {
+		if lo == hi {
+			return
+		}
+		panic("geom: AppendRange bounds out of range")
+	}
+	r0, r1 := a.polyOff[lo], a.polyOff[hi]
+	v0, v1 := a.ringOff[r0], a.ringOff[r1]
+	vBase := b.ringOff[len(b.ringOff)-1] // vertices already in the builder
+	rBase := int32(len(b.ringOff) - 1)   // rings already in the builder
+	b.coords = append(b.coords, a.coords[2*v0:2*v1]...)
+	for r := r0 + 1; r <= r1; r++ {
+		b.ringOff = append(b.ringOff, vBase+(a.ringOff[r]-v0))
+	}
+	for p := lo + 1; p <= hi; p++ {
+		b.polyOff = append(b.polyOff, rBase+(a.polyOff[p]-r0))
+	}
+}
+
 // NumPolygons returns the number of polygons started so far.
 func (b *ArenaBuilder) NumPolygons() int {
 	if len(b.polyOff) == 0 {

@@ -1,0 +1,117 @@
+package join
+
+import (
+	"context"
+
+	"repro/internal/geom"
+)
+
+// View is an epoch-merged read view over a dataset's indexes: the
+// immutable base R-tree (entry IDs are positions in the base object
+// array), a tombstone bitset over those positions, and an optional
+// side tree over delta objects (entry IDs are positions in the delta
+// object array). A view is a value — three words — assembled per
+// request from an atomically published epoch entry, so queries see one
+// consistent (base, tombstones, delta) triple even while mutations
+// publish successors concurrently.
+//
+// The zero-delta case (Dead and Side nil) degenerates to the plain
+// base tree: no wrapper closures, no per-entry branches beyond one nil
+// check, so serving an unmutated dataset costs exactly what it did
+// before views existed.
+type View struct {
+	Base *RTree
+	// Dead is a bitset over base entry IDs: bit i set means base
+	// object i is tombstoned (deleted or superseded by a delta
+	// object). Nil means nothing is tombstoned.
+	Dead []uint64
+	// Side indexes the delta objects; nil when the view has no delta.
+	Side *RTree
+}
+
+// deadBit reports whether base position id is tombstoned in dead.
+func deadBit(dead []uint64, id int32) bool {
+	w := int(id) >> 6
+	return w < len(dead) && dead[w]&(1<<(uint(id)&63)) != 0
+}
+
+// Live returns the number of live objects the view exposes.
+func (v View) Live() int {
+	n := 0
+	if v.Base != nil {
+		n += v.Base.Len()
+	}
+	for _, w := range v.Dead {
+		for ; w != 0; w &= w - 1 {
+			n--
+		}
+	}
+	if v.Side != nil {
+		n += v.Side.Len()
+	}
+	return n
+}
+
+// QueryContext calls fn for every live entry whose box intersects q:
+// base entries (delta=false) with tombstoned positions skipped, then
+// delta entries (delta=true). Cancellation behaves as in
+// RTree.QueryContext.
+func (v View) QueryContext(ctx context.Context, q geom.MBR, fn func(delta bool, e Entry)) error {
+	if v.Base != nil {
+		if v.Dead == nil {
+			if err := v.Base.QueryContext(ctx, q, func(e Entry) { fn(false, e) }); err != nil {
+				return err
+			}
+		} else {
+			dead := v.Dead
+			if err := v.Base.QueryContext(ctx, q, func(e Entry) {
+				if !deadBit(dead, e.ID) {
+					fn(false, e)
+				}
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	if v.Side != nil {
+		return v.Side.QueryContext(ctx, q, func(e Entry) { fn(true, e) })
+	}
+	return nil
+}
+
+// JoinViews reports every candidate pair (a ∈ va, b ∈ vb) with
+// intersecting boxes across the two merged views: the four sub-joins
+// base×base, base×delta, delta×base and delta×delta, with tombstoned
+// base entries filtered out of all of them. aDelta/bDelta tell fn
+// which object array each entry ID indexes. When neither view carries
+// a delta this is exactly one base×base tree join.
+func JoinViews(ctx context.Context, va, vb View, fn func(aDelta, bDelta bool, a, b Entry)) error {
+	sub := func(ta, tb *RTree, aDelta, bDelta bool) error {
+		if ta == nil || tb == nil {
+			return nil
+		}
+		deadA, deadB := va.Dead, vb.Dead
+		if aDelta {
+			deadA = nil
+		}
+		if bDelta {
+			deadB = nil
+		}
+		return ta.JoinContext(ctx, tb, func(a, b Entry) {
+			if deadBit(deadA, a.ID) || deadBit(deadB, b.ID) {
+				return
+			}
+			fn(aDelta, bDelta, a, b)
+		})
+	}
+	if err := sub(va.Base, vb.Base, false, false); err != nil {
+		return err
+	}
+	if err := sub(va.Base, vb.Side, false, true); err != nil {
+		return err
+	}
+	if err := sub(va.Side, vb.Base, true, false); err != nil {
+		return err
+	}
+	return sub(va.Side, vb.Side, true, true)
+}

@@ -187,12 +187,15 @@ func (b *batcher) processGroup(jobs []*probeJob) {
 	var tasks []task
 	for _, j := range jobs {
 		j.batchSize = len(jobs)
-		objs := j.entry.Dataset.Objects
-		err := j.entry.Tree.QueryContext(j.ctx, j.probe.MBR, func(e join.Entry) {
+		// All candidates come from the entry's merged epoch view: the
+		// base tree minus tombstones plus the delta side tree. The group
+		// key is the entry pointer, so the whole group shares one epoch.
+		view := j.entry.View()
+		err := view.QueryContext(j.ctx, j.probe.MBR, func(delta bool, e join.Entry) {
 			if j.owns != nil && !j.owns(j.probe.MBR, e.Box) {
 				return
 			}
-			tasks = append(tasks, task{job: j, obj: objs[e.ID]})
+			tasks = append(tasks, task{job: j, obj: j.entry.objAt(delta, e.ID)})
 			j.candidates++
 		})
 		if err != nil {

@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -101,6 +102,39 @@ func (e *APIError) IsOverload() bool { return e.StatusCode == http.StatusTooMany
 // IsDeadline reports whether the request's deadline expired server-side.
 func (e *APIError) IsDeadline() bool { return e.StatusCode == http.StatusGatewayTimeout }
 
+// maxRetryAfter caps the backoff a server hint may impose on the
+// client: RFC 9110 allows Retry-After dates arbitrarily far in the
+// future, and a misconfigured (or hostile) server must not be able to
+// park every client for an hour.
+const maxRetryAfter = 30 * time.Second
+
+// parseRetryAfter interprets a Retry-After header value in both RFC
+// 9110 forms — delay-seconds ("120") and HTTP-date ("Fri, 07 Aug 2026
+// 11:12:13 GMT") — relative to now, clamped to [0, maxRetryAfter].
+// Unparseable values and dates already in the past yield zero (no
+// hint), never an error: the header is advisory.
+func parseRetryAfter(v string, now time.Time) time.Duration {
+	v = strings.TrimSpace(v)
+	var d time.Duration
+	if sec, err := strconv.Atoi(v); err == nil {
+		if sec < 0 {
+			return 0
+		}
+		d = time.Duration(sec) * time.Second
+	} else if t, terr := http.ParseTime(v); terr == nil {
+		d = t.Sub(now)
+	} else {
+		return 0
+	}
+	if d < 0 {
+		return 0
+	}
+	if d > maxRetryAfter {
+		return maxRetryAfter
+	}
+	return d
+}
+
 func (c *Client) httpClient() *http.Client {
 	if c.HTTPClient != nil {
 		return c.HTTPClient
@@ -166,9 +200,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) e
 			apiErr.Message = string(data)
 		}
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			if sec, err := strconv.Atoi(ra); err == nil {
-				apiErr.RetryAfter = time.Duration(sec) * time.Second
-			}
+			apiErr.RetryAfter = parseRetryAfter(ra, time.Now())
 		}
 		return apiErr
 	}
@@ -205,6 +237,52 @@ func (c *Client) Relate(ctx context.Context, req RelateRequest) (*RelateResponse
 func (c *Client) Join(ctx context.Context, req JoinRequest) (*JoinResponse, error) {
 	var out JoinResponse
 	if err := c.do(ctx, http.MethodPost, "/v1/join", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Insert adds a new object to a dataset; the server assigns the id.
+// Inserts are NOT idempotent (each attempt would create a new object),
+// so this call never retries regardless of the client's RetryPolicy —
+// a transport error after the request left leaves the outcome unknown,
+// and the caller must reconcile (list or probe) before resending.
+func (c *Client) Insert(ctx context.Context, dataset string, req IngestRequest) (*IngestResponse, error) {
+	var out IngestResponse
+	if err := c.doOnce(ctx, http.MethodPost, "/v1/datasets/"+dataset+"/objects", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Upsert creates or replaces the object with the given id (idempotent:
+// safe to retry).
+func (c *Client) Upsert(ctx context.Context, dataset string, id int, req IngestRequest) (*IngestResponse, error) {
+	var out IngestResponse
+	path := fmt.Sprintf("/v1/datasets/%s/objects/%d", dataset, id)
+	if err := c.do(ctx, http.MethodPut, path, req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Delete removes the object with the given id. Retried deletes can see
+// 404 from their own earlier attempt; callers treating delete as
+// idempotent should accept ErrNoObject-shaped 404s.
+func (c *Client) Delete(ctx context.Context, dataset string, id int) (*IngestResponse, error) {
+	var out IngestResponse
+	path := fmt.Sprintf("/v1/datasets/%s/objects/%d", dataset, id)
+	if err := c.do(ctx, http.MethodDelete, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Compact forces a compaction of the dataset's delta overlay into a
+// fresh epoch (no-op when there is nothing pending).
+func (c *Client) Compact(ctx context.Context, dataset string) (*CompactResponse, error) {
+	var out CompactResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/datasets/"+dataset+"/compact", nil, &out); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -1,0 +1,139 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/snapshot"
+)
+
+// TestEpochSnapshotWarmStart: compaction persists the full mutation
+// lineage (epoch, next id, tombstones, survivor geometry), and a
+// restart resumes from it — even though the registered source polygons
+// no longer match the mutated dataset. An epoch-0 warm start compares
+// snapshot against source and rebuilds on mismatch; an epoch>0
+// snapshot IS the authority, source comparison would throw mutations
+// away.
+func TestEpochSnapshotWarmStart(t *testing.T) {
+	dir := t.TempDir()
+	reg1, _ := resRegistry(t, dir)
+
+	// Mutate: insert a new object into gap A, delete base object 0,
+	// move base object 5 into gap B.
+	ins, err := reg1.Mutate("grid", MutInsert, -1, mustPoly(t, sq6(33, 33)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.ID != 36 {
+		t.Fatalf("insert id = %d, want 36", ins.ID)
+	}
+	if _, err := reg1.Mutate("grid", MutDelete, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg1.Mutate("grid", MutUpsert, 5, mustPoly(t, sq6(73, 73))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reg1.Compact("grid"); err != nil {
+		t.Fatal(err)
+	}
+	e1, _ := reg1.Get("grid")
+	if e1.Epoch != 1 || e1.PendingOps() != 0 {
+		t.Fatalf("after compact: epoch=%d pending=%d", e1.Epoch, e1.PendingOps())
+	}
+	baseline := relateAll(t, reg1)
+
+	// Restart with the same snapshot dir and the ORIGINAL source set.
+	reg2, met2 := resRegistry(t, dir)
+	if got := met2.Counter("server_snapshot_loads_total").Value(); got != 1 {
+		t.Fatalf("snapshot loads = %d, want 1", got)
+	}
+	if got := met2.Counter("server_preprocess_objects_total").Value(); got != 0 {
+		t.Fatalf("warm start preprocessed %d objects, want 0", got)
+	}
+	e2, ok := reg2.Get("grid")
+	if !ok || e2.Degraded {
+		t.Fatalf("entry ok=%v degraded=%v, want healthy warm start", ok, e2 != nil && e2.Degraded)
+	}
+	if e2.Epoch != 1 || e2.NextID != 37 || e2.Live() != 36 {
+		t.Fatalf("restored lineage: epoch=%d nextID=%d live=%d, want 1/37/36", e2.Epoch, e2.NextID, e2.Live())
+	}
+	if !reflect.DeepEqual(e2.Tombs, e1.Tombs) {
+		t.Fatalf("restored tombs %v != %v", e2.Tombs, e1.Tombs)
+	}
+	if got := relateAll(t, reg2); !reflect.DeepEqual(got, baseline) {
+		t.Fatal("warm-started answers differ from the mutated registry")
+	}
+	// Ids keep flowing from where the lineage left off: no reuse of the
+	// deleted id 0, no collision with the pre-restart insert.
+	ins2, err := reg2.Mutate("grid", MutInsert, -1, mustPoly(t, sq6(33, 73)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins2.ID != 37 {
+		t.Fatalf("post-restart insert id = %d, want 37", ins2.ID)
+	}
+}
+
+// TestMutationsDuringDegradedSurviveRebuild: ingest stays available
+// while a dataset is serving degraded after snapshot corruption, and
+// the background rebuild's pointer swap carries those mutations into
+// the recovered entry instead of silently dropping them.
+func TestMutationsDuringDegradedSurviveRebuild(t *testing.T) {
+	defer fault.Reset()
+	dir := t.TempDir()
+	resRegistry(t, dir) // seed the snapshot
+	path, err := snapshot.DatasetPath(dir, "grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fault.FlipBit(path, 200, 3); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hold the rebuild open so the mutation lands while degraded.
+	fault.Arm("registry.rebuild", fault.Behavior{Delay: 200 * time.Millisecond})
+	reg2, _ := resRegistry(t, dir)
+	e, _ := reg2.Get("grid")
+	if !e.Degraded {
+		t.Fatal("want degraded serving after corruption")
+	}
+	ins, err := reg2.Mutate("grid", MutInsert, -1, mustPoly(t, sq6(33, 33)))
+	if err != nil {
+		t.Fatalf("ingest while degraded: %v", err)
+	}
+	if _, err := reg2.Mutate("grid", MutDelete, 3, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	reg2.WaitRebuilds()
+	e, _ = reg2.Get("grid")
+	if e.Degraded {
+		t.Fatal("still degraded after rebuild")
+	}
+	if e.Live() != 36 { // 36 base + 1 insert - 1 delete
+		t.Fatalf("live = %d after rebuild, want 36", e.Live())
+	}
+	if e.PendingOps() != 2 {
+		t.Fatalf("pending = %d, want the 2 degraded-mode ops carried over", e.PendingOps())
+	}
+	if _, ok := e.Delta.idx[ins.ID]; !ok {
+		t.Fatal("degraded-mode insert lost across the rebuild swap")
+	}
+	// And compaction folds them into a durable epoch as usual.
+	if _, err := reg2.Compact("grid"); err != nil {
+		t.Fatal(err)
+	}
+	e, _ = reg2.Get("grid")
+	if e.Epoch != 1 || e.PendingOps() != 0 || e.Live() != 36 {
+		t.Fatalf("after compact: epoch=%d pending=%d live=%d", e.Epoch, e.PendingOps(), e.Live())
+	}
+	snap, err := snapshot.Read(path)
+	if err != nil {
+		t.Fatalf("snapshot after recovery: %v", err)
+	}
+	if snap.EpochMeta.Epoch != 1 || snap.EpochMeta.NextID != 37 {
+		t.Fatalf("persisted lineage %+v, want epoch 1, nextID 37", snap.EpochMeta)
+	}
+}

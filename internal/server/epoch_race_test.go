@@ -1,0 +1,178 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestEpochSwapConsistencyUnderLoad hammers one dataset with
+// concurrent readers (relate + join), one writer moving an object back
+// and forth, and compactions (explicit and threshold-triggered) rolling
+// epochs underneath — the scenario the copy-on-write design exists for.
+// Every response must be consistent with exactly one epoch view:
+//
+//   - the moving object appears exactly once per relate answer (a torn
+//     view would show it twice — base copy plus delta copy — or not at
+//     all: tombstone applied, replacement missing);
+//   - joins pair it exactly once against a static dataset;
+//   - the index version a reader observes never goes backwards.
+//
+// Run with -race (the Makefile's race target includes this package) to
+// catch unsynchronized access on top of the semantic checks.
+func TestEpochSwapConsistencyUnderLoad(t *testing.T) {
+	reg, _, c := ingestServer(t, Config{})
+	reg.SetCompactThreshold(16) // background compactions join the fray
+	ctx := context.Background()
+	if _, err := reg.Add("probe", "", resPolys()[:1]); err != nil {
+		t.Fatal(err)
+	}
+
+	// The moving object: id 500, upserted alternately into two gaps.
+	const movingID = 500
+	spots := []string{sq6(33, 33), sq6(73, 73)}
+	if _, err := c.Upsert(ctx, "grid", movingID, IngestRequest{WKT: spots[0]}); err != nil {
+		t.Fatal(err)
+	}
+	// The probe covers both gaps (and a band of base squares, which
+	// must keep answering too).
+	const bothGaps = "POLYGON ((33 33, 83 33, 83 83, 33 83))"
+
+	var (
+		stop     atomic.Bool
+		writes   atomic.Int64
+		reads    atomic.Int64
+		compacts atomic.Int64
+		wg       sync.WaitGroup
+	)
+	fail := make(chan string, 16)
+	deadline := time.Now().Add(400 * time.Millisecond)
+
+	// Writer: move the object, occasionally delete-and-revive it so
+	// tombstone handling is exercised under readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; !stop.Load() && time.Now().Before(deadline); i++ {
+			if _, err := c.Upsert(ctx, "grid", movingID, IngestRequest{WKT: spots[i%2]}); err != nil {
+				fail <- "upsert: " + err.Error()
+				return
+			}
+			writes.Add(1)
+		}
+	}()
+
+	// Compactor: explicit epoch rolls racing the writer and readers.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() && time.Now().Before(deadline) {
+			if _, err := reg.Compact("grid"); err != nil {
+				fail <- "compact: " + err.Error()
+				return
+			}
+			compacts.Add(1)
+			time.Sleep(2 * time.Millisecond)
+		}
+	}()
+
+	// Relate readers: the moving object appears exactly once, and the
+	// observed index version is monotone per reader.
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastVersion uint64
+			for !stop.Load() && time.Now().Before(deadline) {
+				resp, err := c.Relate(ctx, RelateRequest{Dataset: "grid", WKT: bothGaps, Limit: 10000})
+				if err != nil {
+					fail <- "relate: " + err.Error()
+					return
+				}
+				n := 0
+				for _, m := range resp.Matches {
+					if m.ID == movingID {
+						n++
+					}
+				}
+				if n != 1 {
+					fail <- "torn relate view: moving object matched " + itoa(n) + " times"
+					return
+				}
+				if resp.IndexVersion < lastVersion {
+					fail <- "index version went backwards"
+					return
+				}
+				lastVersion = resp.IndexVersion
+				reads.Add(1)
+			}
+		}()
+	}
+
+	// Join reader: against the static single-square dataset, the base
+	// band pairs stay stable and no pair is ever duplicated.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() && time.Now().Before(deadline) {
+			resp, err := c.Join(ctx, JoinRequest{Left: "grid", Right: "probe", Predicate: "intersects", Limit: 10000})
+			if err != nil {
+				fail <- "join: " + err.Error()
+				return
+			}
+			seen := make(map[[2]int]bool, len(resp.Pairs))
+			for _, p := range resp.Pairs {
+				k := [2]int{p.LeftID, p.RightID}
+				if seen[k] {
+					fail <- "join pair duplicated across base and delta"
+					return
+				}
+				seen[k] = true
+			}
+			reads.Add(1)
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case msg := <-fail:
+		stop.Store(true)
+		<-done
+		t.Fatal(msg)
+	case <-done:
+	}
+	reg.WaitCompactions()
+	if writes.Load() == 0 || reads.Load() == 0 || compacts.Load() == 0 {
+		t.Fatalf("stress did not exercise all paths: writes=%d reads=%d compacts=%d",
+			writes.Load(), reads.Load(), compacts.Load())
+	}
+	e, _ := reg.Get("grid")
+	t.Logf("writes=%d reads=%d compacts=%d final epoch=%d version=%d pending=%d",
+		writes.Load(), reads.Load(), compacts.Load(), e.Epoch, e.Version, e.PendingOps())
+	// Settle: after the dust, one final compaction must converge to a
+	// clean base still holding exactly 37 live objects.
+	if _, err := reg.Compact("grid"); err != nil {
+		t.Fatal(err)
+	}
+	e, _ = reg.Get("grid")
+	if e.Live() != 37 || e.PendingOps() != 0 {
+		t.Fatalf("settled state: live=%d pending=%d, want 37 live, 0 pending", e.Live(), e.PendingOps())
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

@@ -1,0 +1,115 @@
+// Ingest endpoints: the HTTP face of the copy-on-write epoch layer.
+// POST inserts under a fresh server-assigned id, PUT upserts a caller
+// id, DELETE tombstones one, and POST /compact forces an epoch roll.
+// Mutations are single-node only: a shard owns a key-range slice of
+// the candidate space, and an object landing near a range boundary
+// would have to be replicated to its neighbours transactionally —
+// until the router grows that, shard-mode servers answer 501.
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/geom"
+)
+
+func (s *Server) registerIngestRoutes() {
+	s.mux.HandleFunc("POST /v1/datasets/{name}/objects",
+		s.route("ingest", true, s.mutationHandler(MutInsert)))
+	s.mux.HandleFunc("PUT /v1/datasets/{name}/objects/{id}",
+		s.route("ingest", true, s.mutationHandler(MutUpsert)))
+	s.mux.HandleFunc("DELETE /v1/datasets/{name}/objects/{id}",
+		s.route("ingest", true, s.mutationHandler(MutDelete)))
+	s.mux.HandleFunc("POST /v1/datasets/{name}/compact",
+		s.route("compact", false, s.handleCompact))
+}
+
+func (s *Server) checkMutable() error {
+	if s.cfg.Shard != nil {
+		return errf(http.StatusNotImplemented, "ingest is not supported on shard-mode servers")
+	}
+	return nil
+}
+
+// mutationHandler builds the handler for one mutation kind. Geometry
+// decoding and validation happen here; rasterization and publication
+// happen in Registry.Mutate (rasterization outside the slot lock).
+func (s *Server) mutationHandler(kind MutKind) handlerFunc {
+	return func(ctx context.Context, r *http.Request) (any, error) {
+		if err := s.checkMutable(); err != nil {
+			return nil, err
+		}
+		name := r.PathValue("name")
+		if err := ValidateName(name); err != nil {
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		id := -1
+		if kind != MutInsert {
+			var err error
+			if id, err = strconv.Atoi(r.PathValue("id")); err != nil || id < 0 {
+				return nil, errf(http.StatusBadRequest, "object id must be a non-negative integer")
+			}
+		}
+		var poly *geom.Polygon
+		if kind != MutDelete {
+			var req IngestRequest
+			if err := decodeBody(r, &req); err != nil {
+				return nil, err
+			}
+			p, err := req.Geometry()
+			if err != nil {
+				return nil, errf(http.StatusBadRequest, "%v", err)
+			}
+			poly = p
+		}
+		res, err := s.data.Mutate(name, kind, id, poly)
+		if err != nil {
+			if errors.Is(err, ErrNoDataset) || errors.Is(err, ErrNoObject) {
+				return nil, errf(http.StatusNotFound, "%v", err)
+			}
+			return nil, errf(http.StatusBadRequest, "%v", err)
+		}
+		return IngestResponse{
+			Dataset:    name,
+			ID:         res.ID,
+			Op:         kind.String(),
+			Created:    res.Created,
+			Epoch:      res.Epoch,
+			Version:    res.Version,
+			PendingOps: res.Pending,
+		}, nil
+	}
+}
+
+// handleCompact forces a synchronous compaction. It is not admitted
+// (queries keep their slots); the registry's single-flight guard
+// bounds concurrent compaction work to one per dataset.
+func (s *Server) handleCompact(ctx context.Context, r *http.Request) (any, error) {
+	if err := s.checkMutable(); err != nil {
+		return nil, err
+	}
+	name := r.PathValue("name")
+	if err := ValidateName(name); err != nil {
+		return nil, errf(http.StatusBadRequest, "%v", err)
+	}
+	st, err := s.data.Compact(name)
+	if err != nil {
+		if errors.Is(err, ErrNoDataset) {
+			return nil, errf(http.StatusNotFound, "%v", err)
+		}
+		// Degraded (rebuild in flight) or residual-replay failure: the
+		// dataset keeps serving its previous epoch; the caller can retry.
+		return nil, errf(http.StatusConflict, "%v", err)
+	}
+	return CompactResponse{
+		Dataset:   name,
+		Epoch:     st.Epoch,
+		Compacted: st.Compacted > 0,
+		Objects:   st.Objects,
+		ElapsedMS: float64(st.Elapsed) / float64(time.Millisecond),
+	}, nil
+}

@@ -1,0 +1,438 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/de9im"
+	"repro/internal/geom"
+	"repro/internal/shard"
+)
+
+// ingestServer mounts a service over the resilience fixture ("grid",
+// 36 squares in a 256×256 space with gaps between them) so mutations
+// can land in known-empty areas.
+func ingestServer(t *testing.T, cfg Config) (*Registry, *Server, *Client) {
+	t.Helper()
+	reg := NewRegistry(resSpace, resOrder)
+	reg.SetLogf(t.Logf)
+	if _, err := reg.Add("grid", "squares", resPolys()); err != nil {
+		t.Fatal(err)
+	}
+	svc := New(reg, cfg)
+	ts := httptest.NewServer(svc.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		svc.Close()
+	})
+	return reg, svc, NewClient(ts.URL)
+}
+
+// sq6 is a 6×6 square WKT at (x, y) — fits in the fixture's gaps.
+func sq6(x, y float64) string {
+	return fmt.Sprintf("POLYGON ((%g %g, %g %g, %g %g, %g %g))",
+		x, y, x+6, y, x+6, y+6, x, y+6)
+}
+
+// matchIDs runs a relate probe and returns the sorted matched ids.
+func matchIDs(t *testing.T, c *Client, probe string) []int {
+	t.Helper()
+	resp, err := c.Relate(context.Background(), RelateRequest{Dataset: "grid", WKT: probe})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := make([]int, 0, len(resp.Matches))
+	for _, m := range resp.Matches {
+		ids = append(ids, m.ID)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+func TestIngestLifecycleOverHTTP(t *testing.T) {
+	reg, _, c := ingestServer(t, Config{})
+	ctx := context.Background()
+	// Probe rectangles covering two distinct gaps of the fixture grid.
+	gapA, gapB := "POLYGON ((33 33, 43 33, 43 43, 33 43))", "POLYGON ((73 73, 83 73, 83 83, 73 83))"
+	if ids := matchIDs(t, c, gapA); len(ids) != 0 {
+		t.Fatalf("gap A not empty before insert: %v", ids)
+	}
+
+	// Insert into gap A: the server assigns the next id (36 objects → 36).
+	ins, err := c.Insert(ctx, "grid", IngestRequest{WKT: sq6(33, 33)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.ID != 36 || !ins.Created || ins.Op != "insert" || ins.PendingOps != 1 {
+		t.Fatalf("insert = %+v", ins)
+	}
+	if ids := matchIDs(t, c, gapA); !reflect.DeepEqual(ids, []int{36}) {
+		t.Fatalf("after insert, gap A matches %v, want [36]", ids)
+	}
+
+	// Upsert moves the object to gap B: one id, one location.
+	ups, err := c.Upsert(ctx, "grid", 36, IngestRequest{WKT: sq6(73, 73)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ups.Created || ups.Op != "upsert" {
+		t.Fatalf("upsert = %+v", ups)
+	}
+	if ids := matchIDs(t, c, gapA); len(ids) != 0 {
+		t.Fatalf("after move, gap A still matches %v", ids)
+	}
+	if ids := matchIDs(t, c, gapB); !reflect.DeepEqual(ids, []int{36}) {
+		t.Fatalf("after move, gap B matches %v, want [36]", ids)
+	}
+
+	// Upsert can also supersede a *base* object: replace object 0 (a
+	// square at (4,4)) with a square in gap A.
+	if _, err := c.Upsert(ctx, "grid", 0, IngestRequest{WKT: sq6(40, 33)}); err != nil {
+		t.Fatal(err)
+	}
+	if ids := matchIDs(t, c, gapA); !reflect.DeepEqual(ids, []int{0}) {
+		t.Fatalf("after base upsert, gap A matches %v, want [0]", ids)
+	}
+
+	// Delete both; the gaps empty out and a re-delete 404s.
+	if _, err := c.Delete(ctx, "grid", 36); err != nil {
+		t.Fatal(err)
+	}
+	del, err := c.Delete(ctx, "grid", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if del.Op != "delete" || del.ID != 0 {
+		t.Fatalf("delete = %+v", del)
+	}
+	for _, gap := range []string{gapA, gapB} {
+		if ids := matchIDs(t, c, gap); len(ids) != 0 {
+			t.Fatalf("after deletes, gap matches %v", ids)
+		}
+	}
+	var apiErr *APIError
+	if _, err := c.Delete(ctx, "grid", 36); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {
+		t.Fatalf("re-delete: err = %v, want 404", err)
+	}
+
+	// Ids are never reused: the next insert continues past deleted 36.
+	ins2, err := c.Insert(ctx, "grid", IngestRequest{WKT: sq6(113, 33)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins2.ID != 37 {
+		t.Fatalf("insert after delete assigned id %d, want 37", ins2.ID)
+	}
+
+	// The registry agrees: 36 base - 1 deleted + 1 delta object live.
+	e, _ := reg.Get("grid")
+	if e.Live() != 36 {
+		t.Fatalf("Live = %d, want 36", e.Live())
+	}
+	infos, err := c.Datasets(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if infos[0].Objects != 36 || infos[0].PendingOps != e.PendingOps() || infos[0].Epoch != 0 {
+		t.Fatalf("DatasetInfo = %+v", infos[0])
+	}
+}
+
+func TestIngestValidation(t *testing.T) {
+	_, _, c := ingestServer(t, Config{})
+	ctx := context.Background()
+	status := func(err error) int {
+		t.Helper()
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) {
+			t.Fatalf("err = %v, want APIError", err)
+		}
+		return apiErr.StatusCode
+	}
+
+	// Unknown dataset → 404 on every verb.
+	if _, err := c.Insert(ctx, "nope", IngestRequest{WKT: sq6(33, 33)}); status(err) != http.StatusNotFound {
+		t.Fatalf("insert into unknown dataset: %v", err)
+	}
+	if _, err := c.Delete(ctx, "nope", 0); status(err) != http.StatusNotFound {
+		t.Fatalf("delete in unknown dataset: %v", err)
+	}
+	if _, err := c.Compact(ctx, "nope"); status(err) != http.StatusNotFound {
+		t.Fatalf("compact of unknown dataset: %v", err)
+	}
+
+	// Geometry problems → 400: unparsable WKT, no geometry, both
+	// encodings at once, and a well-formed but invalid (self-crossing)
+	// polygon — the ValidatePolygon gate.
+	for name, req := range map[string]IngestRequest{
+		"bad wkt":  {WKT: "POLYGON (("},
+		"empty":    {},
+		"both":     {WKT: sq6(33, 33), GeoJSON: []byte(`{"type":"Polygon","coordinates":[]}`)},
+		"bowtie":   {WKT: "POLYGON ((33 33, 39 39, 39 33, 33 39))"},
+		"repeated": {WKT: "POLYGON ((33 33, 33 33, 39 33, 39 39))"},
+	} {
+		if _, err := c.Insert(ctx, "grid", req); status(err) != http.StatusBadRequest {
+			t.Errorf("%s: insert err = %v, want 400", name, err)
+		}
+	}
+
+	// Non-numeric and negative ids → 400.
+	var out IngestResponse
+	err := c.doOnce(ctx, http.MethodPut, "/v1/datasets/grid/objects/abc", IngestRequest{WKT: sq6(33, 33)}, &out)
+	if status(err) != http.StatusBadRequest {
+		t.Fatalf("non-numeric id: %v", err)
+	}
+	err = c.doOnce(ctx, http.MethodDelete, "/v1/datasets/grid/objects/-1", nil, &out)
+	if status(err) != http.StatusBadRequest {
+		t.Fatalf("negative id: %v", err)
+	}
+
+	// Nothing above may have mutated the dataset.
+	if ids := matchIDs(t, c, "POLYGON ((33 33, 43 33, 43 43, 33 43))"); len(ids) != 0 {
+		t.Fatalf("rejected mutations left objects behind: %v", ids)
+	}
+}
+
+// TestIngestShardModeNotImplemented: shard-mode servers refuse
+// mutations with 501 — an object near a range boundary would need
+// transactional replication to neighbour shards.
+func TestIngestShardModeNotImplemented(t *testing.T) {
+	asg, err := shard.NewAssignment(resSpace, 4, 0, shard.KeyRange{Lo: 0, Hi: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := NewRegistry(resSpace, resOrder)
+	reg.SetShard(asg)
+	if _, err := reg.Register("grid", "squares", resPolys()); err != nil {
+		t.Fatal(err)
+	}
+	svc := New(reg, Config{Shard: asg})
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Close()
+	c := NewClient(ts.URL)
+	ctx := context.Background()
+
+	var apiErr *APIError
+	if _, err := c.Insert(ctx, "grid", IngestRequest{WKT: sq6(33, 33)}); !errors.As(err, &apiErr) ||
+		apiErr.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("shard-mode insert: err = %v, want 501", err)
+	}
+	if _, err := c.Compact(ctx, "grid"); !errors.As(err, &apiErr) ||
+		apiErr.StatusCode != http.StatusNotImplemented {
+		t.Fatalf("shard-mode compact: err = %v, want 501", err)
+	}
+}
+
+// TestCompactRollsEpoch: compaction folds the delta into a fresh base,
+// bumps the epoch, resets pending ops, and changes no answer.
+func TestCompactRollsEpoch(t *testing.T) {
+	reg, _, c := ingestServer(t, Config{})
+	ctx := context.Background()
+	gapA := "POLYGON ((33 33, 43 33, 43 43, 33 43))"
+	everything := "POLYGON ((0 0, 256 0, 256 256, 0 256))"
+
+	if _, err := c.Insert(ctx, "grid", IngestRequest{WKT: sq6(33, 33)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete(ctx, "grid", 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Upsert(ctx, "grid", 1, IngestRequest{WKT: sq6(40, 33)}); err != nil {
+		t.Fatal(err)
+	}
+	before := matchIDs(t, c, everything)
+	beforeGap := matchIDs(t, c, gapA)
+
+	comp, err := c.Compact(ctx, "grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !comp.Compacted || comp.Epoch != 1 || comp.Objects != 36 {
+		t.Fatalf("compact = %+v", comp)
+	}
+	e, _ := reg.Get("grid")
+	if e.Epoch != 1 || e.PendingOps() != 0 || e.Delta != nil && len(e.Delta.Objects) > 0 {
+		t.Fatalf("post-compaction entry: epoch=%d pending=%d", e.Epoch, e.PendingOps())
+	}
+	if e.Dataset.Len() != 36 {
+		t.Fatalf("merged base has %d objects, want 36", e.Dataset.Len())
+	}
+	// Tombstones of base deletions are folded; NextID keeps counting.
+	if e.NextID != 37 {
+		t.Fatalf("NextID = %d, want 37", e.NextID)
+	}
+
+	if after := matchIDs(t, c, everything); !reflect.DeepEqual(after, before) {
+		t.Fatalf("answers changed across compaction:\n before %v\n after  %v", before, after)
+	}
+	if after := matchIDs(t, c, gapA); !reflect.DeepEqual(after, beforeGap) {
+		t.Fatalf("gap answers changed across compaction")
+	}
+
+	// Nothing pending: the second compact is a no-op.
+	comp2, err := c.Compact(ctx, "grid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if comp2.Compacted || comp2.Epoch != 1 {
+		t.Fatalf("no-op compact = %+v", comp2)
+	}
+
+	// And the epoch view keeps accepting mutations.
+	ins, err := c.Insert(ctx, "grid", IngestRequest{WKT: sq6(73, 73)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ins.ID != 37 || ins.Epoch != 1 {
+		t.Fatalf("post-compaction insert = %+v", ins)
+	}
+}
+
+// TestAutoCompaction: crossing the registry threshold rolls an epoch in
+// the background without an explicit compact call.
+func TestAutoCompaction(t *testing.T) {
+	reg, _, c := ingestServer(t, Config{})
+	reg.SetCompactThreshold(4)
+	ctx := context.Background()
+	for i := 0; i < 4; i++ {
+		if _, err := c.Upsert(ctx, "grid", 100+i, IngestRequest{WKT: sq6(33+float64(i)*7, 33)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reg.WaitCompactions()
+	e, _ := reg.Get("grid")
+	if e.Epoch != 1 || e.PendingOps() != 0 {
+		t.Fatalf("auto-compaction did not run: epoch=%d pending=%d", e.Epoch, e.PendingOps())
+	}
+	if e.Dataset.Len() != 40 {
+		t.Fatalf("merged base has %d objects, want 40", e.Dataset.Len())
+	}
+}
+
+// TestJoinSeesMutations: join candidate generation reads the merged
+// epoch view on both sides.
+func TestJoinSeesMutations(t *testing.T) {
+	reg, _, c := ingestServer(t, Config{})
+	ctx := context.Background()
+	if _, err := reg.Add("other", "", resPolys()[:1]); err != nil { // one square at (4,4)
+		t.Fatal(err)
+	}
+	// Overlap the "other" square with a delta insert on "grid".
+	ins, err := c.Insert(ctx, "grid", IngestRequest{WKT: sq6(6, 6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := c.Join(ctx, JoinRequest{Left: "grid", Right: "other", Predicate: "intersects"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, p := range j.Pairs {
+		if p.LeftID == ins.ID && p.RightID == 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("join did not see the inserted object: %+v", j.Pairs)
+	}
+	// Delete the base object under the probe square on the left side:
+	// the (0, 0) pair must disappear, the delta pair must stay.
+	if _, err := c.Delete(ctx, "grid", 0); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := c.Join(ctx, JoinRequest{Left: "grid", Right: "other", Predicate: "intersects"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range j2.Pairs {
+		if p.LeftID == 0 {
+			t.Fatalf("join still reports deleted base object: %+v", j2.Pairs)
+		}
+	}
+	if j2.LeftVersion != 2 {
+		t.Fatalf("LeftVersion = %d, want 2 (two mutations published)", j2.LeftVersion)
+	}
+}
+
+// TestMutatedAnswersMatchRebuild is the in-process differential oracle:
+// after a mutation burst, every relate answer must equal a fresh
+// registry built from the equivalent final object set.
+func TestMutatedAnswersMatchRebuild(t *testing.T) {
+	reg, _, c := ingestServer(t, Config{})
+	ctx := context.Background()
+	// Burst: inserts in gaps, a base delete, a base move, a delta delete.
+	if _, err := c.Insert(ctx, "grid", IngestRequest{WKT: sq6(33, 33)}); err != nil { // id 36
+		t.Fatal(err)
+	}
+	if _, err := c.Insert(ctx, "grid", IngestRequest{WKT: sq6(73, 33)}); err != nil { // id 37
+		t.Fatal(err)
+	}
+	if _, err := c.Delete(ctx, "grid", 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Upsert(ctx, "grid", 3, IngestRequest{WKT: sq6(113, 33)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete(ctx, "grid", 37); err != nil {
+		t.Fatal(err)
+	}
+
+	// The equivalent fresh build: base squares minus 7, 3 moved, plus 36.
+	polys := resPolys()
+	ids := make([]int, 0, len(polys)+1)
+	rebuilt := NewRegistry(resSpace, resOrder)
+	adds := make([]*geom.Polygon, 0, len(polys)+1)
+	for i, p := range polys {
+		switch i {
+		case 7:
+			continue
+		case 3:
+			adds = append(adds, mustPoly(t, sq6(113, 33)))
+		default:
+			adds = append(adds, p)
+		}
+		ids = append(ids, i)
+	}
+	adds = append(adds, mustPoly(t, sq6(33, 33)))
+	ids = append(ids, 36)
+	if _, err := rebuilt.Add("grid", "squares", adds); err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := rebuilt.Get("grid")
+
+	// Fresh ids are positional; translate through the ids table and
+	// compare every (probe × object) relation.
+	probes := []string{"POLYGON ((0 0, 256 0, 256 256, 0 256))",
+		"POLYGON ((32 32, 120 32, 120 44, 32 44))", probeWKT}
+	for _, probe := range probes {
+		po, err := reg.Probe(mustPoly(t, probe))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[int]string{}
+		for i, o := range fresh.Dataset.Objects {
+			if res := core.FindRelation(core.PC, po, o); res.Relation != de9im.Disjoint {
+				want[ids[i]] = res.Relation.String()
+			}
+		}
+		resp, err := c.Relate(ctx, RelateRequest{Dataset: "grid", WKT: probe, Limit: 10000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := map[int]string{}
+		for _, m := range resp.Matches {
+			got[m.ID] = m.Relation
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("probe %s:\n mutated %v\n rebuilt %v", probe, got, want)
+		}
+	}
+}

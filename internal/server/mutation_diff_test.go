@@ -1,0 +1,186 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/geom"
+	"repro/internal/join"
+)
+
+// TestMutationDifferentialOracle is the differential oracle for the
+// dynamic-dataset path (run by `make difftest`): randomized
+// insert/upsert/delete sequences with compactions sprinkled at random
+// points, checked at every checkpoint against a fresh registry built
+// from the surviving object set. The canonical answer strings must be
+// byte-identical — the merged base+delta view, tombstone filtering, and
+// epoch compaction may never change an answer relative to a cold build
+// of the same objects.
+func TestMutationDifferentialOracle(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runMutationDifferential(t, seed)
+		})
+	}
+}
+
+func runMutationDifferential(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	randRect := func() *geom.Polygon {
+		x := float64(rng.Intn(240))
+		y := float64(rng.Intn(240))
+		w := float64(2 + rng.Intn(14))
+		h := float64(2 + rng.Intn(14))
+		return geom.NewPolygon(geom.Ring{
+			{X: x, Y: y}, {X: x + w, Y: y}, {X: x + w, Y: y + h}, {X: x, Y: y + h},
+		})
+	}
+
+	regA := NewRegistry(resSpace, resOrder)
+	initial := make([]*geom.Polygon, 24)
+	model := make(map[int]*geom.Polygon, 64)
+	for i := range initial {
+		initial[i] = randRect()
+		model[i] = initial[i]
+	}
+	if _, err := regA.Add("dyn", "", initial); err != nil {
+		t.Fatal(err)
+	}
+	nextID := len(initial)
+
+	// Probes fixed up front so every checkpoint asks the same questions.
+	probes := make([]*geom.Polygon, 8)
+	for i := range probes {
+		probes[i] = randRect()
+	}
+
+	liveIDs := func() []int {
+		ids := make([]int, 0, len(model))
+		for id := range model {
+			ids = append(ids, id)
+		}
+		sort.Ints(ids)
+		return ids
+	}
+
+	// canonical renders every probe's matches through the real serving
+	// path (merged base+delta view with tombstone filtering), as
+	// "probe#:id=relation" lines sorted by object id. idOf translates
+	// an entry's object ids into model ids (identity for the mutated
+	// registry, positional→model for a fresh rebuild).
+	canonical := func(reg *Registry, name string, idOf func(int) int) string {
+		e, ok := reg.Get(name)
+		if !ok {
+			t.Fatalf("dataset %s missing", name)
+		}
+		var sb strings.Builder
+		for pi, p := range probes {
+			probe, err := reg.Probe(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var objs []*core.Object
+			view := e.View()
+			err = view.QueryContext(context.Background(), probe.MBR, func(delta bool, en join.Entry) {
+				objs = append(objs, e.objAt(delta, en.ID))
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			sort.Slice(objs, func(i, j int) bool { return idOf(objs[i].ID) < idOf(objs[j].ID) })
+			for _, o := range objs {
+				res := core.FindRelation(core.PC, probe, o)
+				fmt.Fprintf(&sb, "%d:%d=%s\n", pi, idOf(o.ID), res.Relation)
+			}
+		}
+		return sb.String()
+	}
+
+	checkpoint := func(step int) {
+		eA, _ := regA.Get("dyn")
+		if eA.Live() != len(model) {
+			t.Fatalf("step %d: live %d != model %d", step, eA.Live(), len(model))
+		}
+		ids := liveIDs()
+		rebuilt := make([]*geom.Polygon, len(ids))
+		for j, id := range ids {
+			rebuilt[j] = model[id]
+		}
+		regB := NewRegistry(resSpace, resOrder)
+		if _, err := regB.Add("dyn", "", rebuilt); err != nil {
+			t.Fatal(err)
+		}
+		gotA := canonical(regA, "dyn", func(id int) int { return id })
+		gotB := canonical(regB, "dyn", func(pos int) int { return ids[pos] })
+		if gotA != gotB {
+			t.Fatalf("step %d: mutated registry diverged from fresh rebuild\n--- mutated ---\n%s--- rebuilt ---\n%s",
+				step, gotA, gotB)
+		}
+	}
+
+	const steps = 160
+	for step := 0; step < steps; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // insert
+			p := randRect()
+			res, err := regA.Mutate("dyn", MutInsert, -1, p)
+			if err != nil {
+				t.Fatalf("step %d insert: %v", step, err)
+			}
+			if res.ID != nextID {
+				t.Fatalf("step %d: insert id %d, model expected %d", step, res.ID, nextID)
+			}
+			model[nextID] = p
+			nextID++
+		case op < 7: // upsert: replace a live object, revive a dead id, or claim a fresh one
+			var id int
+			if ids := liveIDs(); len(ids) > 0 && rng.Intn(3) > 0 {
+				id = ids[rng.Intn(len(ids))]
+			} else {
+				id = rng.Intn(nextID + 3)
+			}
+			p := randRect()
+			if _, err := regA.Mutate("dyn", MutUpsert, id, p); err != nil {
+				t.Fatalf("step %d upsert %d: %v", step, id, err)
+			}
+			model[id] = p
+			if id >= nextID {
+				nextID = id + 1
+			}
+		default: // delete a live object
+			ids := liveIDs()
+			if len(ids) == 0 {
+				continue
+			}
+			id := ids[rng.Intn(len(ids))]
+			if _, err := regA.Mutate("dyn", MutDelete, id, nil); err != nil {
+				t.Fatalf("step %d delete %d: %v", step, id, err)
+			}
+			delete(model, id)
+		}
+		if rng.Intn(20) == 0 {
+			if _, err := regA.Compact("dyn"); err != nil {
+				t.Fatalf("step %d compact: %v", step, err)
+			}
+		}
+		if step%40 == 39 {
+			checkpoint(step)
+		}
+	}
+	// Final checkpoints either side of a last compaction: the answers
+	// must not change when the delta folds into the base.
+	checkpoint(steps)
+	if _, err := regA.Compact("dyn"); err != nil {
+		t.Fatal(err)
+	}
+	eA, _ := regA.Get("dyn")
+	if eA.PendingOps() != 0 {
+		t.Fatalf("pending ops after final compact: %d", eA.PendingOps())
+	}
+	checkpoint(steps + 1)
+}

@@ -17,6 +17,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/april"
@@ -31,11 +32,14 @@ import (
 	"repro/internal/wkt"
 )
 
-// Entry is one registered dataset with its immutable, once-built
-// indexes: the preprocessed objects (MBR + APRIL approximation) and the
-// STR R-tree over their MBRs. Entries are never mutated after
-// registration, so request handlers read them without locks; recovery
-// replaces the entry pointer, never its contents.
+// Entry is one published epoch view of a registered dataset: the
+// immutable base indexes — preprocessed objects (MBR + APRIL
+// approximation) and the STR R-tree over their MBRs — plus the
+// immutable mutation overlay (Delta) accumulated since the base epoch.
+// Entries are never mutated after publication, so request handlers
+// read them without locks; mutation, compaction and recovery all
+// publish a *successor* entry through the slot's atomic pointer, never
+// touching a published one.
 type Entry struct {
 	Dataset *dataset.Dataset
 	Tree    *join.RTree
@@ -48,6 +52,38 @@ type Entry struct {
 	// never reads approximations, so answers stay correct — just
 	// slower.
 	Degraded bool
+
+	// Epoch is the compaction generation of the base: 0 for a dataset
+	// built straight from source, N after the Nth compaction.
+	Epoch uint64
+	// Version counts publications of this slot (every mutation,
+	// compaction or rebuild swap bumps it): two responses carrying the
+	// same version were served from the same published entry.
+	Version uint64
+	// NextID is the id the next inserted object receives; ids are
+	// never reused.
+	NextID int
+	// Tombs is the cumulative set of deleted ids (persisted with each
+	// epoch so a warm start never resurrects them).
+	Tombs []int
+	// Delta is the mutation overlay since the base epoch; nil when the
+	// dataset has no uncompacted mutations (the common case — and the
+	// read paths then cost exactly what they did before mutation
+	// existed).
+	Delta *Delta
+	// idIndex maps object id → base array position; nil when ids are
+	// positional (fresh unsharded builds).
+	idIndex map[int]int32
+}
+
+// slot is one dataset's publication cell: readers load cur with a
+// single atomic pointer read and never block; mutation and compaction
+// publishes serialize on mu; compacting admits one compactor at a
+// time.
+type slot struct {
+	mu         sync.Mutex
+	cur        atomic.Pointer[Entry]
+	compacting atomic.Bool
 }
 
 // Registry holds the named datasets a server instance answers queries
@@ -72,22 +108,37 @@ type Registry struct {
 	shard *shard.Assignment
 
 	mu         sync.RWMutex
-	entries    map[string]*Entry
+	slots      map[string]*slot
 	rebuilding map[string]bool
 	rebuilds   sync.WaitGroup
+
+	// compactEvery is the auto-compaction threshold: a dataset whose
+	// pending op log reaches it gets a background compaction. <= 0
+	// disables auto-compaction (explicit Compact calls still work).
+	compactEvery int
+	compactions  sync.WaitGroup
 }
+
+// DefaultCompactThreshold is the pending-op count that triggers an
+// automatic background compaction.
+const DefaultCompactThreshold = 4096
 
 // NewRegistry creates a registry whose datasets and probes share a
 // 2^order × 2^order grid over the given data space. Geometry outside
 // the space cannot be approximated and is rejected at load/probe time.
 func NewRegistry(space geom.MBR, order uint) *Registry {
 	return &Registry{
-		builder:    april.NewBuilder(space, order),
-		entries:    make(map[string]*Entry),
-		rebuilding: make(map[string]bool),
-		logf:       func(string, ...any) {},
+		builder:      april.NewBuilder(space, order),
+		slots:        make(map[string]*slot),
+		rebuilding:   make(map[string]bool),
+		logf:         func(string, ...any) {},
+		compactEvery: DefaultCompactThreshold,
 	}
 }
+
+// SetCompactThreshold sets the pending-op count that triggers an
+// automatic background compaction; n <= 0 disables auto-compaction.
+func (g *Registry) SetCompactThreshold(n int) { g.compactEvery = n }
 
 // Instrument mirrors the registry's lifecycle counters (preprocessed
 // objects, snapshot loads/writes/corruptions, rebuilds) and the
@@ -200,7 +251,7 @@ func (g *Registry) build(name, entity string, polys []*geom.Polygon, ids []int) 
 		ds.Objects = append(ds.Objects, o)
 	}
 	g.count("server_preprocess_objects_total", int64(len(polys)))
-	return &Entry{Dataset: ds, Tree: buildTree(ds), BuildTime: time.Since(start)}, nil
+	return indexEntry(&Entry{Dataset: ds, Tree: buildTree(ds), BuildTime: time.Since(start)}), nil
 }
 
 func buildTree(ds *dataset.Dataset) *join.RTree {
@@ -215,11 +266,21 @@ func buildTree(ds *dataset.Dataset) *join.RTree {
 func (g *Registry) insert(name string, e *Entry) error {
 	g.mu.Lock()
 	defer g.mu.Unlock()
-	if _, dup := g.entries[name]; dup {
+	if _, dup := g.slots[name]; dup {
 		return fmt.Errorf("server: dataset %s already registered", name)
 	}
-	g.entries[name] = e
+	sl := &slot{}
+	sl.cur.Store(e)
+	g.slots[name] = sl
 	return nil
+}
+
+// slot returns the publication cell registered under name (nil when
+// unknown).
+func (g *Registry) slot(name string) *slot {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.slots[name]
 }
 
 // AddDataset registers a preprocessed dataset. Approximations are
@@ -326,27 +387,31 @@ func readWKTFile(path string) ([]*geom.Polygon, error) {
 	return polys, nil
 }
 
-// Get returns the entry registered under name.
+// Get returns the current epoch entry registered under name: one
+// atomic pointer load after the map lookup, so readers never contend
+// with mutation or compaction publishes.
 func (g *Registry) Get(name string) (*Entry, bool) {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	e, ok := g.entries[name]
-	return e, ok
+	sl := g.slot(name)
+	if sl == nil {
+		return nil, false
+	}
+	return sl.cur.Load(), true
 }
 
 // Len returns the number of registered datasets.
 func (g *Registry) Len() int {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	return len(g.entries)
+	return len(g.slots)
 }
 
 // List describes every registered dataset, sorted by name.
 func (g *Registry) List() []DatasetInfo {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	out := make([]DatasetInfo, 0, len(g.entries))
-	for name, e := range g.entries {
+	out := make([]DatasetInfo, 0, len(g.slots))
+	for name, sl := range g.slots {
+		e := sl.cur.Load()
 		sz := e.Dataset.Sizes()
 		status := "ok"
 		switch {
@@ -358,11 +423,13 @@ func (g *Registry) List() []DatasetInfo {
 		out = append(out, DatasetInfo{
 			Name:        name,
 			Entity:      e.Dataset.Entity,
-			Objects:     e.Dataset.Len(),
+			Objects:     e.Live(),
 			Vertices:    sz.Vertices,
 			ApproxBytes: sz.Approx,
 			BuildMS:     float64(e.BuildTime) / float64(time.Millisecond),
 			Status:      status,
+			Epoch:       e.Epoch,
+			PendingOps:  e.PendingOps(),
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })

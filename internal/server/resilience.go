@@ -99,40 +99,66 @@ func (g *Registry) register(name, entity string, polys []*geom.Polygon) (*Entry,
 	if err != nil {
 		return nil, err
 	}
-	g.writeSnapshot(name, e.Dataset)
+	g.writeSnapshotMeta(name, e.Dataset, snapshot.EpochMeta{NextID: e.NextID})
 	return e, nil
 }
 
 // tryWarmStart registers the snapshot contents if they match the
-// registry's grid and the (owned subset of the) source polygons;
-// reports success. Snapshots store objects positionally, so in shard
-// mode the decoded ids are remapped to the global ids recomputed from
-// source — the subset is deterministic, and the per-object MBR
-// comparison below rejects a snapshot of a different subset (e.g. one
-// written under another key range).
+// registry's grid; reports success.
+//
+// Epoch-0 snapshots describe exactly what a source build would produce,
+// so they are additionally checked against the (owned subset of the)
+// source polygons object by object — v1 snapshots store objects
+// positionally, and in shard mode the decoded ids are remapped to the
+// global ids recomputed from source; the per-object MBR comparison
+// rejects a snapshot of a different subset (e.g. one written under
+// another key range).
+//
+// Epoch-N snapshots (N > 0) carry mutations the source files never saw:
+// the snapshot is the *newer* truth, fully checksummed, so it is
+// trusted outright — comparing against source would wrongly classify
+// every mutated dataset as stale and silently discard its mutations.
+// Warm start therefore resumes from the latest complete epoch, with
+// NextID and the tombstone set restored so ids are never reused.
 func (g *Registry) tryWarmStart(name, entity string, snap *snapshot.Snapshot, polys []*geom.Polygon, ids []int) (*Entry, bool) {
 	grid := g.builder.Grid()
 	if snap.Space != grid.Space() || snap.Order != grid.Order() {
 		return nil, false
 	}
-	if snap.Name != name || len(snap.Dataset.Objects) != len(polys) {
+	if snap.Name != name {
 		return nil, false
 	}
 	start := time.Now()
 	ds := snap.Dataset
 	ds.Entity = entity
-	for j, o := range ds.Objects {
-		if o.MBR != polys[j].Bounds() {
+	if snap.EpochMeta.Epoch == 0 {
+		if len(ds.Objects) != len(polys) {
 			return nil, false
 		}
-		o.ID = gid(ids, j)
+		for j, o := range ds.Objects {
+			if o.MBR != polys[j].Bounds() {
+				return nil, false
+			}
+			o.ID = gid(ids, j)
+		}
 	}
-	e := &Entry{Dataset: ds, Tree: buildTree(ds), BuildTime: time.Since(start)}
+	e := indexEntry(&Entry{
+		Dataset:   ds,
+		Tree:      buildTree(ds),
+		BuildTime: time.Since(start),
+		Epoch:     snap.EpochMeta.Epoch,
+		NextID:    snap.EpochMeta.NextID,
+		Tombs:     snap.EpochMeta.Tombs,
+	})
 	if err := g.insert(name, e); err != nil {
 		return nil, false
 	}
 	g.count("server_snapshot_loads_total", 1)
-	g.logf("server: dataset %s warm-started from snapshot (%d objects)", name, ds.Len())
+	if e.Epoch > 0 {
+		g.logf("server: dataset %s warm-started from epoch %d snapshot (%d objects)", name, e.Epoch, ds.Len())
+	} else {
+		g.logf("server: dataset %s warm-started from snapshot (%d objects)", name, ds.Len())
+	}
 	return e, true
 }
 
@@ -170,7 +196,10 @@ func (g *Registry) addDegraded(name, entity string, polys []*geom.Polygon, ids [
 		p := arena.Polygon(i)
 		ds.Objects = append(ds.Objects, &core.Object{ID: gid(ids, i), Poly: p, MBR: p.Bounds()})
 	}
-	e := &Entry{Dataset: ds, Tree: buildTree(ds), BuildTime: time.Since(start), Degraded: true}
+	// indexEntry matters here: without it a degraded entry would hand
+	// out NextID 0 and a degraded-mode insert would collide with a base
+	// object's id.
+	e := indexEntry(&Entry{Dataset: ds, Tree: buildTree(ds), BuildTime: time.Since(start), Degraded: true})
 	if err := g.insert(name, e); err != nil {
 		return nil, err
 	}
@@ -214,12 +243,33 @@ func (g *Registry) startRebuild(name, entity string, polys []*geom.Polygon, ids 
 			g.logf("server: rebuild of %s failed (dataset stays degraded): %v", name, err)
 			return
 		}
-		g.mu.Lock()
-		g.entries[name] = e
-		g.mu.Unlock()
+		sl := g.slot(name)
+		if sl == nil {
+			return
+		}
+		// Snapshot metadata is captured from the source-built entry
+		// before the swap: the snapshot persists the rebuilt base only,
+		// and mutations accepted while degraded stay volatile until the
+		// next compaction (same durability contract as normal serving).
+		em := snapshot.EpochMeta{Epoch: e.Epoch, NextID: e.NextID, Tombs: e.Tombs}
+		// Publish under the slot mutex so the swap can't race a writer:
+		// mutations accepted while the dataset served degraded live in
+		// the current entry's delta and must survive the swap.
+		sl.mu.Lock()
+		if cur := sl.cur.Load(); cur != nil {
+			e.Delta = cur.Delta
+			e.Tombs = cur.Tombs
+			e.Epoch = cur.Epoch
+			if cur.NextID > e.NextID {
+				e.NextID = cur.NextID
+			}
+			e.Version = cur.Version + 1
+		}
+		sl.cur.Store(e)
+		sl.mu.Unlock()
 		g.count("server_rebuilds_total", 1)
 		g.logf("server: dataset %s recovered from degraded mode in %v", name, e.BuildTime)
-		g.writeSnapshot(name, e.Dataset)
+		g.writeSnapshotMeta(name, e.Dataset, em)
 	}()
 }
 
@@ -227,17 +277,18 @@ func (g *Registry) startRebuild(name, entity string, polys []*geom.Polygon, ids 
 // finished (drain paths and tests).
 func (g *Registry) WaitRebuilds() { g.rebuilds.Wait() }
 
-// writeSnapshot persists a freshly built dataset; failures are counted
-// and logged but never fail the registration — the snapshot is an
-// optimization, not a source of truth.
-func (g *Registry) writeSnapshot(name string, ds *dataset.Dataset) {
+// writeSnapshotMeta persists a dataset together with its epoch
+// metadata; failures are counted and logged but never fail the caller —
+// the snapshot is an optimization (and, for epochs, a durability
+// checkpoint), not a source of truth for the running process.
+func (g *Registry) writeSnapshotMeta(name string, ds *dataset.Dataset, em snapshot.EpochMeta) {
 	if g.snapDir == "" {
 		return
 	}
 	path, err := snapshot.DatasetPath(g.snapDir, name)
 	if err == nil {
 		grid := g.builder.Grid()
-		err = snapshot.Write(path, ds, grid.Space(), grid.Order())
+		err = snapshot.WriteEpoch(path, ds, grid.Space(), grid.Order(), em)
 	}
 	if err != nil {
 		g.count("server_snapshot_write_failures_total", 1)
@@ -252,8 +303,9 @@ func (g *Registry) writeSnapshot(name string, ds *dataset.Dataset) {
 func (g *Registry) States() (degraded, rebuilding []string) {
 	g.mu.RLock()
 	defer g.mu.RUnlock()
-	for name, e := range g.entries {
-		if !e.Degraded {
+	for name, sl := range g.slots {
+		e := sl.cur.Load()
+		if e == nil || !e.Degraded {
 			continue
 		}
 		if g.rebuilding[name] {
@@ -273,8 +325,8 @@ func (g *Registry) updateDegradedGauge() {
 	}
 	g.mu.RLock()
 	var n, reb int64
-	for name, e := range g.entries {
-		if e.Degraded {
+	for name, sl := range g.slots {
+		if e := sl.cur.Load(); e != nil && e.Degraded {
 			n++
 		}
 		if g.rebuilding[name] {

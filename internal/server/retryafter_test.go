@@ -1,0 +1,86 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// TestParseRetryAfter covers both RFC 9110 forms and the clamp. The
+// HTTP-date form is the regression case: it used to be rejected as
+// garbage, so clients hammered servers that asked for a dated backoff.
+func TestParseRetryAfter(t *testing.T) {
+	now := time.Date(2026, 8, 7, 11, 12, 13, 0, time.UTC)
+	cases := []struct {
+		name string
+		v    string
+		want time.Duration
+	}{
+		{"seconds", "7", 7 * time.Second},
+		{"seconds with spaces", "  7 ", 7 * time.Second},
+		{"zero seconds", "0", 0},
+		{"negative seconds", "-3", 0},
+		{"seconds clamped", "3600", maxRetryAfter},
+		{"http date", now.Add(9 * time.Second).Format(http.TimeFormat), 9 * time.Second},
+		{"http date clamped", now.Add(2 * time.Hour).Format(http.TimeFormat), maxRetryAfter},
+		{"http date in the past", now.Add(-time.Minute).Format(http.TimeFormat), 0},
+		{"rfc850 date", now.Add(5 * time.Second).Format(time.RFC850), 5 * time.Second},
+		{"ansic date", now.Add(5 * time.Second).Format(time.ANSIC), 5 * time.Second},
+		{"garbage", "soon", 0},
+		{"empty", "", 0},
+		{"float", "1.5", 0},
+	}
+	for _, tc := range cases {
+		if got := parseRetryAfter(tc.v, now); got != tc.want {
+			t.Errorf("%s: parseRetryAfter(%q) = %v, want %v", tc.name, tc.v, got, tc.want)
+		}
+	}
+}
+
+// TestRetryAfterDateHeaderEndToEnd: a 429 carrying an HTTP-date
+// Retry-After must surface on APIError.RetryAfter as a bounded
+// duration, through the real response path.
+func TestRetryAfterDateHeaderEndToEnd(t *testing.T) {
+	date := time.Now().Add(5 * time.Second).UTC().Format(http.TimeFormat)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", date)
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"overloaded"}`))
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	_, err := c.Health(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || !apiErr.IsOverload() {
+		t.Fatalf("err = %v, want overload APIError", err)
+	}
+	if apiErr.RetryAfter <= 0 || apiErr.RetryAfter > 5*time.Second {
+		t.Fatalf("RetryAfter = %v, want in (0, 5s]", apiErr.RetryAfter)
+	}
+}
+
+// TestRetryAfterHostileDateClamped: a server demanding an hour-long
+// backoff (misconfigured or hostile) is clamped to maxRetryAfter.
+func TestRetryAfterHostileDateClamped(t *testing.T) {
+	date := time.Now().Add(time.Hour).UTC().Format(http.TimeFormat)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", date)
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"overloaded"}`))
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	_, err := c.Health(context.Background())
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) {
+		t.Fatalf("err = %v, want APIError", err)
+	}
+	if apiErr.RetryAfter != maxRetryAfter {
+		t.Fatalf("RetryAfter = %v, want clamp %v", apiErr.RetryAfter, maxRetryAfter)
+	}
+}

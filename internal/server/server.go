@@ -203,6 +203,7 @@ func New(data *Registry, cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/metricz", s.route("metricz", false, s.handleMetricz))
 	s.mux.HandleFunc("POST /v1/relate", s.route("relate", true, s.handleRelate))
 	s.mux.HandleFunc("POST /v1/join", s.route("join", true, s.handleJoin))
+	s.registerIngestRoutes()
 	// The PR-1 debug surface rides on the same server: metrics scrapes
 	// and live profiles come from the serving process itself. The trace
 	// buffer mounts under the same /debug/ tree (nil-tracer safe).
@@ -606,14 +607,16 @@ func (s *Server) handleRelate(ctx context.Context, r *http.Request) (any, error)
 		matches = []RelateMatch{}
 	}
 	return RelateResponse{
-		Dataset:    req.Dataset,
-		Candidates: job.candidates,
-		Evaluated:  int(job.evaluated.Load()),
-		Refined:    int(job.refined.Load()),
-		Matches:    matches,
-		Truncated:  job.truncated,
-		BatchSize:  job.batchSize,
-		ElapsedMS:  float64(elapsed) / float64(time.Millisecond),
+		Dataset:      req.Dataset,
+		Candidates:   job.candidates,
+		Evaluated:    int(job.evaluated.Load()),
+		Refined:      int(job.refined.Load()),
+		Matches:      matches,
+		Truncated:    job.truncated,
+		BatchSize:    job.batchSize,
+		ElapsedMS:    float64(elapsed) / float64(time.Millisecond),
+		Epoch:        entry.Epoch,
+		IndexVersion: entry.Version,
 	}, nil
 }
 
@@ -661,9 +664,8 @@ func (s *Server) handleJoin(ctx context.Context, r *http.Request) (any, error) {
 	// Candidate generation: synchronized R-tree traversal over the two
 	// once-built indexes, abandoned mid-tree when the deadline expires.
 	csp := rsp.Child("candidates")
-	lo, ro := left.Dataset.Objects, right.Dataset.Objects
 	var pairs []harness.Pair
-	err = left.Tree.JoinContext(rctx, right.Tree, func(a, b join.Entry) {
+	err = join.JoinViews(rctx, left.View(), right.View(), func(aDelta, bDelta bool, a, b join.Entry) {
 		// Shard mode: skip candidate pairs this shard does not own
 		// under the reference-point rule — the shard holding the
 		// intersection's min corner evaluates them instead, so each
@@ -671,7 +673,7 @@ func (s *Server) handleJoin(ctx context.Context, r *http.Request) (any, error) {
 		if s.owns != nil && !s.owns(a.Box, b.Box) {
 			return
 		}
-		pairs = append(pairs, harness.Pair{R: lo[a.ID], S: ro[b.ID]})
+		pairs = append(pairs, harness.Pair{R: left.objAt(aDelta, a.ID), S: right.objAt(bDelta, b.ID)})
 	})
 	csp.SetInt("pairs", int64(len(pairs)))
 	csp.End()
@@ -680,7 +682,11 @@ func (s *Server) handleJoin(ctx context.Context, r *http.Request) (any, error) {
 	}
 	rsp.SetInt("candidates", int64(len(pairs)))
 
-	resp := JoinResponse{Left: req.Left, Right: req.Right, Candidates: len(pairs)}
+	resp := JoinResponse{
+		Left: req.Left, Right: req.Right, Candidates: len(pairs),
+		LeftEpoch: left.Epoch, LeftVersion: left.Version,
+		RightEpoch: right.Epoch, RightVersion: right.Version,
+	}
 	var mu sync.Mutex
 	addPair := func(p JoinPair) {
 		mu.Lock()

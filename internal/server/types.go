@@ -96,6 +96,12 @@ type RelateResponse struct {
 	// concurrent probes against the same dataset share one sweep).
 	BatchSize int     `json:"batch_size"`
 	ElapsedMS float64 `json:"elapsed_ms"`
+	// Epoch and IndexVersion identify the exact index state that
+	// answered: every candidate and match came from this one atomically
+	// loaded epoch view. Single-node servers only (a router merges
+	// shards with independent epochs).
+	Epoch        uint64 `json:"epoch,omitempty"`
+	IndexVersion uint64 `json:"index_version,omitempty"`
 	// Partial marks a scatter-gather answer that is missing the listed
 	// shards (all their replicas were down): the matches present are
 	// exact, but shards in MissingShards contributed nothing. Single-node
@@ -138,6 +144,12 @@ type JoinResponse struct {
 	Pairs     []JoinPair `json:"pairs,omitempty"`
 	Truncated bool       `json:"truncated,omitempty"`
 	ElapsedMS float64    `json:"elapsed_ms"`
+	// Per-side index identity, as in RelateResponse: both operand views
+	// were loaded atomically, so each side is internally consistent.
+	LeftEpoch    uint64 `json:"left_epoch,omitempty"`
+	LeftVersion  uint64 `json:"left_version,omitempty"`
+	RightEpoch   uint64 `json:"right_epoch,omitempty"`
+	RightVersion uint64 `json:"right_version,omitempty"`
 	// Partial / MissingShards as in RelateResponse: set only by a router
 	// when every replica of one or more shards was unreachable.
 	Partial       bool  `json:"partial,omitempty"`
@@ -156,6 +168,63 @@ type DatasetInfo struct {
 	// approximations after a corrupt snapshot) or "rebuilding" (degraded
 	// with the background rebuild still running).
 	Status string `json:"status"`
+	// Epoch is the compaction generation of the serving index (0 for a
+	// dataset that has never been compacted).
+	Epoch uint64 `json:"epoch"`
+	// PendingOps counts mutations accepted since the serving epoch was
+	// built — the delta the next compaction will fold in.
+	PendingOps int `json:"pending_ops,omitempty"`
+}
+
+// IngestRequest carries one object mutation. Exactly one of WKT or
+// GeoJSON supplies the geometry for insert/upsert; delete bodies are
+// empty (the id rides in the URL).
+type IngestRequest struct {
+	// WKT is the object geometry as a WKT POLYGON.
+	WKT string `json:"wkt,omitempty"`
+	// GeoJSON is the object geometry as a GeoJSON Polygon (or a
+	// single-member MultiPolygon / Feature wrapping one).
+	GeoJSON json.RawMessage `json:"geojson,omitempty"`
+}
+
+// Geometry decodes the mutation geometry (exactly one of WKT or
+// GeoJSON must be set), with the same parsing rules as relate probes.
+func (req *IngestRequest) Geometry() (*geom.Polygon, error) {
+	r := RelateRequest{WKT: req.WKT, GeoJSON: req.GeoJSON}
+	return r.Geometry()
+}
+
+// IngestResponse reports one accepted mutation.
+type IngestResponse struct {
+	Dataset string `json:"dataset"`
+	// ID is the object's id — server-assigned for inserts, echoed for
+	// upserts and deletes.
+	ID int `json:"id"`
+	// Op is "insert", "upsert" or "delete".
+	Op string `json:"op"`
+	// Created reports whether an upsert created the object (false: it
+	// replaced an existing one). Always true for inserts.
+	Created bool `json:"created,omitempty"`
+	// Epoch and Version identify the index state that first serves the
+	// mutation: Epoch is the base generation, Version increments on
+	// every published index state (mutation, compaction or rebuild).
+	Epoch   uint64 `json:"epoch"`
+	Version uint64 `json:"version"`
+	// PendingOps counts delta mutations not yet compacted, after this one.
+	PendingOps int `json:"pending_ops"`
+}
+
+// CompactResponse reports one explicit compaction request.
+type CompactResponse struct {
+	Dataset string `json:"dataset"`
+	// Epoch is the serving generation after the call.
+	Epoch uint64 `json:"epoch"`
+	// Compacted is false when there was nothing to fold in or a
+	// compaction was already running (the call is then a no-op).
+	Compacted bool `json:"compacted"`
+	// Objects is the live object count of the serving epoch.
+	Objects   int     `json:"objects"`
+	ElapsedMS float64 `json:"elapsed_ms"`
 }
 
 // BuildInfo identifies the serving binary.

@@ -6,7 +6,7 @@
 // lifetimes, as the RI precursor paper treats its serialized interval
 // lists).
 //
-// Format (version 1, little-endian):
+// Format (version 2, little-endian):
 //
 //	magic "STJS" u32 | version u16 | sections u16
 //	section table: per section { id u32, offset u64, length u64, crc u32 }
@@ -16,7 +16,16 @@
 // Sections: meta (name, entity, grid space + order, object count),
 // geom (length-prefixed store.EncodePolygon blobs), april
 // (length-prefixed interval-list encodings), tree (the STR bulk-load
-// entry array: id + MBR per object).
+// entry array: id + MBR per object), epoch (compaction epoch, next
+// object id, cumulative tombstoned ids).
+//
+// Version 1 files (four sections, positional object ids, implicitly
+// epoch 0) are still read. Version 2 stores each object's real id in
+// the tree section, so a mutated dataset — where ids are sparse after
+// deletions and upserts — round-trips exactly; the epoch section makes
+// a snapshot a *complete epoch*: a warm start resumes from the highest
+// epoch on disk and mutation ids continue from NextID, never reusing a
+// tombstoned id.
 //
 // Writes are atomic: tmp file in the same directory, fsync, rename,
 // directory fsync. Reads verify every checksum and bound before
@@ -31,9 +40,11 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"io/fs"
 	"math"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"time"
 
@@ -48,13 +59,18 @@ import (
 
 const (
 	magic   = 0x53544a53 // "STJS"
-	version = 1
+	version = 2
 
 	secMeta   = 1
 	secGeom   = 2
 	secApril  = 3
 	secTree   = 4
-	nSections = 4
+	secEpoch  = 5
+	nSections = 5
+
+	// v1Sections is the section count of format version 1 (no epoch
+	// section, positional tree ids), still accepted by Read.
+	v1Sections = 4
 
 	preambleLen = 8                            // magic + version + section count
 	tableEntry  = 24                           // id u32 + offset u64 + length u64 + crc u32
@@ -98,6 +114,29 @@ type Snapshot struct {
 	Dataset *dataset.Dataset
 	// Entries is the R-tree bulk-load input, in object order.
 	Entries []join.Entry
+	// FormatVersion is the on-disk format the file used. Version 1
+	// files carry positional object ids (0..count-1) that shard-mode
+	// loaders remap; version 2 ids are the objects' real ids.
+	FormatVersion int
+	// EpochMeta is the mutation lineage: zero-valued (epoch 0, NextID =
+	// object count, no tombstones) for version 1 files.
+	EpochMeta EpochMeta
+}
+
+// EpochMeta is the mutation lineage persisted with an epoch snapshot.
+type EpochMeta struct {
+	// Epoch is the compaction generation: 0 for a dataset built
+	// straight from source, N after the Nth compaction folded the
+	// delta layer into a new base.
+	Epoch uint64
+	// NextID is the id the next inserted object receives. Ids are
+	// never reused, so NextID is strictly greater than every live and
+	// tombstoned id.
+	NextID int
+	// Tombs is the cumulative set of ids deleted over the dataset's
+	// history (ascending): ids that once existed, are gone from the
+	// object array, and must never resurrect on a warm start.
+	Tombs []int
 }
 
 // DatasetPath maps a dataset name to its snapshot path under dir,
@@ -138,15 +177,51 @@ func ValidName(name string) error {
 }
 
 // Write atomically persists ds (preprocessed on a grid over space at
-// order) to path: tmp file, fsync, rename, directory fsync. On any
-// error the tmp file is removed and an existing snapshot at path is
-// left untouched.
-func Write(path string, ds *dataset.Dataset, space geom.MBR, order uint) (err error) {
+// order) to path as epoch 0 with no tombstones: the form every
+// build-from-source snapshot takes. See WriteEpoch for mutated
+// datasets.
+func Write(path string, ds *dataset.Dataset, space geom.MBR, order uint) error {
+	next := 0
+	for _, o := range ds.Objects {
+		if o.ID >= next {
+			next = o.ID + 1
+		}
+	}
+	return WriteEpoch(path, ds, space, order, EpochMeta{NextID: next})
+}
+
+// WriteEpoch atomically persists ds together with its mutation lineage
+// em: tmp file, fsync, rename, directory fsync. On any error the tmp
+// file is removed and an existing snapshot at path is left untouched.
+// A snapshot that survives WriteEpoch is a *complete epoch* — a crash
+// at any earlier instant leaves the previous epoch's file intact, which
+// is exactly what a warm start resumes from.
+func WriteEpoch(path string, ds *dataset.Dataset, space geom.MBR, order uint, em EpochMeta) (err error) {
+	tombSet := make(map[int]struct{}, len(em.Tombs))
+	for _, id := range em.Tombs {
+		tombSet[id] = struct{}{}
+	}
+	for _, o := range ds.Objects {
+		if o.ID < 0 || int64(o.ID) > math.MaxInt32 {
+			return fmt.Errorf("snapshot: %s: object id %d outside u31", path, o.ID)
+		}
+		if o.ID >= em.NextID {
+			return fmt.Errorf("snapshot: %s: object id %d >= NextID %d", path, o.ID, em.NextID)
+		}
+		if _, dead := tombSet[o.ID]; dead {
+			return fmt.Errorf("snapshot: %s: object id %d is both live and tombstoned", path, o.ID)
+		}
+	}
+	epochSec, err := encodeEpoch(em)
+	if err != nil {
+		return fmt.Errorf("snapshot: %s: %w", path, err)
+	}
 	sections := [nSections][]byte{
 		secMeta - 1:  encodeMeta(ds, space, order),
 		secGeom - 1:  encodeGeom(ds),
 		secApril - 1: encodeApril(ds),
 		secTree - 1:  encodeTree(ds),
+		secEpoch - 1: epochSec,
 	}
 
 	header := make([]byte, 0, headerLen)
@@ -230,26 +305,42 @@ func Read(path string) (*Snapshot, error) {
 	corrupt := func(format string, args ...any) error {
 		return &CorruptError{Path: path, Reason: fmt.Sprintf(format, args...)}
 	}
-	if len(data) < headerLen {
-		return nil, corrupt("file shorter than header (%d bytes)", len(data))
+	if len(data) < preambleLen {
+		return nil, corrupt("file shorter than preamble (%d bytes)", len(data))
 	}
-	header := data[:headerLen]
-	wantCRC := binary.LittleEndian.Uint32(header[headerLen-4:])
-	if got := crc32.Checksum(header[:headerLen-4], castagnoli); got != wantCRC {
-		return nil, corrupt("header checksum mismatch (%#x != %#x)", got, wantCRC)
-	}
-	if m := binary.LittleEndian.Uint32(header); m != magic {
+	if m := binary.LittleEndian.Uint32(data); m != magic {
 		return nil, corrupt("bad magic %#x", m)
 	}
-	if v := binary.LittleEndian.Uint16(header[4:]); v != version {
-		return nil, corrupt("unsupported version %d", v)
+	// The version picks the section count, which picks the header
+	// length: the magic + version must be inspected before the header
+	// CRC can even be located. A flipped bit in either still lands
+	// here — as a bad-magic / unsupported-version / checksum-mismatch
+	// corruption, never a misread.
+	ver := binary.LittleEndian.Uint16(data[4:])
+	var nSec int
+	switch ver {
+	case 1:
+		nSec = v1Sections
+	case version:
+		nSec = nSections
+	default:
+		return nil, corrupt("unsupported version %d", ver)
 	}
-	if n := binary.LittleEndian.Uint16(header[6:]); n != nSections {
+	hlen := preambleLen + nSec*tableEntry + 4
+	if len(data) < hlen {
+		return nil, corrupt("file shorter than header (%d bytes)", len(data))
+	}
+	header := data[:hlen]
+	wantCRC := binary.LittleEndian.Uint32(header[hlen-4:])
+	if got := crc32.Checksum(header[:hlen-4], castagnoli); got != wantCRC {
+		return nil, corrupt("header checksum mismatch (%#x != %#x)", got, wantCRC)
+	}
+	if n := binary.LittleEndian.Uint16(header[6:]); n != uint16(nSec) {
 		return nil, corrupt("unexpected section count %d", n)
 	}
 
-	var sections [nSections][]byte
-	for i := 0; i < nSections; i++ {
+	sections := make([][]byte, nSec)
+	for i := 0; i < nSec; i++ {
 		ent := header[preambleLen+i*tableEntry:]
 		id := binary.LittleEndian.Uint32(ent)
 		off := binary.LittleEndian.Uint64(ent[4:])
@@ -269,7 +360,7 @@ func Read(path string) (*Snapshot, error) {
 		sections[i] = sec
 	}
 
-	snap, err := decodeSections(sections)
+	snap, err := decodeSections(int(ver), sections)
 	if err != nil {
 		return nil, corrupt("%v", err)
 	}
@@ -280,6 +371,12 @@ func Read(path string) (*Snapshot, error) {
 // "<path>.corrupt-<unix-timestamp>", preserving it as evidence, and
 // returns the new name. The original path is free for a rebuilt
 // snapshot afterwards.
+//
+// A candidate name is only considered free when Stat reports it does
+// not exist: any other Stat error (EACCES, EIO, ENOTDIR) is propagated
+// instead of being treated as "free", because os.Rename onto a name we
+// merely failed to probe would silently overwrite a colliding candidate
+// — destroying exactly the evidence quarantine exists to preserve.
 func Quarantine(path string) (string, error) {
 	dst := fmt.Sprintf("%s.corrupt-%d", path, time.Now().Unix())
 	for i := 0; ; i++ {
@@ -287,13 +384,21 @@ func Quarantine(path string) (string, error) {
 		if i > 0 {
 			candidate = fmt.Sprintf("%s.%d", dst, i)
 		}
-		if _, err := os.Stat(candidate); err == nil {
-			continue
+		_, err := os.Stat(candidate)
+		if ferr := fault.Check("snapshot.quarantine.stat"); ferr != nil {
+			err = ferr
 		}
-		if err := os.Rename(path, candidate); err != nil {
-			return "", err
+		switch {
+		case err == nil:
+			continue // name taken: probe the next suffix
+		case errors.Is(err, fs.ErrNotExist):
+			if rerr := os.Rename(path, candidate); rerr != nil {
+				return "", rerr
+			}
+			return candidate, nil
+		default:
+			return "", fmt.Errorf("snapshot: quarantine probe %s: %w", candidate, err)
 		}
-		return candidate, nil
 	}
 }
 
@@ -342,11 +447,39 @@ func encodeApril(ds *dataset.Dataset) []byte {
 
 func encodeTree(ds *dataset.Dataset) []byte {
 	var buf []byte
-	for i, o := range ds.Objects {
-		buf = binary.LittleEndian.AppendUint32(buf, uint32(i))
+	for _, o := range ds.Objects {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(o.ID))
 		buf = appendMBR(buf, o.MBR)
 	}
 	return buf
+}
+
+func encodeEpoch(em EpochMeta) ([]byte, error) {
+	if em.NextID < 0 || int64(em.NextID) > math.MaxInt32+1 {
+		return nil, fmt.Errorf("epoch NextID %d outside u31 range", em.NextID)
+	}
+	buf := binary.LittleEndian.AppendUint64(nil, em.Epoch)
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(em.NextID))
+	// Tombstones are written sorted so identical states produce
+	// identical bytes (writes stay deterministic).
+	tombs := append([]int(nil), em.Tombs...)
+	sort.Ints(tombs)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(tombs)))
+	prev := -1
+	for _, id := range tombs {
+		if id < 0 || int64(id) > math.MaxInt32 {
+			return nil, fmt.Errorf("tombstone id %d outside u31 range", id)
+		}
+		if id == prev {
+			return nil, fmt.Errorf("duplicate tombstone id %d", id)
+		}
+		if id >= em.NextID {
+			return nil, fmt.Errorf("tombstone id %d >= NextID %d", id, em.NextID)
+		}
+		prev = id
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(id))
+	}
+	return buf, nil
 }
 
 // --- section decoding ---
@@ -373,6 +506,15 @@ func (r *reader) u32() (uint32, error) {
 	}
 	v := binary.LittleEndian.Uint32(r.buf[r.off:])
 	r.off += 4
+	return v, nil
+}
+
+func (r *reader) u64() (uint64, error) {
+	if r.off+8 > len(r.buf) {
+		return 0, errShort
+	}
+	v := binary.LittleEndian.Uint64(r.buf[r.off:])
+	r.off += 8
 	return v, nil
 }
 
@@ -434,9 +576,9 @@ func (r *reader) done() error {
 	return nil
 }
 
-func decodeSections(sections [nSections][]byte) (*Snapshot, error) {
+func decodeSections(ver int, sections [][]byte) (*Snapshot, error) {
 	meta := &reader{buf: sections[secMeta-1]}
-	snap := &Snapshot{}
+	snap := &Snapshot{FormatVersion: ver}
 	var err error
 	if snap.Name, err = meta.str(); err != nil {
 		return nil, fmt.Errorf("meta name: %w", err)
@@ -473,6 +615,58 @@ func decodeSections(sections [nSections][]byte) (*Snapshot, error) {
 	if capHint > 1<<16 {
 		capHint = 1 << 16
 	}
+
+	// The epoch section (v2) is decoded before the object loop so the
+	// tree ids can be validated against NextID. A v1 file is implicitly
+	// epoch 0 with positional ids and nothing tombstoned.
+	snap.EpochMeta = EpochMeta{NextID: int(count)}
+	var seen map[int]struct{}
+	if ver >= 2 {
+		er := &reader{buf: sections[secEpoch-1]}
+		if snap.EpochMeta.Epoch, err = er.u64(); err != nil {
+			return nil, fmt.Errorf("epoch: %w", err)
+		}
+		next, err := er.u64()
+		if err != nil {
+			return nil, fmt.Errorf("epoch next id: %w", err)
+		}
+		if next > math.MaxInt32+1 {
+			return nil, fmt.Errorf("epoch next id %d outside u31 range", next)
+		}
+		snap.EpochMeta.NextID = int(next)
+		if uint64(count) > next {
+			return nil, fmt.Errorf("epoch next id %d below object count %d", next, count)
+		}
+		tombCount, err := er.u32()
+		if err != nil {
+			return nil, fmt.Errorf("epoch tombstones: %w", err)
+		}
+		tombHint := tombCount
+		if tombHint > 1<<16 {
+			tombHint = 1 << 16
+		}
+		tombs := make([]int, 0, tombHint)
+		prev := -1
+		for i := uint32(0); i < tombCount; i++ {
+			id, err := er.u32()
+			if err != nil {
+				return nil, fmt.Errorf("epoch tombstone %d: %w", i, err)
+			}
+			if int(id) <= prev {
+				return nil, fmt.Errorf("epoch tombstone %d: id %d not ascending", i, id)
+			}
+			if uint64(id) >= next {
+				return nil, fmt.Errorf("epoch tombstone id %d >= next id %d", id, next)
+			}
+			prev = int(id)
+			tombs = append(tombs, int(id))
+		}
+		if err := er.done(); err != nil {
+			return nil, fmt.Errorf("epoch: %w", err)
+		}
+		snap.EpochMeta.Tombs = tombs
+		seen = make(map[int]struct{}, capHint)
+	}
 	// Geometry blobs stream directly into one columnar arena (the
 	// warm-start path: decode once, no rebuild-then-reflatten); objects
 	// are materialized after Finish, when slab views and cached bounds
@@ -506,15 +700,33 @@ func decodeSections(sections [nSections][]byte) (*Snapshot, error) {
 		if err != nil {
 			return nil, fmt.Errorf("tree object %d: %w", i, err)
 		}
-		if id != i {
-			return nil, fmt.Errorf("tree object %d: id %d out of order", i, id)
+		if ver == 1 {
+			// v1 ids are positional by construction.
+			if id != i {
+				return nil, fmt.Errorf("tree object %d: id %d out of order", i, id)
+			}
+		} else {
+			// v2 ids are real: sparse after mutations, but unique,
+			// below NextID, and disjoint from the tombstone set.
+			if uint64(id) >= uint64(snap.EpochMeta.NextID) {
+				return nil, fmt.Errorf("tree object %d: id %d >= next id %d", i, id, snap.EpochMeta.NextID)
+			}
+			if _, dup := seen[int(id)]; dup {
+				return nil, fmt.Errorf("tree object %d: duplicate id %d", i, id)
+			}
+			seen[int(id)] = struct{}{}
 		}
 		box, err := treeR.mbr()
 		if err != nil {
 			return nil, fmt.Errorf("tree object %d: %w", i, err)
 		}
 		approxes = append(approxes, ap)
-		entries = append(entries, join.Entry{Box: box, ID: int32(i)})
+		entries = append(entries, join.Entry{Box: box, ID: int32(id)})
+	}
+	for _, id := range snap.EpochMeta.Tombs {
+		if _, live := seen[id]; live {
+			return nil, fmt.Errorf("tombstoned id %d is also live", id)
+		}
 	}
 	for i, r := range []*reader{geomR, aprilR, treeR} {
 		if err := r.done(); err != nil {
@@ -529,7 +741,7 @@ func decodeSections(sections [nSections][]byte) (*Snapshot, error) {
 		if entries[i].Box != mbr {
 			return nil, fmt.Errorf("tree object %d: stored MBR disagrees with geometry", i)
 		}
-		objs = append(objs, &core.Object{ID: i, Poly: poly, MBR: mbr, Approx: ap})
+		objs = append(objs, &core.Object{ID: int(entries[i].ID), Poly: poly, MBR: mbr, Approx: ap})
 	}
 	snap.Dataset = dataset.FromPrecomputed(snap.Name, snap.Entity, objs, arena)
 	snap.Entries = entries
