@@ -17,9 +17,10 @@ test:
 # armed from tests while workers run), and the trace ring buffer
 # (concurrent span writers racing trace readers), and the sharded
 # serving tier (scatter goroutines racing the breaker set and the
-# round-robin replica cursors).
+# round-robin replica cursors), and the WAL (group-commit leaders
+# racing enqueuers, compaction-driven prunes, and health scrapes).
 race:
-	$(GO) test -race ./internal/harness/ ./internal/obs/ ./internal/server/ ./internal/de9im/ ./internal/oracle/ ./internal/snapshot/ ./internal/fault/ ./internal/trace/ ./internal/shard/ ./internal/shard/router/
+	$(GO) test -race ./internal/harness/ ./internal/obs/ ./internal/server/ ./internal/de9im/ ./internal/oracle/ ./internal/snapshot/ ./internal/fault/ ./internal/trace/ ./internal/shard/ ./internal/shard/router/ ./internal/wal/
 
 # Differential correctness run (see README "Correctness"): a fixed-seed
 # sweep of generated lattice pairs through every production path,
@@ -27,7 +28,7 @@ race:
 # full shrunk-repro regression corpus. Bounded (~10s) so it can gate CI.
 difftest:
 	$(GO) test ./internal/oracle/ -count=1 -oracle.pairs=10000 -oracle.seed=1
-	$(GO) test ./internal/server/ -count=1 -run TestMutationDifferentialOracle
+	$(GO) test ./internal/server/ -count=1 -run 'TestMutationDifferentialOracle|TestMutationCrashReplayOracle'
 
 # Fault-injection suite (see README "Resilience"): every injected
 # corruption — torn header, truncated section, bit flip, ENOSPC
@@ -35,8 +36,8 @@ difftest:
 # quarantine + degraded serving + background recovery, never a process
 # exit or a wrong answer.
 faulttest:
-	$(GO) test -count=1 ./internal/fault/ ./internal/snapshot/ \
-		./internal/server/ -run 'Fault|Corrupt|Truncat|Quarantine|Torn|BitFlip|Panic|Degraded|CrashRecovery|WarmStart|Hostile|ValidName|Retry|Circuit|Temporary|Backoff'
+	$(GO) test -count=1 ./internal/fault/ ./internal/snapshot/ ./internal/wal/ \
+		./internal/server/ -run 'Fault|Corrupt|Truncat|Quarantine|Torn|BitFlip|Panic|Degraded|CrashRecovery|WarmStart|Hostile|ValidName|Retry|Circuit|Temporary|Backoff|Fsync|Floor|SilentlyAcks'
 	$(GO) test -count=1 ./internal/harness/ -run 'PanicIsolated'
 
 vet:
@@ -48,7 +49,7 @@ vet:
 # interval kernels, scratch refinement, the full observed sweep — to
 # zero heap allocations per pair (see README "Performance").
 bench:
-	$(GO) test -count=1 -run ZeroAlloc ./internal/interval/ ./internal/de9im/ ./internal/core/ ./internal/server/
+	$(GO) test -count=1 -run 'ZeroAlloc|AllocFootprint' ./internal/interval/ ./internal/de9im/ ./internal/core/ ./internal/server/
 	$(GO) test -run xxx -bench 'BenchmarkObservedOverhead|BenchmarkTraceOverhead' -benchmem .
 	$(GO) test -run xxx -bench BenchmarkRouterFanout -benchmem ./internal/shard/router/
 	$(GO) test -run xxx -bench 'BenchmarkIngest|BenchmarkCompact' -benchmem ./internal/server/
@@ -79,10 +80,13 @@ bench-compare:
 # partial, healthz degraded — never an error or hang). The ingest
 # drill SIGKILLs a real topojoind mid-compaction (fault-delayed
 # fsync, torn .tmp on disk) and asserts every restart resumes from
-# the last complete index epoch.
+# the last complete index epoch. The WAL drill SIGKILLs a -wal daemon
+# with acked-but-uncompacted mutations (they must replay), forces a
+# torn append (must 503, never silently ack) and asserts the restart
+# truncates the torn tail instead of resurrecting it.
 e2e:
 	$(GO) test -count=1 -timeout 300s ./cmd/topojoinrouter/ -run TestE2EShardedFleet -v
-	$(GO) test -count=1 -timeout 300s ./cmd/topojoind/ -run TestE2EIngestCrashRecovery -v
+	$(GO) test -count=1 -timeout 300s ./cmd/topojoind/ -run 'TestE2EIngestCrashRecovery|TestE2EIngestWALCrashDrill' -v
 
 # Run the topology query service over a small generated workload
 # (see README "Serving").

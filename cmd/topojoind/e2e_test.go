@@ -211,6 +211,144 @@ func TestE2EIngestCrashRecovery(t *testing.T) {
 	proc.Wait()
 }
 
+// TestE2EIngestWALCrashDrill is the durability drill: with -wal, acked
+// mutations must survive SIGKILL *without* a compaction (exactly the
+// window the non-WAL daemon loses by design), a WAL append failure must
+// surface as 503 — never a silent ack — and the torn record a failed
+// append leaves behind must be truncated away on restart instead of
+// resurrecting a mutation nobody was told succeeded.
+func TestE2EIngestWALCrashDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e")
+	}
+	dir := t.TempDir()
+	bin := buildDaemon(t, dir)
+	snapDir := filepath.Join(dir, "snapshots")
+	walDir := filepath.Join(dir, "wal")
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	sp := datagen.Space()
+	w := (sp.MaxX - sp.MinX) / 100
+	rect := func(fx, fy float64) string {
+		x := sp.MinX + fx*(sp.MaxX-sp.MinX)
+		y := sp.MinY + fy*(sp.MaxY-sp.MinY)
+		return fmt.Sprintf("POLYGON ((%g %g, %g %g, %g %g, %g %g))",
+			x, y, x+w, y, x+w, y+w, x, y+w)
+	}
+	probe := server.RelateRequest{Dataset: "OLE", WKT: rect(0.4, 0.4), Limit: 100000}
+	args := []string{"-addr", "127.0.0.1:0", "-gen", "OLE", "-scale", "0.02",
+		"-seed", "7", "-snapshots", snapDir, "-wal", walDir, "-compact-threshold", "0"}
+	matchIDs := func(c *server.Client) []int {
+		t.Helper()
+		resp, err := c.Relate(ctx, probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids := make([]int, len(resp.Matches))
+		for i, m := range resp.Matches {
+			ids[i] = m.ID
+		}
+		sort.Ints(ids)
+		return ids
+	}
+
+	// Run 1: acked inserts and a delete, NO compaction, SIGKILL. The
+	// snapshot epoch knows nothing of these; only the WAL does.
+	addr, proc := startDaemon(t, bin, nil, args...)
+	c := server.NewClient("http://" + addr)
+	insA, err := c.Insert(ctx, "OLE", server.IngestRequest{WKT: rect(0.401, 0.401)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insB, err := c.Insert(ctx, "OLE", server.IngestRequest{WKT: rect(0.405, 0.405)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Delete(ctx, "OLE", insA.ID); err != nil {
+		t.Fatal(err)
+	}
+	health, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.WalPendingBytes <= 0 {
+		t.Fatalf("healthz wal_pending_bytes = %d after acked mutations, want > 0", health.WalPendingBytes)
+	}
+	baseline := matchIDs(c)
+	proc.Process.Kill()
+	proc.Wait()
+
+	// Run 2: every acked mutation is back via replay. Then a WAL append
+	// failure (disk full mid-record, recovery truncate also failing)
+	// must refuse the write with 503 — and the torn record is on disk
+	// when SIGKILL lands.
+	addr, proc = startDaemon(t, bin,
+		[]string{"STJ_FAULTS=wal.append=enospc:16;wal.truncate=error"}, args...)
+	c = server.NewClient("http://" + addr)
+	if got := matchIDs(c); !equalInts(got, baseline) {
+		t.Fatalf("run 2 lost acked mutations: %v != baseline %v", got, baseline)
+	}
+	_, err = c.Insert(ctx, "OLE", server.IngestRequest{WKT: rect(0.41, 0.41)})
+	apiErr, ok := err.(*server.APIError)
+	if !ok || apiErr.StatusCode != 503 {
+		t.Fatalf("insert with failing WAL append: err = %v, want 503", err)
+	}
+	if apiErr.Reason != "wal_append_failed" {
+		t.Fatalf("503 reason = %q, want wal_append_failed", apiErr.Reason)
+	}
+	if got := matchIDs(c); !equalInts(got, baseline) {
+		t.Fatalf("non-durable insert visible in answers: %v != baseline %v", got, baseline)
+	}
+	proc.Process.Kill() // the torn append is still in the segment file
+	proc.Wait()
+
+	// Run 3: restart truncates the torn tail — the 503'd insert must
+	// NOT come back — while the run-1 acked state is intact. New ids
+	// continue above every logged id, and ingest + compaction work.
+	addr, proc = startDaemon(t, bin, nil, args...)
+	c = server.NewClient("http://" + addr)
+	if got := matchIDs(c); !equalInts(got, baseline) {
+		t.Fatalf("run 3 answers %v != baseline %v (torn tail resurrected or acked state lost)", got, baseline)
+	}
+	insC, err := c.Insert(ctx, "OLE", server.IngestRequest{WKT: rect(0.42, 0.42)})
+	if err != nil {
+		t.Fatalf("ingest after torn-tail recovery: %v", err)
+	}
+	if want := insB.ID + 1; insC.ID != want {
+		t.Fatalf("post-recovery insert id = %d, want %d (ids must never be reused)", insC.ID, want)
+	}
+	health, err = c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pendingBefore := health.WalPendingBytes
+	if comp, err := c.Compact(ctx, "OLE"); err != nil || comp.Epoch != 1 {
+		t.Fatalf("compact after recovery: epoch=%d err=%v", comp.Epoch, err)
+	}
+	// Compaction persisted the epoch, so the log was pruned: pending
+	// bytes shrink, and the next restart replays nothing yet keeps the
+	// answers.
+	health, err = c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if health.WalPendingBytes >= pendingBefore {
+		t.Fatalf("wal_pending_bytes not pruned by compaction: %d -> %d",
+			pendingBefore, health.WalPendingBytes)
+	}
+	afterCompact := matchIDs(c)
+	proc.Process.Kill()
+	proc.Wait()
+	addr, proc = startDaemon(t, bin, nil, args...)
+	c = server.NewClient("http://" + addr)
+	if got := matchIDs(c); !equalInts(got, afterCompact) {
+		t.Fatalf("run 4 answers %v != post-compaction %v", got, afterCompact)
+	}
+	proc.Process.Kill()
+	proc.Wait()
+}
+
 func equalInts(a, b []int) bool {
 	if len(a) != len(b) {
 		return false

@@ -16,7 +16,11 @@
 // (MBR + refine) while a background rebuild recovers it. -repro names a
 // directory receiving WKT dumps of any geometry pair whose evaluation
 // panicked. The STJ_FAULTS environment variable arms fault-injection
-// points (testing only). -trace-sample and -trace-slow enable
+// points (testing only). With -wal, every accepted mutation is appended
+// to a per-dataset write-ahead log and fsynced before the HTTP ack, so
+// acked ingest survives a crash: restart replays the log over the last
+// snapshot epoch. -wal-sync opens a group-commit window that amortizes
+// the fsync across concurrent writers. -trace-sample and -trace-slow enable
 // request-scoped span tracing (buffer served on /debug/traces);
 // -slowlog names a directory receiving slow-query forensics (trace
 // JSON + WKT dump of the slowest pair).
@@ -88,6 +92,9 @@ func main() {
 		shardID     = flag.Int("shard-id", -1, "serve as shard N of a partitioned fleet (-1 = standalone; requires -keyrange)")
 		keyrange    = flag.String("keyrange", "", "Hilbert key range lo:hi (half-open) this shard owns (from topojoinrouter -print-plan)")
 		routeOrder  = flag.Uint("route-order", shard.DefaultRouteOrder, "Hilbert order of the fleet's routing grid (must match the router)")
+		walFlag     = flag.String("wal", "", "directory of per-dataset write-ahead logs: mutations fsync before the ack and replay on restart (empty disables durability)")
+		walSyncFlag = flag.Duration("wal-sync", 0, "group-commit window: how long a WAL commit leader waits for more writers before fsyncing the batch (0 = commit immediately)")
+		walMaxSeg   = flag.Int64("wal-max-segment", 64<<20, "WAL segment rotation threshold in bytes")
 	)
 	flag.Parse()
 	if *data == "" && *gen == "" {
@@ -108,6 +115,7 @@ func main() {
 		tracer = trace.New(trace.Config{Sample: *traceSample, SlowThreshold: *traceSlow})
 	}
 	compactThreshold = *compactThr
+	walConf = server.WALOptions{Dir: *walFlag, SyncInterval: *walSyncFlag, MaxSegment: *walMaxSeg}
 	if err := run(*addr, *data, *gen, *seed, *scale, *order, *space, server.Config{
 		MaxInFlight:    *maxInFlight,
 		MaxQueue:       *maxQueue,
@@ -176,6 +184,11 @@ func buildRegistry(data, gen string, seed int64, scale float64, order uint, spac
 			return nil, err
 		}
 	}
+	if walConf.Dir != "" {
+		if err := reg.EnableWAL(walConf); err != nil {
+			return nil, err
+		}
+	}
 	if gen != "" {
 		suite := datagen.NewSuite(seed, scale)
 		for _, name := range strings.Split(gen, ",") {
@@ -228,6 +241,11 @@ func parseSpace(s string) (geom.MBR, error) {
 // the default without threading one more argument everywhere.
 var compactThreshold = server.DefaultCompactThreshold
 
+// walConf carries the -wal flags the same way (zero Dir = durability
+// off). Like -snapshots, shards of one fleet may share a -wal root:
+// run() appends the per-shard subdirectory.
+var walConf server.WALOptions
+
 // logf routes operational log lines (quarantines, rebuilds, recovered
 // panics) to stderr.
 func logf(format string, args ...any) {
@@ -245,6 +263,9 @@ func run(addr, data, gen string, seed int64, scale float64, order uint, spaceSpe
 		// range holds a different object subset, so snapshots must not
 		// collide across shards.
 		snapDir = filepath.Join(snapDir, fmt.Sprintf("shard-%d", cfg.Shard.Index()))
+	}
+	if cfg.Shard != nil && walConf.Dir != "" {
+		walConf.Dir = filepath.Join(walConf.Dir, fmt.Sprintf("shard-%d", cfg.Shard.Index()))
 	}
 	reg, err := buildRegistry(data, gen, seed, scale, order, spaceSpec, snapDir, cfg.Shard, cfg.Metrics)
 	if err != nil {
@@ -285,6 +306,12 @@ func run(addr, data, gen string, seed int64, scale float64, order uint, spaceSpe
 	if err := httpSrv.Shutdown(gctx); err != nil && drainErr == nil {
 		drainErr = err
 	}
+	// The listener is down and requests have drained: let background
+	// compactions finish (their snapshot writes move the WAL prune
+	// watermark), then close the logs. Every acked mutation was fsynced
+	// at commit time, so nothing here can lose data.
+	reg.WaitCompactions()
+	reg.CloseWAL()
 	if drainErr != nil {
 		return fmt.Errorf("shutdown: %w", drainErr)
 	}

@@ -3,6 +3,8 @@ package server
 import (
 	"bytes"
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -87,6 +89,9 @@ func (c *Client) breakerSet() *breakerSet {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// Reason is the server's machine-readable cause code when it sent
+	// one (e.g. "unroutable_write", "wal_append_failed"), else empty.
+	Reason string
 	// RetryAfter is the server's backoff hint on 429, zero otherwise.
 	RetryAfter time.Duration
 }
@@ -142,18 +147,20 @@ func (c *Client) httpClient() *http.Client {
 	return http.DefaultClient
 }
 
-func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+func (c *Client) do(ctx context.Context, method, path string, in, out any, hdr http.Header) error {
 	if c.Retry != nil {
-		return c.doRetry(ctx, method, path, in, out)
+		return c.doRetry(ctx, method, path, in, out, hdr)
 	}
-	return c.doOnce(ctx, method, path, in, out)
+	return c.doOnce(ctx, method, path, in, out, hdr)
 }
 
 // doOnce is one attempt: marshal, send, classify. Non-2xx responses
 // become *APIError; failures below HTTP become *TransportError (always
 // temporary); both carry Temporary() for callers picking their own
-// retry strategy.
-func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
+// retry strategy. hdr, when non-nil, supplies extra request headers
+// (the idempotency key that makes Insert retries safe rides here — it
+// must be identical on every attempt, so the retry loop cannot mint it).
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any, hdr http.Header) error {
 	var body io.Reader
 	if in != nil {
 		b, err := json.Marshal(in)
@@ -168,6 +175,11 @@ func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) e
 	}
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	for k, vs := range hdr {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
 	}
 	// Propagate the caller's trace id so the serving side's root span
 	// adopts it (route() parses TraceHeader) — a router's slow-query
@@ -196,6 +208,7 @@ func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) e
 		var eb errorBody
 		if json.Unmarshal(data, &eb) == nil && eb.Error != "" {
 			apiErr.Message = eb.Error
+			apiErr.Reason = eb.Reason
 		} else {
 			apiErr.Message = string(data)
 		}
@@ -213,21 +226,21 @@ func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) e
 // Health fetches /v1/healthz.
 func (c *Client) Health(ctx context.Context) (HealthResponse, error) {
 	var out HealthResponse
-	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/healthz", nil, &out, nil)
 	return out, err
 }
 
 // Datasets lists the registered datasets.
 func (c *Client) Datasets(ctx context.Context) ([]DatasetInfo, error) {
 	var out []DatasetInfo
-	err := c.do(ctx, http.MethodGet, "/v1/datasets", nil, &out)
+	err := c.do(ctx, http.MethodGet, "/v1/datasets", nil, &out, nil)
 	return out, err
 }
 
 // Relate probes a geometry against an indexed dataset.
 func (c *Client) Relate(ctx context.Context, req RelateRequest) (*RelateResponse, error) {
 	var out RelateResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/relate", req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/relate", req, &out, nil); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -236,23 +249,42 @@ func (c *Client) Relate(ctx context.Context, req RelateRequest) (*RelateResponse
 // Join evaluates a dataset-pair topology join.
 func (c *Client) Join(ctx context.Context, req JoinRequest) (*JoinResponse, error) {
 	var out JoinResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/join", req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/join", req, &out, nil); err != nil {
 		return nil, err
 	}
 	return &out, nil
 }
 
 // Insert adds a new object to a dataset; the server assigns the id.
-// Inserts are NOT idempotent (each attempt would create a new object),
-// so this call never retries regardless of the client's RetryPolicy —
-// a transport error after the request left leaves the outcome unknown,
-// and the caller must reconcile (list or probe) before resending.
+// Every call mints a fresh Idempotency-Key and sends it on all
+// attempts, so inserts retry safely under the client's RetryPolicy: a
+// resent attempt whose predecessor was actually applied is deduped
+// server-side (the stored result is echoed, no second object is
+// created). Dedupe state survives server restarts — the key rides in
+// the write-ahead log record — but is bounded (a FIFO of recent keys),
+// so retries must come promptly, which the retry loop's backoff
+// guarantees.
 func (c *Client) Insert(ctx context.Context, dataset string, req IngestRequest) (*IngestResponse, error) {
 	var out IngestResponse
-	if err := c.doOnce(ctx, http.MethodPost, "/v1/datasets/"+dataset+"/objects", req, &out); err != nil {
+	hdr := http.Header{"Idempotency-Key": []string{newIdempotencyKey()}}
+	if err := c.do(ctx, http.MethodPost, "/v1/datasets/"+dataset+"/objects", req, &out, hdr); err != nil {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// newIdempotencyKey mints a random 128-bit hex key. Collisions across
+// distinct logical inserts must be negligible (a collision would wrongly
+// dedupe a real mutation), hence crypto/rand rather than math/rand.
+func newIdempotencyKey() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand never fails on supported platforms; if it somehow
+		// does, a time-derived key keeps inserts working (retries of THIS
+		// call still dedupe; only cross-process uniqueness weakens).
+		return fmt.Sprintf("t-%x", time.Now().UnixNano())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // Upsert creates or replaces the object with the given id (idempotent:
@@ -260,7 +292,7 @@ func (c *Client) Insert(ctx context.Context, dataset string, req IngestRequest) 
 func (c *Client) Upsert(ctx context.Context, dataset string, id int, req IngestRequest) (*IngestResponse, error) {
 	var out IngestResponse
 	path := fmt.Sprintf("/v1/datasets/%s/objects/%d", dataset, id)
-	if err := c.do(ctx, http.MethodPut, path, req, &out); err != nil {
+	if err := c.do(ctx, http.MethodPut, path, req, &out, nil); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -272,7 +304,7 @@ func (c *Client) Upsert(ctx context.Context, dataset string, id int, req IngestR
 func (c *Client) Delete(ctx context.Context, dataset string, id int) (*IngestResponse, error) {
 	var out IngestResponse
 	path := fmt.Sprintf("/v1/datasets/%s/objects/%d", dataset, id)
-	if err := c.do(ctx, http.MethodDelete, path, nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodDelete, path, nil, &out, nil); err != nil {
 		return nil, err
 	}
 	return &out, nil
@@ -282,7 +314,7 @@ func (c *Client) Delete(ctx context.Context, dataset string, id int) (*IngestRes
 // fresh epoch (no-op when there is nothing pending).
 func (c *Client) Compact(ctx context.Context, dataset string) (*CompactResponse, error) {
 	var out CompactResponse
-	if err := c.do(ctx, http.MethodPost, "/v1/datasets/"+dataset+"/compact", nil, &out); err != nil {
+	if err := c.do(ctx, http.MethodPost, "/v1/datasets/"+dataset+"/compact", nil, &out, nil); err != nil {
 		return nil, err
 	}
 	return &out, nil

@@ -54,6 +54,10 @@ var (
 	ErrNoDataset = errors.New("server: unknown dataset")
 	// ErrNoObject reports a delete of an id that is not live.
 	ErrNoObject = errors.New("server: unknown object id")
+	// ErrNotDurable reports a mutation that applied cleanly but could
+	// not be made durable (WAL append or fsync failed): nothing was
+	// published, the client must retry. Mapped to 503.
+	ErrNotDurable = errors.New("server: mutation not durable")
 )
 
 // mutation is one entry of a delta's append-only op log. The log since
@@ -64,6 +68,11 @@ type mutation struct {
 	kind MutKind
 	id   int
 	obj  *core.Object // prepared dirty object; nil for delete
+	// lsn is the op's WAL sequence number (0 when the dataset is
+	// served without a WAL). Compaction persists the last folded op's
+	// lsn as the snapshot watermark, so warm-start replay skips
+	// everything the epoch already contains.
+	lsn uint64
 }
 
 // Delta is the immutable mutation overlay of a published entry: the
@@ -228,6 +237,10 @@ type MutationResult struct {
 	// Pending is the op-log length after this mutation (what the
 	// compaction threshold watches).
 	Pending int
+	// Deduped is true when the mutation was not applied because its
+	// idempotency key matched an already-committed mutation; the rest
+	// of the result replays that mutation's outcome.
+	Deduped bool
 }
 
 // Mutate applies one mutation to a registered dataset and publishes
@@ -235,6 +248,16 @@ type MutationResult struct {
 // rasterized on the registry's grid *outside* the publication lock —
 // only the delta bookkeeping and the atomic store are serialized.
 func (g *Registry) Mutate(name string, kind MutKind, id int, poly *geom.Polygon) (MutationResult, error) {
+	return g.MutateKey(name, kind, id, poly, "")
+}
+
+// MutateKey is Mutate with an optional idempotency key. A non-empty
+// key is remembered with the mutation's result (surviving restarts
+// when a WAL is enabled, since the key rides in the WAL record): a
+// later mutation carrying the same key is not applied again — it
+// replays the recorded result with Deduped set, which is what makes a
+// client retry of a non-idempotent insert safe.
+func (g *Registry) MutateKey(name string, kind MutKind, id int, poly *geom.Polygon, key string) (MutationResult, error) {
 	sl := g.slot(name)
 	if sl == nil {
 		return MutationResult{}, fmt.Errorf("%w %q", ErrNoDataset, name)
@@ -255,8 +278,18 @@ func (g *Registry) Mutate(name string, kind MutKind, id int, poly *geom.Polygon)
 	if kind != MutInsert && id < 0 {
 		return MutationResult{}, fmt.Errorf("server: %s requires a non-negative id", kind)
 	}
+	if sl.wal != nil {
+		// Durable path: group-commit through the slot's WAL — apply,
+		// append, fsync, then publish (see wal.go).
+		return g.mutateDurable(name, sl, kind, id, obj, key)
+	}
 
 	sl.mu.Lock()
+	if res, ok := sl.idem.get(key); ok {
+		sl.mu.Unlock()
+		g.count("server_ingest_deduped_total", 1)
+		return res, nil
+	}
 	cur := sl.cur.Load()
 	ne, res, err := applyMutation(cur, mutation{kind: kind, id: id, obj: obj})
 	if err != nil {
@@ -264,6 +297,9 @@ func (g *Registry) Mutate(name string, kind MutKind, id int, poly *geom.Polygon)
 		return MutationResult{}, err
 	}
 	sl.cur.Store(ne)
+	if key != "" {
+		sl.remember(key, res)
+	}
 	sl.mu.Unlock()
 
 	g.count("server_ingest_total{op=\""+kind.String()+"\"}", 1)
@@ -429,8 +465,12 @@ func (g *Registry) Compact(name string) (CompactStats, error) {
 		Epoch:     base.Epoch + 1,
 		NextID:    base.NextID,
 		Tombs:     base.Tombs,
+		// The folded ops are durable in the new base once snapshotted:
+		// the last one's WAL sequence number is the epoch's watermark
+		// (zero without a WAL — ops then carry no lsn).
+		walLSN: base.Delta.ops[snapLen-1].lsn,
 	})
-	em := snapshot.EpochMeta{Epoch: ne.Epoch, NextID: ne.NextID, Tombs: ne.Tombs}
+	em := snapshot.EpochMeta{Epoch: ne.Epoch, NextID: ne.NextID, Tombs: ne.Tombs, WalLSN: ne.walLSN}
 
 	// Publish: replay the ops that raced the merge onto the new base,
 	// then swap the pointer. The replayed log is a suffix of the
@@ -459,8 +499,15 @@ func (g *Registry) Compact(name string) (CompactStats, error) {
 
 	// Persist the complete epoch (the merged base, not the residual
 	// delta) outside every lock. A crash mid-write leaves the previous
-	// epoch's file intact — warm start resumes from there.
-	g.writeSnapshotMeta(name, merged, em)
+	// epoch's file intact — warm start resumes from there. Only once
+	// the epoch is durably on disk may the WAL shed the records it
+	// covers; if the snapshot write failed (or snapshots are off) the
+	// log keeps them, and the next restart replays instead.
+	if g.writeSnapshotMeta(name, merged, em) && sl.wal != nil && em.WalLSN > 0 {
+		if err := sl.wal.Prune(em.WalLSN); err != nil {
+			g.logf("server: wal prune of %s through lsn %d: %v", name, em.WalLSN, err)
+		}
+	}
 	return CompactStats{Epoch: ne.Epoch, Compacted: snapLen, Objects: ne.Live(), Elapsed: elapsed}, nil
 }
 

@@ -30,9 +30,29 @@ func (s *Server) registerIngestRoutes() {
 
 func (s *Server) checkMutable() error {
 	if s.cfg.Shard != nil {
-		return errf(http.StatusNotImplemented, "ingest is not supported on shard-mode servers")
+		return errfr(http.StatusNotImplemented, "unroutable_write",
+			"ingest is not supported on shard-mode servers: writes cannot yet be routed to the owning shard")
 	}
 	return nil
+}
+
+// idempotencyKey extracts and validates the Idempotency-Key header. Keys
+// ride in WAL records and the dedupe cache, so they are bounded and
+// restricted to printable ASCII.
+func idempotencyKey(r *http.Request) (string, error) {
+	key := r.Header.Get("Idempotency-Key")
+	if key == "" {
+		return "", nil
+	}
+	if len(key) > 128 {
+		return "", errf(http.StatusBadRequest, "Idempotency-Key longer than 128 bytes")
+	}
+	for i := 0; i < len(key); i++ {
+		if key[i] < 0x21 || key[i] > 0x7e {
+			return "", errf(http.StatusBadRequest, "Idempotency-Key must be printable ASCII without spaces")
+		}
+	}
+	return key, nil
 }
 
 // mutationHandler builds the handler for one mutation kind. Geometry
@@ -66,10 +86,21 @@ func (s *Server) mutationHandler(kind MutKind) handlerFunc {
 			}
 			poly = p
 		}
-		res, err := s.data.Mutate(name, kind, id, poly)
+		key, err := idempotencyKey(r)
+		if err != nil {
+			return nil, err
+		}
+		res, err := s.data.MutateKey(name, kind, id, poly, key)
 		if err != nil {
 			if errors.Is(err, ErrNoDataset) || errors.Is(err, ErrNoObject) {
 				return nil, errf(http.StatusNotFound, "%v", err)
+			}
+			if errors.Is(err, ErrNotDurable) {
+				// The mutation may have been applied in memory but its WAL
+				// append or fsync failed: nothing was published and nothing
+				// is acked. 503 tells the client to retry (safely, thanks to
+				// the idempotency key) once the log is healthy again.
+				return nil, errfr(http.StatusServiceUnavailable, "wal_append_failed", "%v", err)
 			}
 			return nil, errf(http.StatusBadRequest, "%v", err)
 		}
@@ -81,6 +112,7 @@ func (s *Server) mutationHandler(kind MutKind) handlerFunc {
 			Epoch:      res.Epoch,
 			Version:    res.Version,
 			PendingOps: res.Pending,
+			Deduped:    res.Deduped,
 		}, nil
 	}
 }

@@ -63,6 +63,39 @@ func TestZeroAllocMergedView(t *testing.T) {
 	}
 }
 
+// TestIngestAllocFootprintWithoutWAL pins the WAL-disabled mutation
+// path to its pre-durability allocation count (wired into `make
+// bench`): 65 allocs for a warm upsert over a 64-op delta — delta-layer
+// clone, rasterization, successor entry. The durable path forks before
+// any of this (Registry.MutateKey), and the idempotency cache is
+// nil-safe without allocating, so adding the WAL must cost the
+// non-durable configuration nothing. If this fails after an intentional
+// change to the mutation path, re-measure and move the pin with the
+// change that justifies it.
+func TestIngestAllocFootprintWithoutWAL(t *testing.T) {
+	reg := NewRegistry(resSpace, resOrder)
+	reg.SetCompactThreshold(0)
+	if _, err := reg.Add("grid", "", resPolys()); err != nil {
+		t.Fatal(err)
+	}
+	poly := geom.NewPolygon(geom.Ring{
+		{X: 33, Y: 33}, {X: 39, Y: 33}, {X: 39, Y: 39}, {X: 33, Y: 39},
+	})
+	for i := 0; i < 64; i++ {
+		if _, err := reg.Mutate("grid", MutInsert, -1, poly); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := reg.Mutate("grid", MutUpsert, 5, poly); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 65 {
+		t.Errorf("WAL-disabled upsert over delta=64 allocates %v per op, want 65", allocs)
+	}
+}
+
 // BenchmarkIngest measures mutation throughput against a live dataset:
 // each op clones the delta layer (copy-on-write) and rasterizes one
 // object, so this is the cost ceiling a single-threaded writer sees.

@@ -185,11 +185,11 @@ func TestIngestValidation(t *testing.T) {
 
 	// Non-numeric and negative ids → 400.
 	var out IngestResponse
-	err := c.doOnce(ctx, http.MethodPut, "/v1/datasets/grid/objects/abc", IngestRequest{WKT: sq6(33, 33)}, &out)
+	err := c.doOnce(ctx, http.MethodPut, "/v1/datasets/grid/objects/abc", IngestRequest{WKT: sq6(33, 33)}, &out, nil)
 	if status(err) != http.StatusBadRequest {
 		t.Fatalf("non-numeric id: %v", err)
 	}
-	err = c.doOnce(ctx, http.MethodDelete, "/v1/datasets/grid/objects/-1", nil, &out)
+	err = c.doOnce(ctx, http.MethodDelete, "/v1/datasets/grid/objects/-1", nil, &out, nil)
 	if status(err) != http.StatusBadRequest {
 		t.Fatalf("negative id: %v", err)
 	}
@@ -224,6 +224,12 @@ func TestIngestShardModeNotImplemented(t *testing.T) {
 	if _, err := c.Insert(ctx, "grid", IngestRequest{WKT: sq6(33, 33)}); !errors.As(err, &apiErr) ||
 		apiErr.StatusCode != http.StatusNotImplemented {
 		t.Fatalf("shard-mode insert: err = %v, want 501", err)
+	}
+	// The refusal must be machine-distinguishable from other 501s:
+	// clients of a future router need to know the write was unroutable,
+	// not unsupported.
+	if apiErr.Reason != "unroutable_write" {
+		t.Fatalf("shard-mode insert reason = %q, want unroutable_write", apiErr.Reason)
 	}
 	if _, err := c.Compact(ctx, "grid"); !errors.As(err, &apiErr) ||
 		apiErr.StatusCode != http.StatusNotImplemented {

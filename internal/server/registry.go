@@ -29,6 +29,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/shard"
 	"repro/internal/snapshot"
+	"repro/internal/wal"
 	"repro/internal/wkt"
 )
 
@@ -74,16 +75,32 @@ type Entry struct {
 	// idIndex maps object id → base array position; nil when ids are
 	// positional (fresh unsharded builds).
 	idIndex map[int]int32
+	// walLSN is the WAL watermark of the base epoch: every WAL record
+	// at or below it is folded into the base, so warm-start replay
+	// applies only records past it. Zero without a WAL.
+	walLSN uint64
 }
 
 // slot is one dataset's publication cell: readers load cur with a
 // single atomic pointer read and never block; mutation and compaction
 // publishes serialize on mu; compacting admits one compactor at a
-// time.
+// time. When a WAL is attached, writers queue on wmu and a rotating
+// leader commits whole batches (group commit — see wal.go); idem is
+// the recent-mutation dedupe cache behind Idempotency-Key, guarded by
+// mu like every publication.
 type slot struct {
 	mu         sync.Mutex
 	cur        atomic.Pointer[Entry]
 	compacting atomic.Bool
+
+	wal  *wal.Log
+	idem *idemCache
+
+	wmu     sync.Mutex
+	wq      []*mutReq
+	wleader bool
+	wbytes  int64         // encoded bytes queued (cleared per batch)
+	wfull   chan struct{} // signaled when wbytes crosses the byte threshold
 }
 
 // Registry holds the named datasets a server instance answers queries
@@ -117,6 +134,15 @@ type Registry struct {
 	// disables auto-compaction (explicit Compact calls still work).
 	compactEvery int
 	compactions  sync.WaitGroup
+
+	// walDir, when non-empty, attaches a write-ahead log to every
+	// registered dataset: accepted mutations are fsynced before the
+	// ack and replayed over the snapshot epoch on warm start (see
+	// wal.go). The remaining fields tune group commit and rotation.
+	walDir        string
+	walSync       time.Duration
+	walSyncBytes  int64
+	walMaxSegment int64
 }
 
 // DefaultCompactThreshold is the pending-op count that triggers an
@@ -263,14 +289,35 @@ func buildTree(ds *dataset.Dataset) *join.RTree {
 }
 
 // insert registers a built entry under name, rejecting duplicates.
+// With a WAL enabled the dataset's log is opened and its surviving
+// records replayed on top of e before the dataset is visible to
+// writers — a failure there unregisters the slot again, since serving
+// writes we cannot make durable would silently break the ack contract.
 func (g *Registry) insert(name string, e *Entry) error {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	if _, dup := g.slots[name]; dup {
+	g.mu.RLock()
+	_, dup := g.slots[name]
+	g.mu.RUnlock()
+	if dup {
 		return fmt.Errorf("server: dataset %s already registered", name)
 	}
 	sl := &slot{}
 	sl.cur.Store(e)
+	if g.walDir != "" {
+		// Attach before the slot is visible: recovery replay must not
+		// race queries or writers, and a dataset whose log cannot open
+		// must not serve writes we could never make durable.
+		if err := g.attachWAL(name, sl); err != nil {
+			return fmt.Errorf("server: wal for dataset %s: %w", name, err)
+		}
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.slots[name]; dup {
+		if sl.wal != nil {
+			sl.wal.Close()
+		}
+		return fmt.Errorf("server: dataset %s already registered", name)
+	}
 	g.slots[name] = sl
 	return nil
 }
@@ -420,7 +467,7 @@ func (g *Registry) List() []DatasetInfo {
 		case e.Degraded:
 			status = "degraded"
 		}
-		out = append(out, DatasetInfo{
+		info := DatasetInfo{
 			Name:        name,
 			Entity:      e.Dataset.Entity,
 			Objects:     e.Live(),
@@ -430,7 +477,11 @@ func (g *Registry) List() []DatasetInfo {
 			Status:      status,
 			Epoch:       e.Epoch,
 			PendingOps:  e.PendingOps(),
-		})
+		}
+		if sl.wal != nil {
+			info.WalBytes = sl.wal.Size()
+		}
+		out = append(out, info)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out

@@ -149,6 +149,7 @@ func (g *Registry) tryWarmStart(name, entity string, snap *snapshot.Snapshot, po
 		Epoch:     snap.EpochMeta.Epoch,
 		NextID:    snap.EpochMeta.NextID,
 		Tombs:     snap.EpochMeta.Tombs,
+		walLSN:    snap.EpochMeta.WalLSN,
 	})
 	if err := g.insert(name, e); err != nil {
 		return nil, false
@@ -260,6 +261,7 @@ func (g *Registry) startRebuild(name, entity string, polys []*geom.Polygon, ids 
 			e.Delta = cur.Delta
 			e.Tombs = cur.Tombs
 			e.Epoch = cur.Epoch
+			e.walLSN = cur.walLSN
 			if cur.NextID > e.NextID {
 				e.NextID = cur.NextID
 			}
@@ -280,10 +282,12 @@ func (g *Registry) WaitRebuilds() { g.rebuilds.Wait() }
 // writeSnapshotMeta persists a dataset together with its epoch
 // metadata; failures are counted and logged but never fail the caller —
 // the snapshot is an optimization (and, for epochs, a durability
-// checkpoint), not a source of truth for the running process.
-func (g *Registry) writeSnapshotMeta(name string, ds *dataset.Dataset, em snapshot.EpochMeta) {
+// checkpoint), not a source of truth for the running process. The
+// returned bool reports whether the epoch is durably on disk: only
+// then may the WAL prune the records the epoch covers.
+func (g *Registry) writeSnapshotMeta(name string, ds *dataset.Dataset, em snapshot.EpochMeta) bool {
 	if g.snapDir == "" {
-		return
+		return false
 	}
 	path, err := snapshot.DatasetPath(g.snapDir, name)
 	if err == nil {
@@ -293,9 +297,10 @@ func (g *Registry) writeSnapshotMeta(name string, ds *dataset.Dataset, em snapsh
 	if err != nil {
 		g.count("server_snapshot_write_failures_total", 1)
 		g.logf("server: writing snapshot for %s failed: %v", name, err)
-		return
+		return false
 	}
 	g.count("server_snapshot_writes_total", 1)
+	return true
 }
 
 // States lists the currently degraded and rebuilding dataset names,

@@ -47,9 +47,11 @@ func IsTemporary(err error) bool {
 var ErrCircuitOpen = errors.New("server: circuit breaker open")
 
 // RetryPolicy tunes Client self-healing; zero values select the
-// documented defaults. Every endpoint of the API is an idempotent read
-// (health, dataset listing, relate and join probes mutate nothing), so
-// retrying is always safe.
+// documented defaults. Every endpoint of the API is safe to retry:
+// queries (health, dataset listing, relate and join probes) mutate
+// nothing, upsert and delete are idempotent by construction, and
+// Insert sends an Idempotency-Key the server dedupes resent attempts
+// against.
 type RetryPolicy struct {
 	// MaxAttempts bounds total tries per call, first one included
 	// (default 4).
@@ -210,7 +212,7 @@ func retryable(err error) bool {
 
 // doRetry runs one API call under the client's retry policy and the
 // target host's breaker.
-func (c *Client) doRetry(ctx context.Context, method, path string, in, out any) error {
+func (c *Client) doRetry(ctx context.Context, method, path string, in, out any, hdr http.Header) error {
 	p := c.Retry.withDefaults()
 	br := c.breakerSet().get(c.BaseURL)
 	var lastErr error
@@ -222,7 +224,7 @@ func (c *Client) doRetry(ctx context.Context, method, path string, in, out any) 
 		if p.AttemptTimeout > 0 {
 			actx, cancel = context.WithTimeout(ctx, p.AttemptTimeout)
 		}
-		err := c.doOnce(actx, method, path, in, out)
+		err := c.doOnce(actx, method, path, in, out, hdr)
 		cancel()
 		if err == nil {
 			br.success()

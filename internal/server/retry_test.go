@@ -53,7 +53,7 @@ func TestTemporaryClassification(t *testing.T) {
 
 func TestClientWrapsTransportErrors(t *testing.T) {
 	c := NewClient("http://127.0.0.1:0") // port 0: always refused
-	err := c.do(context.Background(), http.MethodGet, "/v1/healthz", nil, nil)
+	err := c.do(context.Background(), http.MethodGet, "/v1/healthz", nil, nil, nil)
 	var tr *TransportError
 	if !errors.As(err, &tr) {
 		t.Fatalf("err = %T %v, want *TransportError", err, err)

@@ -254,16 +254,34 @@ func (s *Server) Close() {
 	s.wg.Wait()
 }
 
-// httpError carries a status code through a handler's error return.
+// httpError carries a status code (and an optional machine-readable
+// reason code) through a handler's error return.
 type httpError struct {
-	code int
-	msg  string
+	code   int
+	msg    string
+	reason string
 }
 
 func (e *httpError) Error() string { return e.msg }
 
 func errf(code int, format string, args ...any) error {
 	return &httpError{code: code, msg: fmt.Sprintf(format, args...)}
+}
+
+// errfr is errf with a stable reason code for the error envelope, so
+// clients can branch on the cause without parsing the message text.
+func errfr(code int, reason, format string, args ...any) error {
+	return &httpError{code: code, msg: fmt.Sprintf(format, args...), reason: reason}
+}
+
+// errorReason extracts the machine-readable reason, if the handler set
+// one.
+func errorReason(err error) string {
+	var he *httpError
+	if errors.As(err, &he) {
+		return he.reason
+	}
+	return ""
 }
 
 // handlerFunc is the shape of every endpoint: decode from r, return a
@@ -353,7 +371,7 @@ func (s *Server) route(name string, admit bool, h handlerFunc) http.HandlerFunc 
 		wrote = true
 		if err != nil {
 			code = s.errorCode(err)
-			writeError(w, code, err.Error())
+			writeErrorReason(w, code, err.Error(), errorReason(err))
 		} else {
 			w.Header().Set("Content-Type", "application/json")
 			json.NewEncoder(w).Encode(payload)
@@ -392,6 +410,10 @@ func (s *Server) errorCode(err error) int {
 }
 
 func writeError(w http.ResponseWriter, code int, msg string) {
+	writeErrorReason(w, code, msg, "")
+}
+
+func writeErrorReason(w http.ResponseWriter, code int, msg, reason string) {
 	w.Header().Set("Content-Type", "application/json")
 	if code == http.StatusTooManyRequests {
 		// Queue wait already absorbed sub-second bursts; tell clients to
@@ -399,7 +421,7 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 		w.Header().Set("Retry-After", "1")
 	}
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(errorBody{Error: msg})
+	json.NewEncoder(w).Encode(errorBody{Error: msg, Reason: reason})
 }
 
 // requestCtx applies the request's deadline: timeoutMS if given
@@ -439,13 +461,14 @@ func (s *Server) handleHealthz(ctx context.Context, r *http.Request) (any, error
 			Go:        buildinfo.GoVersion(),
 			GridOrder: s.data.Builder().Grid().Order(),
 		},
-		Datasets:       s.data.Len(),
-		InFlight:       s.met.Gauge("server_inflight").Value(),
-		Queued:         s.met.Gauge("server_queue_depth").Value(),
-		Degraded:       degraded,
-		Rebuilding:     rebuilding,
-		DegradedServed: degServed,
-		Shard:          si,
+		Datasets:        s.data.Len(),
+		InFlight:        s.met.Gauge("server_inflight").Value(),
+		Queued:          s.met.Gauge("server_queue_depth").Value(),
+		Degraded:        degraded,
+		Rebuilding:      rebuilding,
+		DegradedServed:  degServed,
+		Shard:           si,
+		WalPendingBytes: s.data.WalPendingBytes(),
 	}, nil
 }
 

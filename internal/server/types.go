@@ -174,6 +174,10 @@ type DatasetInfo struct {
 	// PendingOps counts mutations accepted since the serving epoch was
 	// built — the delta the next compaction will fold in.
 	PendingOps int `json:"pending_ops,omitempty"`
+	// WalBytes is the on-disk size of the dataset's write-ahead log
+	// (0 when durability is disabled). It shrinks when compaction
+	// persists an epoch and the covered prefix is pruned.
+	WalBytes int64 `json:"wal_bytes,omitempty"`
 }
 
 // IngestRequest carries one object mutation. Exactly one of WKT or
@@ -212,6 +216,10 @@ type IngestResponse struct {
 	Version uint64 `json:"version"`
 	// PendingOps counts delta mutations not yet compacted, after this one.
 	PendingOps int `json:"pending_ops"`
+	// Deduped reports that an Idempotency-Key matched a previously
+	// applied mutation: the stored result is echoed and nothing was
+	// re-applied.
+	Deduped bool `json:"deduped,omitempty"`
 }
 
 // CompactResponse reports one explicit compaction request.
@@ -284,9 +292,17 @@ type HealthResponse struct {
 	Shard *ShardInfo `json:"shard,omitempty"`
 	// Shards is set by routers: per-shard aggregate health.
 	Shards []ShardHealth `json:"shards,omitempty"`
+	// WalPendingBytes sums the on-disk write-ahead log bytes across all
+	// datasets — the replay debt a cold restart would pay. Omitted when
+	// durability is disabled.
+	WalPendingBytes int64 `json:"wal_pending_bytes,omitempty"`
 }
 
 // errorBody is the JSON error envelope of every non-2xx response.
 type errorBody struct {
 	Error string `json:"error"`
+	// Reason is a stable machine-readable cause code (for example
+	// "unroutable_write" or "wal_append_failed") so clients can branch
+	// without parsing the human-oriented Error text.
+	Reason string `json:"reason,omitempty"`
 }

@@ -26,6 +26,7 @@ func TestEpochRoundTrip(t *testing.T) {
 		Epoch:  5,
 		NextID: 100,
 		Tombs:  []int{3, 7, 99},
+		WalLSN: 41,
 	}
 	path := filepath.Join(t.TempDir(), "fixture"+Ext)
 	if err := WriteEpoch(path, ds, testSpace, testOrder, em); err != nil {
@@ -35,10 +36,11 @@ func TestEpochRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if snap.FormatVersion != 2 {
-		t.Fatalf("FormatVersion = %d, want 2", snap.FormatVersion)
+	if snap.FormatVersion != 3 {
+		t.Fatalf("FormatVersion = %d, want 3", snap.FormatVersion)
 	}
-	if snap.EpochMeta.Epoch != em.Epoch || snap.EpochMeta.NextID != em.NextID {
+	if snap.EpochMeta.Epoch != em.Epoch || snap.EpochMeta.NextID != em.NextID ||
+		snap.EpochMeta.WalLSN != em.WalLSN {
 		t.Fatalf("EpochMeta = %+v, want %+v", snap.EpochMeta, em)
 	}
 	if !reflect.DeepEqual(snap.EpochMeta.Tombs, em.Tombs) {
@@ -136,6 +138,65 @@ func TestReadV1Compat(t *testing.T) {
 	}
 }
 
+// TestReadV2Compat: a version-2 snapshot (epoch section without the
+// WAL watermark) still reads, with WalLSN defaulting to 0. The file is
+// assembled by hand with the v2 epoch-section layout.
+func TestReadV2Compat(t *testing.T) {
+	ds := testDataset(t)
+	em := EpochMeta{Epoch: 3, NextID: len(ds.Objects) + 2, Tombs: []int{len(ds.Objects)}}
+	epochSec := binary.LittleEndian.AppendUint64(nil, em.Epoch)
+	epochSec = binary.LittleEndian.AppendUint64(epochSec, uint64(em.NextID))
+	epochSec = binary.LittleEndian.AppendUint32(epochSec, uint32(len(em.Tombs)))
+	for _, id := range em.Tombs {
+		epochSec = binary.LittleEndian.AppendUint32(epochSec, uint32(id))
+	}
+	sections := [nSections][]byte{
+		secMeta - 1:  encodeMeta(ds, testSpace, testOrder),
+		secGeom - 1:  encodeGeom(ds),
+		secApril - 1: encodeApril(ds),
+		secTree - 1:  encodeTree(ds),
+		secEpoch - 1: epochSec,
+	}
+	header := make([]byte, 0, headerLen)
+	header = binary.LittleEndian.AppendUint32(header, magic)
+	header = binary.LittleEndian.AppendUint16(header, 2)
+	header = binary.LittleEndian.AppendUint16(header, nSections)
+	offset := uint64(headerLen)
+	for i, sec := range sections {
+		header = binary.LittleEndian.AppendUint32(header, uint32(i+1))
+		header = binary.LittleEndian.AppendUint64(header, offset)
+		header = binary.LittleEndian.AppendUint64(header, uint64(len(sec)))
+		header = binary.LittleEndian.AppendUint32(header, crc32.Checksum(sec, castagnoli))
+		offset += uint64(len(sec))
+	}
+	header = binary.LittleEndian.AppendUint32(header, crc32.Checksum(header, castagnoli))
+	data := header
+	for _, sec := range sections {
+		data = append(data, sec...)
+	}
+	path := filepath.Join(t.TempDir(), "v2"+Ext)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.FormatVersion != 2 {
+		t.Fatalf("FormatVersion = %d, want 2", snap.FormatVersion)
+	}
+	if snap.EpochMeta.Epoch != em.Epoch || snap.EpochMeta.NextID != em.NextID {
+		t.Fatalf("EpochMeta = %+v, want %+v", snap.EpochMeta, em)
+	}
+	if snap.EpochMeta.WalLSN != 0 {
+		t.Fatalf("v2 WalLSN = %d, want 0", snap.EpochMeta.WalLSN)
+	}
+	if !reflect.DeepEqual(snap.EpochMeta.Tombs, em.Tombs) {
+		t.Fatalf("Tombs = %v, want %v", snap.EpochMeta.Tombs, em.Tombs)
+	}
+}
+
 // TestHostileEpochSection: corrupting the epoch section's invariants
 // (while resealing both CRCs so only semantic validation can catch it)
 // must surface as corruption, not as a bogus warm start.
@@ -178,9 +239,10 @@ func TestHostileEpochSection(t *testing.T) {
 		{"next-too-small", func(sec []byte) {
 			binary.LittleEndian.PutUint64(sec[8:], 1)
 		}},
-		// Tombstone id rewritten to a live object's id.
+		// Tombstone id rewritten to a live object's id. The first tomb
+		// sits after epoch u64 + next u64 + walLSN u64 + count u32.
 		{"tomb-live", func(sec []byte) {
-			binary.LittleEndian.PutUint32(sec[20:], 0)
+			binary.LittleEndian.PutUint32(sec[28:], 0)
 		}},
 		// NextID beyond int32: ids would not round-trip the tree section.
 		{"next-overflow", func(sec []byte) {

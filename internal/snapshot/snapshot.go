@@ -6,7 +6,7 @@
 // lifetimes, as the RI precursor paper treats its serialized interval
 // lists).
 //
-// Format (version 2, little-endian):
+// Format (version 3, little-endian):
 //
 //	magic "STJS" u32 | version u16 | sections u16
 //	section table: per section { id u32, offset u64, length u64, crc u32 }
@@ -17,15 +17,18 @@
 // geom (length-prefixed store.EncodePolygon blobs), april
 // (length-prefixed interval-list encodings), tree (the STR bulk-load
 // entry array: id + MBR per object), epoch (compaction epoch, next
-// object id, cumulative tombstoned ids).
+// object id, WAL watermark, cumulative tombstoned ids).
 //
 // Version 1 files (four sections, positional object ids, implicitly
-// epoch 0) are still read. Version 2 stores each object's real id in
-// the tree section, so a mutated dataset — where ids are sparse after
-// deletions and upserts — round-trips exactly; the epoch section makes
-// a snapshot a *complete epoch*: a warm start resumes from the highest
-// epoch on disk and mutation ids continue from NextID, never reusing a
-// tombstoned id.
+// epoch 0) are still read, as are version 2 files (no WAL watermark).
+// Version 2 stores each object's real id in the tree section, so a
+// mutated dataset — where ids are sparse after deletions and upserts —
+// round-trips exactly; the epoch section makes a snapshot a *complete
+// epoch*: a warm start resumes from the highest epoch on disk and
+// mutation ids continue from NextID, never reusing a tombstoned id.
+// Version 3 adds the write-ahead-log LSN watermark to the epoch
+// section: every WAL record at or below it is folded into the epoch,
+// so warm-start replay applies only the records past it.
 //
 // Writes are atomic: tmp file in the same directory, fsync, rename,
 // directory fsync. Reads verify every checksum and bound before
@@ -59,7 +62,7 @@ import (
 
 const (
 	magic   = 0x53544a53 // "STJS"
-	version = 2
+	version = 3
 
 	secMeta   = 1
 	secGeom   = 2
@@ -72,8 +75,8 @@ const (
 	// section, positional tree ids), still accepted by Read.
 	v1Sections = 4
 
-	preambleLen = 8                            // magic + version + section count
-	tableEntry  = 24                           // id u32 + offset u64 + length u64 + crc u32
+	preambleLen = 8                                      // magic + version + section count
+	tableEntry  = 24                                     // id u32 + offset u64 + length u64 + crc u32
 	headerLen   = preambleLen + nSections*tableEntry + 4 // + header crc
 
 	// maxSectionLen bounds any single section (1 GiB): a corrupt table
@@ -137,6 +140,11 @@ type EpochMeta struct {
 	// history (ascending): ids that once existed, are gone from the
 	// object array, and must never resurrect on a warm start.
 	Tombs []int
+	// WalLSN is the write-ahead-log watermark: every WAL record with
+	// LSN <= WalLSN is folded into this epoch, so replay after a warm
+	// start skips them and the log can be pruned through it. Zero for
+	// version <= 2 files and for datasets never served with a WAL.
+	WalLSN uint64
 }
 
 // DatasetPath maps a dataset name to its snapshot path under dir,
@@ -321,7 +329,7 @@ func Read(path string) (*Snapshot, error) {
 	switch ver {
 	case 1:
 		nSec = v1Sections
-	case version:
+	case 2, version:
 		nSec = nSections
 	default:
 		return nil, corrupt("unsupported version %d", ver)
@@ -460,6 +468,7 @@ func encodeEpoch(em EpochMeta) ([]byte, error) {
 	}
 	buf := binary.LittleEndian.AppendUint64(nil, em.Epoch)
 	buf = binary.LittleEndian.AppendUint64(buf, uint64(em.NextID))
+	buf = binary.LittleEndian.AppendUint64(buf, em.WalLSN)
 	// Tombstones are written sorted so identical states produce
 	// identical bytes (writes stay deterministic).
 	tombs := append([]int(nil), em.Tombs...)
@@ -636,6 +645,11 @@ func decodeSections(ver int, sections [][]byte) (*Snapshot, error) {
 		snap.EpochMeta.NextID = int(next)
 		if uint64(count) > next {
 			return nil, fmt.Errorf("epoch next id %d below object count %d", next, count)
+		}
+		if ver >= 3 {
+			if snap.EpochMeta.WalLSN, err = er.u64(); err != nil {
+				return nil, fmt.Errorf("epoch: %w", err)
+			}
 		}
 		tombCount, err := er.u32()
 		if err != nil {

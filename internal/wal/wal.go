@@ -1,0 +1,697 @@
+// Package wal is the durability layer under dynamic datasets: a
+// per-dataset append-only write-ahead log that makes acked mutations
+// survive a crash between compactions. Each accepted mutation becomes
+// one length-prefixed CRC-32C-framed record (kind, id, LSN, epoch,
+// idempotency key, encoded geometry); batches of records land in a
+// single write+fsync (group commit — batching is the caller's job, the
+// log just makes one Append durable as a unit).
+//
+// Recovery mirrors the snapshot layer's discipline. On Open the
+// segments are replayed oldest-first: a partial or CRC-failing record
+// at the very tail of the log is torn-write debris from the crash and
+// is truncated away; a bad record anywhere *before* the tail means
+// silent corruption, so the offending segment is quarantined to
+// `*.corrupt-<ts>` and every surviving record is re-logged into a
+// fresh segment so the on-disk log stays replayable. Records carry
+// monotonic LSNs; replay skips any record at or below the highest LSN
+// already seen, which makes a failed segment deletion (after Prune)
+// harmless duplication instead of double-apply.
+//
+// Once compaction persists epoch N+1 the caller calls Prune with the
+// snapshot's LSN watermark and fully-covered segments are deleted — the
+// log only ever spans the uncompacted delta.
+//
+// Fault seams: `wal.append` (torn/short/failed writes via
+// fault.Writer), `wal.fsync`, and `wal.truncate` (post-torn-write
+// recovery). After a failed write the log truncates back to the last
+// durable offset and stays usable; if that truncation — or any fsync —
+// fails, the log transitions to a permanent failed state and every
+// subsequent Append returns the original error (callers surface 503,
+// never a silent ack).
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/snapshot"
+)
+
+// Record is one logged mutation. LSNs are assigned by the caller from
+// NextLSN and must be contiguous within and across Appends; the log
+// verifies this so a bookkeeping bug can't silently fork the sequence.
+type Record struct {
+	Kind  byte   // server mutation kind (insert/upsert/delete)
+	ID    int    // object id the mutation resolved to
+	LSN   uint64 // log sequence number, contiguous from 1
+	Epoch uint64 // index epoch the mutation applied against
+	Key   string // idempotency key, "" if none (max 255 bytes)
+	Geom  []byte // store.EncodePolygon bytes, nil for deletes
+}
+
+const (
+	segMagic   = 0x53544a57 // "STJW"
+	segVersion = 1
+	segHdrLen  = 8 // magic u32 | version u16 | reserved u16
+
+	recHdrLen  = 8       // len u32 | crc u32 (CRC-32C over the payload)
+	recFixed   = 22      // kind u8 | keyLen u8 | id u32 | lsn u64 | epoch u64
+	maxRecord  = 1 << 26 // 64 MiB: far above any real geometry
+	maxKeyLen  = 255     // keyLen is a single byte
+	segPattern = "%s-%08d" + Ext
+)
+
+// Ext is the segment file extension.
+const Ext = ".wal"
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrFailed wraps the original fault once the log has entered its
+// permanent failed state: durability can no longer be promised, so
+// every Append is refused until the process restarts and recovers.
+var ErrFailed = errors.New("wal: log failed, appends disabled")
+
+// Options configures Open.
+type Options struct {
+	// MaxSegment rotates to a fresh segment once the active one
+	// exceeds this many bytes. <= 0 means a single unbounded segment.
+	MaxSegment int64
+	// Floor is the caller's durable watermark: the highest LSN already
+	// folded into a persisted snapshot. Open positions NextLSN above it
+	// even when the log files hold nothing newer — after a prune empties
+	// the log, a restart must not mint LSNs at or below the watermark
+	// (replay would silently skip them as already-folded).
+	Floor uint64
+	// OnFsync, if set, observes the duration of every group-commit
+	// fsync (metrics hook).
+	OnFsync func(time.Duration)
+	// Logf, if set, receives recovery diagnostics (truncated tails,
+	// quarantined segments, skipped duplicates).
+	Logf func(format string, args ...any)
+}
+
+type segInfo struct {
+	seq     uint64
+	path    string
+	size    int64
+	lastLSN uint64 // highest LSN in the segment (sealed segments only)
+}
+
+// Log is a single dataset's write-ahead log. Methods serialize
+// internally: the server's group-commit leader is the sole Appender,
+// but Prune (compaction goroutine) and Size (health handlers) run
+// concurrently with it.
+type Log struct {
+	dir  string
+	name string
+	opt  Options
+
+	mu      sync.Mutex
+	f       *os.File  // active segment
+	seq     uint64    // active segment sequence number
+	size    int64     // durable size of the active segment
+	sealed  []segInfo // older segments, ascending seq
+	nextLSN uint64
+	failed  error // non-nil once durability can no longer be promised
+}
+
+func (o Options) logf(format string, args ...any) {
+	if o.Logf != nil {
+		o.Logf(format, args...)
+	}
+}
+
+// Open loads the dataset's log from dir, recovering from torn tails
+// and quarantining corrupt segments, and returns the surviving records
+// in LSN order for replay. The returned log is positioned to append
+// record nextLSN = max(last surviving LSN, opt.Floor) + 1.
+func Open(dir, name string, opt Options) (*Log, []Record, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	segs, err := scanSegments(dir, name)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var (
+		recs        []Record
+		lastLSN     uint64
+		quarantined bool
+	)
+	for i := range segs {
+		last := i == len(segs)-1
+		sr, res, err := readSegment(segs[i].path, lastLSN, opt)
+		if err != nil {
+			return nil, nil, err
+		}
+		switch res {
+		case segOK:
+		case segTorn:
+			if !last {
+				// A torn record with later segments after it means the
+				// tail of this file was lost while writes kept going:
+				// mid-log corruption, not crash debris.
+				res = segCorrupt
+			}
+		}
+		if res == segCorrupt {
+			dst, qerr := snapshot.Quarantine(segs[i].path)
+			if qerr != nil {
+				return nil, nil, fmt.Errorf("wal: quarantine %s: %w", segs[i].path, qerr)
+			}
+			opt.logf("wal: quarantined corrupt segment %s -> %s (%d records salvaged)",
+				filepath.Base(segs[i].path), filepath.Base(dst), len(sr.recs))
+			quarantined = true
+		} else if res == segTorn && sr.tornAt >= 0 {
+			if err := truncateSegment(segs[i].path, sr.tornAt); err != nil {
+				return nil, nil, err
+			}
+			opt.logf("wal: truncated torn tail of %s at byte %d",
+				filepath.Base(segs[i].path), sr.tornAt)
+			segs[i].size = sr.tornAt
+		}
+		if sr.skipped > 0 {
+			opt.logf("wal: skipped %d duplicate records (lsn <= %d) in %s",
+				sr.skipped, lastLSN, filepath.Base(segs[i].path))
+		}
+		recs = append(recs, sr.recs...)
+		if n := len(sr.recs); n > 0 {
+			lastLSN = sr.recs[n-1].LSN
+		}
+		segs[i].lastLSN = lastLSN
+	}
+
+	// A crash during segment creation can leave a headerless file at
+	// the tail; drop it rather than appending records headerless.
+	if n := len(segs); n > 0 && segs[n-1].size < segHdrLen {
+		if err := os.Remove(segs[n-1].path); err == nil || errors.Is(err, fs.ErrNotExist) {
+			segs = segs[:n-1]
+		} else {
+			return nil, nil, err
+		}
+	}
+
+	if lastLSN < opt.Floor {
+		lastLSN = opt.Floor
+	}
+	l := &Log{dir: dir, name: name, opt: opt, nextLSN: lastLSN + 1}
+	if quarantined {
+		// Rebuild the on-disk log from the survivors: every remaining
+		// good segment is folded into one fresh segment so segment
+		// order and LSN order agree again, then the stale files go.
+		nextSeq := uint64(1)
+		if n := len(segs); n > 0 {
+			nextSeq = segs[n-1].seq + 1
+		}
+		if err := l.openSegment(nextSeq); err != nil {
+			return nil, nil, err
+		}
+		if len(recs) > 0 {
+			if err := l.relog(recs); err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, s := range segs {
+			if _, err := os.Stat(s.path); err != nil {
+				continue // the quarantined one was renamed away
+			}
+			if err := os.Remove(s.path); err != nil {
+				opt.logf("wal: removing folded segment %s: %v", s.path, err)
+			}
+		}
+		syncDir(dir)
+		return l, recs, nil
+	}
+
+	if n := len(segs); n > 0 {
+		// Re-open the newest segment for appending; older ones seal.
+		active := segs[n-1]
+		f, err := os.OpenFile(active.path, os.O_WRONLY, 0)
+		if err != nil {
+			return nil, nil, err
+		}
+		if _, err := f.Seek(active.size, io.SeekStart); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		l.f, l.seq, l.size = f, active.seq, active.size
+		l.sealed = append(l.sealed, segs[:n-1]...)
+	} else if err := l.openSegment(1); err != nil {
+		return nil, nil, err
+	}
+	return l, recs, nil
+}
+
+// relog rewrites already-durable records into the fresh active segment
+// during quarantine recovery. It bypasses the LSN-contiguity check
+// (the survivors may legitimately have gaps where corruption ate
+// records) but still goes through the full durability path.
+func (l *Log) relog(recs []Record) error {
+	buf := make([]byte, 0, 4096)
+	for _, r := range recs {
+		var err error
+		buf, err = appendRecord(buf, r)
+		if err != nil {
+			return err
+		}
+	}
+	if _, err := l.f.Write(buf); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		return err
+	}
+	l.size += int64(len(buf))
+	return nil
+}
+
+// NextLSN returns the LSN the caller must assign to the next record.
+func (l *Log) NextLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextLSN
+}
+
+// Size returns the total on-disk byte size of the log (all segments).
+// This is the pending-bytes gauge: bytes of mutations not yet covered
+// by a compacted epoch, minus per-segment headers.
+func (l *Log) Size() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	total := l.size
+	for _, s := range l.sealed {
+		total += s.size
+	}
+	return total
+}
+
+// Append encodes recs, writes them to the active segment, and fsyncs
+// before returning — when it returns nil the batch is durable. Records
+// must carry contiguous LSNs starting at NextLSN. On error nothing is
+// promised durable; the log either recovered (truncated back to the
+// durable prefix, next Append may succeed) or is permanently failed.
+func (l *Log) Append(recs []Record) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return fmt.Errorf("%w: %w", ErrFailed, l.failed)
+	}
+	if len(recs) == 0 {
+		return nil
+	}
+	for i, r := range recs {
+		if want := l.nextLSN + uint64(i); r.LSN != want {
+			return fmt.Errorf("wal: record %d has lsn %d, want %d", i, r.LSN, want)
+		}
+	}
+	if l.opt.MaxSegment > 0 && l.size > l.opt.MaxSegment && l.size > segHdrLen {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	buf := make([]byte, 0, 512*len(recs))
+	for _, r := range recs {
+		var err error
+		buf, err = appendRecord(buf, r)
+		if err != nil {
+			return err
+		}
+	}
+	w := fault.Writer("wal.append", io.Writer(l.f))
+	if _, err := w.Write(buf); err != nil {
+		// The write may have landed partially: a torn record now sits
+		// past the durable prefix. Truncate it away so the file stays
+		// replayable; if even that fails the log is done for.
+		terr := fault.Check("wal.truncate")
+		if terr == nil {
+			terr = l.f.Truncate(l.size)
+		}
+		if terr == nil {
+			if _, serr := l.f.Seek(l.size, io.SeekStart); serr != nil {
+				terr = serr
+			}
+		}
+		if terr == nil {
+			terr = l.f.Sync()
+		}
+		if terr != nil {
+			l.failed = fmt.Errorf("append: %v; truncate recovery: %w", err, terr)
+			l.opt.logf("wal: %s: append failed and recovery failed, log disabled: %v",
+				l.name, l.failed)
+			return fmt.Errorf("wal append %s: %w", l.name, err)
+		}
+		l.opt.logf("wal: %s: append failed, truncated back to %d: %v", l.name, l.size, err)
+		return fmt.Errorf("wal append %s: %w", l.name, err)
+	}
+	start := time.Now()
+	err := fault.Check("wal.fsync")
+	if err == nil {
+		err = l.f.Sync()
+	}
+	if err != nil {
+		// After a failed fsync the page cache state is unknowable
+		// (writes may or may not reach disk, and a retried fsync can
+		// falsely succeed). Refuse all further appends — and chop the
+		// unsynced batch back off the file (best effort) so a restart
+		// does not resurrect records whose writers were told 503.
+		terr := fault.Check("wal.truncate")
+		if terr == nil {
+			terr = l.f.Truncate(l.size)
+		}
+		if terr == nil {
+			_, terr = l.f.Seek(l.size, io.SeekStart)
+		}
+		if terr != nil {
+			l.opt.logf("wal: %s: dropping unsynced batch after failed fsync: %v", l.name, terr)
+		}
+		l.failed = fmt.Errorf("fsync: %w", err)
+		l.opt.logf("wal: %s: fsync failed, log disabled: %v", l.name, err)
+		return fmt.Errorf("wal fsync %s: %w", l.name, err)
+	}
+	if l.opt.OnFsync != nil {
+		l.opt.OnFsync(time.Since(start))
+	}
+	l.size += int64(len(buf))
+	l.nextLSN += uint64(len(recs))
+	return nil
+}
+
+// rotate seals the active segment and starts a fresh one.
+func (l *Log) rotate() error {
+	if err := l.f.Close(); err != nil {
+		return err
+	}
+	l.sealed = append(l.sealed, segInfo{
+		seq:     l.seq,
+		path:    l.segPath(l.seq),
+		size:    l.size,
+		lastLSN: l.nextLSN - 1,
+	})
+	return l.openSegment(l.seq + 1)
+}
+
+// openSegment creates and syncs a fresh segment with its header.
+func (l *Log) openSegment(seq uint64) error {
+	path := l.segPath(seq)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	var hdr [segHdrLen]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], segMagic)
+	binary.LittleEndian.PutUint16(hdr[4:6], segVersion)
+	if _, err := f.Write(hdr[:]); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(path)
+		return err
+	}
+	syncDir(l.dir)
+	l.f, l.seq, l.size = f, seq, segHdrLen
+	return nil
+}
+
+// Prune deletes segments fully covered by the compacted epoch: every
+// sealed segment whose last LSN is <= through, and — when the whole
+// log is covered — the active segment too (after rotating off it). A
+// deletion that fails is logged and retried implicitly next time; the
+// LSN-monotonic skip in Open makes leftover duplicates harmless.
+func (l *Log) Prune(through uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return fmt.Errorf("%w: %w", ErrFailed, l.failed)
+	}
+	if l.size > segHdrLen && l.nextLSN-1 <= through {
+		if err := l.rotate(); err != nil {
+			return err
+		}
+	}
+	keep := l.sealed[:0]
+	for _, s := range l.sealed {
+		if s.lastLSN > through {
+			keep = append(keep, s)
+			continue
+		}
+		if err := os.Remove(s.path); err != nil {
+			l.opt.logf("wal: prune %s: %v", s.path, err)
+			keep = append(keep, s)
+		}
+	}
+	l.sealed = keep
+	syncDir(l.dir)
+	return nil
+}
+
+// Close releases the active segment handle. It does not fsync: every
+// acked Append already did.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+func (l *Log) segPath(seq uint64) string {
+	return filepath.Join(l.dir, fmt.Sprintf(segPattern, l.name, seq))
+}
+
+// scanSegments finds this dataset's segments in dir, ascending seq.
+// The name prefix is matched strictly (name + "-" + 8 digits + Ext) so
+// dataset "a" never picks up segments of dataset "a-b".
+func scanSegments(dir, name string) ([]segInfo, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	prefix := name + "-"
+	var segs []segInfo
+	for _, e := range ents {
+		fn := e.Name()
+		if e.IsDir() || !strings.HasPrefix(fn, prefix) || !strings.HasSuffix(fn, Ext) {
+			continue
+		}
+		digits := fn[len(prefix) : len(fn)-len(Ext)]
+		if len(digits) != 8 {
+			continue
+		}
+		var seq uint64
+		ok := true
+		for _, c := range digits {
+			if c < '0' || c > '9' {
+				ok = false
+				break
+			}
+			seq = seq*10 + uint64(c-'0')
+		}
+		if !ok {
+			continue
+		}
+		info, err := e.Info()
+		if err != nil {
+			if errors.Is(err, fs.ErrNotExist) {
+				continue
+			}
+			return nil, err
+		}
+		segs = append(segs, segInfo{seq: seq, path: filepath.Join(dir, fn), size: info.Size()})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].seq == segs[i-1].seq {
+			return nil, fmt.Errorf("wal: duplicate segment seq %d for %s", segs[i].seq, name)
+		}
+	}
+	return segs, nil
+}
+
+type segResult int
+
+const (
+	segOK      segResult = iota // clean to the end
+	segTorn                     // partial/CRC-bad final record at tornAt
+	segCorrupt                  // bad header or bad mid-segment record
+)
+
+type segRead struct {
+	recs    []Record
+	tornAt  int64 // byte offset of the first torn byte (segTorn only)
+	skipped int   // records dropped by the LSN-monotonic duplicate skip
+}
+
+// readSegment decodes one segment. Records with LSN <= floor are
+// already-seen duplicates (a Prune deletion that failed) and are
+// silently skipped. A decode failure on the *last* record frame is
+// torn-write debris (segTorn, tornAt = offset of the bad frame); any
+// frame that decodes but fails CRC followed by more decodable data, or
+// a bad header, is segCorrupt.
+func readSegment(path string, floor uint64, opt Options) (segRead, segResult, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return segRead{}, segOK, err
+	}
+	if len(data) < segHdrLen {
+		// Can't even hold a header: either a crash during segment
+		// creation (empty/short file, torn) — truncation to 0 leaves
+		// an unusable file, so treat short-header files as torn at 0
+		// only when empty, else corrupt.
+		if len(data) == 0 {
+			return segRead{tornAt: -1}, segTorn, nil
+		}
+		return segRead{}, segCorrupt, nil
+	}
+	if binary.LittleEndian.Uint32(data[0:4]) != segMagic ||
+		binary.LittleEndian.Uint16(data[4:6]) != segVersion {
+		return segRead{}, segCorrupt, nil
+	}
+	var sr segRead
+	off := int64(segHdrLen)
+	for off < int64(len(data)) {
+		rec, n, derr := decodeRecord(data[off:])
+		if derr != nil {
+			if errors.Is(derr, errTorn) {
+				sr.tornAt = off
+				return sr, segTorn, nil
+			}
+			// Framed but CRC-bad, or an impossible length. If this is
+			// the final frame it is still torn-write debris; a frame
+			// with valid data after it means real corruption. A
+			// CRC-bad frame whose length field still frames the rest
+			// of the file exactly is indistinguishable from a torn
+			// final record — treat as torn.
+			if n > 0 && off+int64(n) == int64(len(data)) {
+				sr.tornAt = off
+				return sr, segTorn, nil
+			}
+			return sr, segCorrupt, nil
+		}
+		off += int64(n)
+		if rec.LSN <= floor {
+			sr.skipped++
+			continue
+		}
+		if k := len(sr.recs); k > 0 && rec.LSN != sr.recs[k-1].LSN+1 {
+			opt.logf("wal: %s: lsn gap %d -> %d", filepath.Base(path), sr.recs[k-1].LSN, rec.LSN)
+		}
+		floor = rec.LSN
+		sr.recs = append(sr.recs, rec)
+	}
+	return sr, segOK, nil
+}
+
+// truncateSegment chops torn-write debris off the end of a segment and
+// syncs the result, so the next crash-free read sees a clean file.
+func truncateSegment(path string, at int64) error {
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := f.Truncate(at); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// appendRecord encodes r onto buf:
+//
+//	u32 len | u32 crc | kind u8 | keyLen u8 | id u32 | lsn u64 | epoch u64 | key | geom
+//
+// len covers the payload (everything after the two header words); crc
+// is CRC-32C over the same payload.
+func appendRecord(buf []byte, r Record) ([]byte, error) {
+	if len(r.Key) > maxKeyLen {
+		return nil, fmt.Errorf("wal: idempotency key %d bytes, max %d", len(r.Key), maxKeyLen)
+	}
+	if r.ID < 0 || int64(r.ID) > int64(^uint32(0)) {
+		return nil, fmt.Errorf("wal: object id %d out of range", r.ID)
+	}
+	payLen := recFixed + len(r.Key) + len(r.Geom)
+	if payLen > maxRecord {
+		return nil, fmt.Errorf("wal: record %d bytes exceeds max %d", payLen, maxRecord)
+	}
+	start := len(buf)
+	buf = append(buf, make([]byte, recHdrLen+payLen)...)
+	p := buf[start+recHdrLen:]
+	p[0] = r.Kind
+	p[1] = byte(len(r.Key))
+	binary.LittleEndian.PutUint32(p[2:6], uint32(r.ID))
+	binary.LittleEndian.PutUint64(p[6:14], r.LSN)
+	binary.LittleEndian.PutUint64(p[14:22], r.Epoch)
+	copy(p[recFixed:], r.Key)
+	copy(p[recFixed+len(r.Key):], r.Geom)
+	binary.LittleEndian.PutUint32(buf[start:], uint32(payLen))
+	binary.LittleEndian.PutUint32(buf[start+4:], crc32.Checksum(p, castagnoli))
+	return buf, nil
+}
+
+var (
+	errTorn = errors.New("wal: torn record")
+	errCRC  = errors.New("wal: record crc mismatch")
+)
+
+// decodeRecord decodes the first record in b, returning it and the
+// total frame size consumed. errTorn means b ends before the frame
+// does (n = 0); errCRC means the frame is complete but its checksum or
+// structure is wrong (n = frame size when the length field was
+// plausible, so the caller can tell tail debris from mid-log rot).
+func decodeRecord(b []byte) (Record, int, error) {
+	if len(b) < recHdrLen {
+		return Record{}, 0, errTorn
+	}
+	payLen := int(binary.LittleEndian.Uint32(b[0:4]))
+	if payLen < recFixed || payLen > maxRecord {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d", errCRC, payLen)
+	}
+	if len(b) < recHdrLen+payLen {
+		return Record{}, 0, errTorn
+	}
+	p := b[recHdrLen : recHdrLen+payLen]
+	if crc32.Checksum(p, castagnoli) != binary.LittleEndian.Uint32(b[4:8]) {
+		return Record{}, recHdrLen + payLen, errCRC
+	}
+	keyLen := int(p[1])
+	if recFixed+keyLen > payLen {
+		return Record{}, recHdrLen + payLen, fmt.Errorf("%w: key length %d", errCRC, keyLen)
+	}
+	rec := Record{
+		Kind:  p[0],
+		ID:    int(binary.LittleEndian.Uint32(p[2:6])),
+		LSN:   binary.LittleEndian.Uint64(p[6:14]),
+		Epoch: binary.LittleEndian.Uint64(p[14:22]),
+	}
+	if keyLen > 0 {
+		rec.Key = string(p[recFixed : recFixed+keyLen])
+	}
+	if g := p[recFixed+keyLen:]; len(g) > 0 {
+		rec.Geom = append([]byte(nil), g...)
+	}
+	return rec, recHdrLen + payLen, nil
+}
+
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync() // advisory on some filesystems, same as snapshot
+		d.Close()
+	}
+}
